@@ -1,0 +1,156 @@
+// E5 — the ground baselines the paper improves on: ground DRed [22] and the
+// counting algorithm [21], on ground Datalog twins of the workloads.
+//
+// Expected shape: counting wins on non-recursive programs (no rederivation,
+// O(delta) decrement joins) but REJECTS recursive programs outright — the
+// limitation the paper's StDel removes. Ground DRed handles recursion but
+// pays overdelete + rederive.
+
+#include "bench_util.h"
+
+#include "datalog/counting.h"
+#include "datalog/dred_ground.h"
+
+namespace mmv {
+namespace bench {
+namespace {
+
+using datalog::CountingView;
+using datalog::Database;
+using datalog::Evaluate;
+using datalog::GProgram;
+using datalog::GroundFact;
+
+void BM_GroundDRed_Chain(benchmark::State& state) {
+  GProgram p = workload::MakeGroundChain(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(1)));
+  Database base = Evaluate(p);
+  GroundFact victim{"p0", {Value(static_cast<int64_t>(0))}};
+
+  datalog::GroundDRedStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db = base;
+    state.ResumeTiming();
+    datalog::DeleteFactsDRed(p, &db, {victim}, &stats);
+  }
+  state.counters["tuples"] = static_cast<double>(base.size());
+  state.counters["overdeleted"] = static_cast<double>(stats.overdeleted);
+  state.counters["rederived"] = static_cast<double>(stats.rederived);
+}
+
+void BM_GroundDRed_Diamond(benchmark::State& state) {
+  GProgram p = workload::MakeGroundDiamond(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  Database base = Evaluate(p);
+  GroundFact victim{"b", {Value(static_cast<int64_t>(0))}};
+
+  datalog::GroundDRedStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db = base;
+    state.ResumeTiming();
+    datalog::DeleteFactsDRed(p, &db, {victim}, &stats);
+  }
+  state.counters["tuples"] = static_cast<double>(base.size());
+  state.counters["rederive_derivs"] =
+      static_cast<double>(stats.rederive_derivations);
+}
+
+void BM_GroundDRed_TC(benchmark::State& state) {
+  GProgram p = workload::MakeGroundTC(
+      workload::ChainEdges(static_cast<int>(state.range(0))));
+  Database base = Evaluate(p);
+  GroundFact victim{"e",
+                    {Value(static_cast<int64_t>(1)),
+                     Value(static_cast<int64_t>(2))}};
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db = base;
+    state.ResumeTiming();
+    datalog::DeleteFactsDRed(p, &db, {victim});
+  }
+  state.counters["tuples"] = static_cast<double>(base.size());
+}
+
+void BM_Counting_Chain(benchmark::State& state) {
+  GProgram p = workload::MakeGroundChain(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(1)));
+  Result<CountingView> base = CountingView::Build(p);
+  if (!base.ok()) {
+    state.SkipWithError("counting rejected program");
+    return;
+  }
+  GroundFact victim{"p0", {Value(static_cast<int64_t>(0))}};
+
+  datalog::CountingStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountingView v = *base;
+    state.ResumeTiming();
+    Status s = v.DeleteFacts({victim}, &stats);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["tuples"] = static_cast<double>(base->db().size());
+  state.counters["delta_derivs"] =
+      static_cast<double>(stats.delta_derivations);
+}
+
+void BM_Counting_Diamond(benchmark::State& state) {
+  GProgram p = workload::MakeGroundDiamond(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  Result<CountingView> base = CountingView::Build(p);
+  if (!base.ok()) {
+    state.SkipWithError("counting rejected program");
+    return;
+  }
+  GroundFact victim{"b", {Value(static_cast<int64_t>(0))}};
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountingView v = *base;
+    state.ResumeTiming();
+    (void)v.DeleteFacts({victim});
+  }
+  state.counters["tuples"] = static_cast<double>(base->db().size());
+}
+
+// Counting on recursion: demonstrates the rejection (the paper's
+// "infinite counts" limitation). Times the *rejection check* only.
+void BM_Counting_TC_Rejected(benchmark::State& state) {
+  GProgram p = workload::MakeGroundTC(
+      workload::ChainEdges(static_cast<int>(state.range(0))));
+  int64_t rejected = 0;
+  for (auto _ : state) {
+    Result<CountingView> v = CountingView::Build(p);
+    if (!v.ok()) ++rejected;
+  }
+  state.counters["rejected"] = static_cast<double>(rejected);
+}
+
+BENCHMARK(BM_GroundDRed_Chain)
+    ->Args({16, 64})
+    ->Args({32, 256})
+    ->Args({64, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroundDRed_Diamond)
+    ->Args({8, 64})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroundDRed_TC)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Counting_Chain)
+    ->Args({16, 64})
+    ->Args({32, 256})
+    ->Args({64, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Counting_Diamond)
+    ->Args({8, 64})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Counting_TC_Rejected)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmv

@@ -1,0 +1,87 @@
+// E2 — where does Extended DRed spend its time? (the motivation for StDel:
+// "the important advantage of the new algorithm is the elimination of the
+// expensive rederivation step").
+//
+// Reports per-phase milliseconds (P_OUT unfolding / overestimate /
+// rederivation) as counters. Expected shape: rederive_ms dominates as the
+// view grows, especially on diamonds where overdeleted atoms have
+// alternative proofs to re-derive.
+
+#include "bench_util.h"
+
+namespace mmv {
+namespace bench {
+namespace {
+
+void BM_DRed_Phases_Chain(benchmark::State& state) {
+  World w = World::Make();
+  Program p = workload::MakeChain(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  FixpointOptions opts = SetSemantics();
+  View base = MustMaterialize(p, w.domains.get(), opts);
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 0);
+
+  double unfold = 0, over = 0, rederive = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    maint::DRedStats stats;
+    Result<View> v =
+        maint::DeleteDRed(p, base, req, w.domains.get(), opts, &stats);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    unfold += stats.unfold_ms;
+    over += stats.overestimate_ms;
+    rederive += stats.rederive_ms;
+    ++iters;
+  }
+  state.counters["unfold_ms"] = unfold / static_cast<double>(iters);
+  state.counters["overestimate_ms"] = over / static_cast<double>(iters);
+  state.counters["rederive_ms"] = rederive / static_cast<double>(iters);
+  state.counters["rederive_share"] =
+      rederive / std::max(1e-9, unfold + over + rederive);
+}
+
+void BM_DRed_Phases_Diamond(benchmark::State& state) {
+  World w = World::Make();
+  Program p = workload::MakeDiamond(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(1)));
+  FixpointOptions opts = SetSemantics();
+  View base = MustMaterialize(p, w.domains.get(), opts);
+  // Delete a derived atom so the overdeleted suffix must be re-derived
+  // through the surviving r-branch.
+  Program* pp = &p;
+  auto parsed = parser::ParseConstrainedAtom("l(X) <- X = 0.", pp);
+  maint::UpdateAtom req{parsed->pred, parsed->args, parsed->constraint};
+
+  double unfold = 0, over = 0, rederive = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    maint::DRedStats stats;
+    Result<View> v =
+        maint::DeleteDRed(p, base, req, w.domains.get(), opts, &stats);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    unfold += stats.unfold_ms;
+    over += stats.overestimate_ms;
+    rederive += stats.rederive_ms;
+    ++iters;
+  }
+  state.counters["unfold_ms"] = unfold / static_cast<double>(iters);
+  state.counters["overestimate_ms"] = over / static_cast<double>(iters);
+  state.counters["rederive_ms"] = rederive / static_cast<double>(iters);
+  state.counters["rederive_share"] =
+      rederive / std::max(1e-9, unfold + over + rederive);
+}
+
+BENCHMARK(BM_DRed_Phases_Chain)
+    ->Args({8, 8})
+    ->Args({16, 16})
+    ->Args({24, 32})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DRed_Phases_Diamond)
+    ->Args({4, 8})
+    ->Args({8, 16})
+    ->Args({12, 24})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmv

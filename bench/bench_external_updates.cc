@@ -1,0 +1,124 @@
+// E4 — maintenance under external changes (paper Section 4, Theorem 4,
+// Corollary 1): T_P recompute-on-change vs W_P zero-maintenance with
+// query-time solvability, swept over the update:query ratio.
+//
+// Expected shape: W_P wins outright on maintenance (zero work). On total
+// cost (maintenance + queries), W_P wins when updates are frequent relative
+// to queries; T_P's materialized pruning can win back ground when one
+// update is followed by very many queries. The crossover is the interesting
+// number.
+
+#include "bench_util.h"
+
+#include "maintenance/external.h"
+
+namespace mmv {
+namespace bench {
+namespace {
+
+constexpr const char* kViewText = R"(
+    east_order(I) <-
+      in(R, rel:select_eq("orders", "region", "east")) &
+      in(I, tuple:get(R, 0)).
+    big_east(I) <-
+      east_order(I) &
+      in(R, rel:select_eq("orders", "region", "east")) &
+      in(I, tuple:get(R, 0)) &
+      in(T, tuple:get(R, 2)) & T >= 200.
+)";
+
+struct Setup {
+  World world;
+  Program program;
+  int next_id = 0;
+
+  static Setup Make(int rows) {
+    Setup s{World::Make(), {}, 0};
+    if (!s.world.catalog
+             ->CreateTable(rel::Schema{"orders", {"id", "region", "total"}})
+             .ok()) {
+      std::abort();
+    }
+    for (int i = 0; i < rows; ++i) {
+      (void)s.world.catalog->Insert(
+          "orders", {Value(i), Value(i % 2 ? "east" : "west"),
+                     Value(100 + i)});
+    }
+    s.next_id = rows;
+    Result<Program> p = parser::ParseProgram(kViewText);
+    if (!p.ok()) std::abort();
+    s.program = std::move(*p);
+    return s;
+  }
+
+  void Mutate() {
+    world.catalog->clock().Advance();
+    (void)world.catalog->Insert(
+        "orders", {Value(next_id), Value("east"), Value(250)});
+    ++next_id;
+  }
+};
+
+size_t RunQueries(const maint::MaintainedView& mv, dom::DomainManager* dm,
+                  int queries) {
+  size_t total = 0;
+  for (int q = 0; q < queries; ++q) {
+    Result<query::InstanceSet> r =
+        query::QueryPred(mv.view(), "big_east", {Term::Var(0)}, dm);
+    if (!r.ok()) std::abort();
+    total += r->instances.size();
+  }
+  return total;
+}
+
+// One round = one external update + `queries` queries, under policy.
+void BM_External(benchmark::State& state, maint::MaintenancePolicy policy) {
+  Setup s = Setup::Make(static_cast<int>(state.range(0)));
+  Result<maint::MaintainedView> mv_r = maint::MaintainedView::Create(
+      &s.program, s.world.domains.get(), policy);
+  if (!mv_r.ok()) {
+    state.SkipWithError(mv_r.status().ToString().c_str());
+    return;
+  }
+  maint::MaintainedView mv = std::move(*mv_r);
+  int queries = static_cast<int>(state.range(1));
+
+  size_t checksum = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    s.Mutate();
+    state.ResumeTiming();
+    Status st = mv.OnExternalChange();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    checksum += RunQueries(mv, s.world.domains.get(), queries);
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.counters["maintenance_derivs"] =
+      static_cast<double>(mv.maintenance_derivations());
+  state.counters["recomputes"] = static_cast<double>(mv.recompute_count());
+}
+
+void BM_External_Tp(benchmark::State& state) {
+  BM_External(state, maint::MaintenancePolicy::kTpRecompute);
+}
+void BM_External_Wp(benchmark::State& state) {
+  BM_External(state, maint::MaintenancePolicy::kWpSyntactic);
+}
+
+void ExternalArgs(benchmark::internal::Benchmark* b) {
+  // {table rows, queries per update}
+  b->Args({50, 0})
+      ->Args({50, 1})
+      ->Args({50, 10})
+      ->Args({200, 0})
+      ->Args({200, 1})
+      ->Args({200, 10})
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_External_Tp)->Apply(ExternalArgs);
+BENCHMARK(BM_External_Wp)->Apply(ExternalArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmv

@@ -1,0 +1,81 @@
+// E6 — what do supports cost? (StDel's prerequisite is a support per atom;
+// the paper claims this bookkeeping is cheap.)
+//
+// Compares materialization under duplicate semantics (supports meaningful,
+// one atom per derivation) against set semantics (canonical dedup), and
+// reports per-view byte and atom counts. Expected shape: supports add a
+// small constant per atom; the duplicate/set atom-count gap depends on the
+// workload's proof redundancy (1x on chains, ~2x on diamonds).
+
+#include "bench_util.h"
+
+namespace mmv {
+namespace bench {
+namespace {
+
+void BM_Materialize_DuplicateSemantics(benchmark::State& state) {
+  World w = World::Make();
+  Program p = workload::MakeDiamond(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(1)));
+  View last;
+  for (auto _ : state) {
+    last = MustMaterialize(p, w.domains.get());
+    benchmark::DoNotOptimize(last.size());
+  }
+  state.counters["atoms"] = static_cast<double>(last.size());
+  state.counters["bytes"] = static_cast<double>(last.ApproxBytes());
+  size_t support_nodes = 0;
+  for (const ViewAtom& a : last.atoms()) {
+    support_nodes += a.support.NodeCount();
+  }
+  state.counters["support_nodes"] = static_cast<double>(support_nodes);
+}
+
+void BM_Materialize_SetSemantics(benchmark::State& state) {
+  World w = World::Make();
+  Program p = workload::MakeDiamond(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(1)));
+  View last;
+  for (auto _ : state) {
+    last = MustMaterialize(p, w.domains.get(), SetSemantics());
+    benchmark::DoNotOptimize(last.size());
+  }
+  state.counters["atoms"] = static_cast<double>(last.size());
+  state.counters["bytes"] = static_cast<double>(last.ApproxBytes());
+}
+
+void BM_SupportIndexBuild(benchmark::State& state) {
+  // The per-deletion cost of building StDel's support indexes, isolated.
+  World w = World::Make();
+  Program p = workload::MakeChain(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  View view = MustMaterialize(p, w.domains.get());
+
+  for (auto _ : state) {
+    std::unordered_multimap<size_t, size_t> by_support;
+    std::unordered_multimap<size_t, std::pair<size_t, size_t>> child_index;
+    for (size_t i = 0; i < view.atoms().size(); ++i) {
+      const Support& s = view.atoms()[i].support;
+      by_support.emplace(s.Hash(), i);
+      for (size_t k = 0; k < s.children().size(); ++k) {
+        child_index.emplace(s.children()[k].Hash(), std::make_pair(i, k));
+      }
+    }
+    benchmark::DoNotOptimize(by_support.size());
+    benchmark::DoNotOptimize(child_index.size());
+  }
+  state.counters["atoms"] = static_cast<double>(view.size());
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  b->Args({4, 16})->Args({8, 32})->Args({16, 64})->Unit(
+      benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Materialize_DuplicateSemantics)->Apply(Sizes);
+BENCHMARK(BM_Materialize_SetSemantics)->Apply(Sizes);
+BENCHMARK(BM_SupportIndexBuild)->Apply(Sizes);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmv

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark suite. Each bench binary regenerates one
+// experiment of EXPERIMENTS.md (E1-E8).
+
+#ifndef MMV_BENCH_BENCH_UTIL_H_
+#define MMV_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "domain/registry.h"
+#include "maintenance/dred_constrained.h"
+#include "maintenance/insert.h"
+#include "maintenance/recompute.h"
+#include "maintenance/rewrite.h"
+#include "maintenance/stdel.h"
+#include "parser/parser.h"
+#include "query/query.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace bench {
+
+/// \brief Catalog + standard domains for a benchmark.
+struct World {
+  std::unique_ptr<rel::Catalog> catalog;
+  std::unique_ptr<dom::DomainManager> domains;
+  dom::StandardDomains handles;
+
+  static World Make() {
+    World w;
+    w.catalog = std::make_unique<rel::Catalog>();
+    w.domains = std::make_unique<dom::DomainManager>(&w.catalog->clock());
+    auto h = dom::RegisterStandardDomains(w.domains.get(), w.catalog.get());
+    if (!h.ok()) std::abort();
+    w.handles = *h;
+    return w;
+  }
+};
+
+/// \brief Materializes or aborts (benchmark setup only).
+inline View MustMaterialize(const Program& p, DcaEvaluator* eval,
+                            const FixpointOptions& opts = {}) {
+  Result<View> v = Materialize(p, eval, opts);
+  if (!v.ok()) std::abort();
+  return std::move(*v);
+}
+
+inline FixpointOptions SetSemantics() {
+  FixpointOptions o;
+  o.semantics = DupSemantics::kSet;
+  return o;
+}
+
+}  // namespace bench
+}  // namespace mmv
+
+#endif  // MMV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// Kanellakis-style constrained databases (paper Example 2): non-ground
+// views where a handful of constrained atoms denote large instance sets,
+// plus recursive views over constraints (paper Example 6).
+
+#include <iostream>
+
+#include "domain/registry.h"
+#include "maintenance/stdel.h"
+#include "parser/parser.h"
+#include "query/enumerate.h"
+#include "workload/generators.h"
+
+using namespace mmv;
+
+int main() {
+  rel::Catalog catalog;
+  dom::DomainManager domains(&catalog.clock());
+  if (!dom::RegisterStandardDomains(&domains, &catalog).ok()) return 1;
+
+  // ---- Part 1: interval constraints -------------------------------------
+  // Three base atoms denote 3 * 1000 integers; the chain of rules keeps
+  // the representation at one atom per (predicate, base-range) pair.
+  Program intervals = *parser::ParseProgram(R"(
+    sensor(X) <- in(X, arith:between(0, 999)).
+    sensor(X) <- in(X, arith:between(2000, 2999)).
+    sensor(X) <- in(X, arith:between(4000, 4999)).
+    valid(X) <- sensor(X) & X != 500.
+    alarm(X) <- valid(X) & X >= 2500.
+  )");
+
+  Result<View> view_r = Materialize(intervals, &domains);
+  View view = std::move(*view_r);
+  query::InstanceSet all = *query::EnumerateView(view, &domains);
+  std::cout << "interval view: " << view.size() << " constrained atoms, "
+            << all.instances.size() << " ground instances\n";
+  std::cout << view.ToString(intervals.names()) << "\n";
+
+  // Delete a whole subrange with one constrained-atom deletion.
+  auto parsed =
+      parser::ParseConstrainedAtom(
+          "sensor(X) <- in(X, arith:between(2000, 2499)).", &intervals);
+  maint::UpdateAtom del{parsed->pred, parsed->args, parsed->constraint};
+  maint::StDelStats stats;
+  if (!maint::DeleteStDel(intervals, &view, del, &domains, {}, &stats)
+           .ok()) {
+    return 1;
+  }
+  query::InstanceSet after = *query::EnumerateView(view, &domains);
+  std::cout << "deleted sensor([2000,2499]) with " << stats.replacements
+            << " constraint replacements: " << after.instances.size()
+            << " instances remain (was " << all.instances.size() << ")\n\n";
+
+  // ---- Part 2: recursive views (Example 6) ------------------------------
+  Program tc = workload::MakeTransitiveClosure(workload::ChainEdges(6));
+  Result<View> paths_r = Materialize(tc, &domains);
+  View paths = std::move(*paths_r);
+  std::cout << "transitive closure over the chain 0->1->...->5:\n";
+  size_t path_count = 0;
+  for (const ViewAtom& a : paths.atoms()) {
+    if (a.pred == "path") path_count++;
+  }
+  std::cout << "  " << path_count
+            << " path atoms, one per derivation (duplicate semantics), "
+               "each indexed by its support.\n";
+  // Show one deep support.
+  for (const ViewAtom& a : paths.atoms()) {
+    if (a.pred == "path" && a.support.Depth() >= 4) {
+      std::cout << "  deepest derivation example: " << a.support.ToString()
+                << "\n";
+      break;
+    }
+  }
+
+  auto cut = parser::ParseConstrainedAtom("e(X, Y) <- X = 2 & Y = 3.", &tc);
+  maint::UpdateAtom cut_req{cut->pred, cut->args, cut->constraint};
+  maint::StDelStats tc_stats;
+  if (!maint::DeleteStDel(tc, &paths, cut_req, &domains, {}, &tc_stats)
+           .ok()) {
+    return 1;
+  }
+  query::InstanceSet remaining = *query::EnumerateView(paths, &domains);
+  size_t path_instances = 0;
+  for (const query::Instance& i : remaining.instances) {
+    if (i.pred == "path") path_instances++;
+  }
+  std::cout << "cut edge (2,3): " << path_instances
+            << " path instances remain (support-indexed deletion, "
+            << tc_stats.pout_pairs << " P_OUT pairs, no rederivation)\n";
+  return 0;
+}

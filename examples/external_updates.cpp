@@ -1,0 +1,78 @@
+// Section 4 head-to-head: T_P recompute-on-change vs W_P zero-maintenance.
+//
+// A mediated view over a mutating relational source is maintained under
+// both policies through a series of external updates; both answer every
+// query identically (Corollary 1), but only T_P pays for maintenance.
+
+#include <iostream>
+
+#include "domain/registry.h"
+#include "maintenance/external.h"
+#include "parser/parser.h"
+#include "query/query.h"
+
+using namespace mmv;
+
+int main() {
+  rel::Catalog catalog;
+  dom::DomainManager domains(&catalog.clock());
+  if (!dom::RegisterStandardDomains(&domains, &catalog).ok()) return 1;
+
+  (void)catalog.CreateTable(rel::Schema{"orders", {"id", "region", "total"}});
+  for (int i = 0; i < 20; ++i) {
+    (void)catalog.Insert("orders",
+                         {Value(i), Value(i % 2 ? "east" : "west"),
+                          Value(100 + 10 * i)});
+  }
+
+  Program program = *parser::ParseProgram(R"(
+    east_order(I) <-
+      in(R, rel:select_eq("orders", "region", "east")) &
+      in(I, tuple:get(R, 0)).
+    big_east(I) <-
+      east_order(I) &
+      in(R, rel:select_eq("orders", "region", "east")) &
+      in(I, tuple:get(R, 0)) &
+      in(T, tuple:get(R, 2)) & T >= 200.
+  )");
+
+  auto tp = *maint::MaintainedView::Create(
+      &program, &domains, maint::MaintenancePolicy::kTpRecompute);
+  auto wp = *maint::MaintainedView::Create(
+      &program, &domains, maint::MaintenancePolicy::kWpSyntactic);
+
+  auto count = [&](const maint::MaintainedView& mv, const char* pred) {
+    auto r = query::QueryPred(mv.view(), pred, {Term::Var(0)}, &domains);
+    return r.ok() ? r->instances.size() : size_t{0};
+  };
+
+  std::cout << "round | big_east(T_P) | big_east(W_P) | T_P derivs | W_P "
+               "derivs\n";
+  std::cout << "    0 | " << count(tp, "big_east") << "            | "
+            << count(wp, "big_east") << "            | "
+            << tp.maintenance_derivations() << "          | "
+            << wp.maintenance_derivations() << "\n";
+
+  for (int round = 1; round <= 5; ++round) {
+    // External world moves: new orders arrive, an old one is cancelled.
+    catalog.clock().Advance();
+    (void)catalog.Insert("orders", {Value(100 + round), Value("east"),
+                                    Value(150 + 100 * round)});
+    (void)catalog.Delete("orders",
+                         {Value(2 * round - 1), Value("east"),
+                          Value(100 + 10 * (2 * round - 1))});
+
+    (void)tp.OnExternalChange();  // full rematerialization
+    (void)wp.OnExternalChange();  // provably a no-op (Theorem 4)
+
+    std::cout << "    " << round << " | " << count(tp, "big_east")
+              << "            | " << count(wp, "big_east")
+              << "            | " << tp.maintenance_derivations()
+              << "         | " << wp.maintenance_derivations() << "\n";
+  }
+
+  std::cout << "\nT_P rematerialized " << tp.recompute_count()
+            << " times; the W_P view never changed — its DCA-atoms are "
+               "re-evaluated at query time against the current tables.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: define a small constrained database, materialize its mediated
+// view, and maintain it through a deletion and an insertion.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "domain/registry.h"
+#include "maintenance/insert.h"
+#include "maintenance/stdel.h"
+#include "parser/parser.h"
+#include "query/enumerate.h"
+
+using namespace mmv;
+
+namespace {
+
+void PrintView(const char* title, const View& view, const Program& program,
+               DcaEvaluator* eval) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << view.ToString(&program.names());
+  query::InstanceSet instances =
+      *query::EnumerateView(view, eval);
+  std::cout << "instances:";
+  for (const query::Instance& i : instances.instances) {
+    std::cout << " " << i.ToString();
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  // The external world: a catalog of tables and the standard domains.
+  rel::Catalog catalog;
+  dom::DomainManager domains(&catalog.clock());
+  auto handles = dom::RegisterStandardDomains(&domains, &catalog);
+  if (!handles.ok()) {
+    std::cerr << handles.status() << "\n";
+    return 1;
+  }
+
+  // A constrained database (the paper's Example 4, integer-bounded):
+  //   1. A(X) <- 0 <= X <= 3
+  //   2. A(X) <- B(X)
+  //   3. B(X) <- 0 <= X <= 5
+  //   4. C(X) <- A(X)
+  Result<Program> parsed = parser::ParseProgram(R"(
+    a(X) <- in(X, arith:between(0, 3)).
+    a(X) <- b(X).
+    b(X) <- in(X, arith:between(0, 5)).
+    c(X) <- a(X).
+  )");
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return 1;
+  }
+  Program program = std::move(*parsed);
+  std::cout << "Program:\n" << program.ToString() << "\n";
+
+  // Materialize the mediated view: T_P fixpoint over constrained atoms.
+  Result<View> materialized = Materialize(program, &domains);
+  if (!materialized.ok()) {
+    std::cerr << materialized.status() << "\n";
+    return 1;
+  }
+  View view = std::move(*materialized);
+  PrintView("materialized view (non-ground atoms + supports)", view,
+            program, &domains);
+
+  // Update of the first kind, deletion: remove B(5) with the paper's
+  // Straight Delete algorithm — no rederivation.
+  auto request = parser::ParseConstrainedAtom("b(X) <- X = 5.", &program);
+  maint::UpdateAtom del{request->pred, request->args, request->constraint};
+  maint::StDelStats stats;
+  Status s = maint::DeleteStDel(program, &view, del, &domains, {}, &stats);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "Deleted b(5): " << stats.replacements
+            << " constraint replacements, " << stats.removed_unsolvable
+            << " atoms dropped, 0 rederivations.\n\n";
+  PrintView("after StDel of b(5)", view, program, &domains);
+
+  // Update of the first kind, insertion: add A(9); consequences (C(9))
+  // follow by unfolding.
+  auto ins_parsed = parser::ParseConstrainedAtom("a(X) <- X = 9.", &program);
+  maint::UpdateAtom ins{ins_parsed->pred, ins_parsed->args,
+                        ins_parsed->constraint};
+  int ext_support = 0;
+  maint::InsertStats istats;
+  s = maint::InsertAtom(program, &view, ins, &domains, {}, &istats,
+                        &ext_support);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "Inserted a(9): " << istats.atoms_added
+            << " atoms added (request + consequences).\n\n";
+  PrintView("after insertion of a(9)", view, program, &domains);
+  return 0;
+}

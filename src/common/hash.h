@@ -1,0 +1,25 @@
+// Hash combination helpers.
+
+#ifndef MMV_COMMON_HASH_H_
+#define MMV_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mmv {
+
+/// \brief Mixes \p v into seed \p h (boost::hash_combine recipe).
+inline size_t HashCombine(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// \brief Convenience: hash a string into a seed.
+inline size_t HashCombineString(size_t h, const std::string& s) {
+  return HashCombine(h, std::hash<std::string>{}(s));
+}
+
+}  // namespace mmv
+
+#endif  // MMV_COMMON_HASH_H_

@@ -1,0 +1,121 @@
+// Status: error-handling primitive used across the mmv library.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return a Status
+// (or Result<T>, see result.h) instead of throwing exceptions. Public API
+// functions never throw.
+
+#ifndef MMV_COMMON_STATUS_H_
+#define MMV_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mmv {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kParseError = 7,
+  kTypeError = 8,
+  kResourceExhausted = 9,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation that may fail.
+///
+/// A default-constructed Status is OK and carries no allocation; error
+/// statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error \p code and \p message.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief The status code (kOk when ok()).
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// \brief The error message ("" when ok()).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error status out of the current function.
+#define MMV_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::mmv::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace mmv
+
+#endif  // MMV_COMMON_STATUS_H_

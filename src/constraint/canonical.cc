@@ -1,0 +1,158 @@
+#include "constraint/canonical.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "constraint/simplify.h"
+#include "constraint/substitution.h"
+
+namespace mmv {
+
+namespace {
+
+// Renders a primitive with every variable replaced by "_" — a key that is
+// insensitive to variable identity, used for deterministic literal ordering.
+std::string VarBlindKey(const Primitive& p) {
+  Primitive q = p;
+  auto blind = [](Term* t) {
+    if (t->is_var()) *t = Term::Var(0);
+  };
+  blind(&q.lhs);
+  if (p.kind == PrimKind::kEq || p.kind == PrimKind::kNeq ||
+      p.kind == PrimKind::kCmp) {
+    blind(&q.rhs);
+  }
+  if (p.kind == PrimKind::kIn || p.kind == PrimKind::kNotIn) {
+    for (Term& t : q.call.args) blind(&t);
+  }
+  return q.ToString();
+}
+
+std::string VarBlindKey(const NotBlock& b) {
+  std::vector<std::string> keys;
+  keys.reserve(b.prims.size() + b.inner.size());
+  for (const Primitive& p : b.prims) keys.push_back(VarBlindKey(p));
+  for (const NotBlock& i : b.inner) keys.push_back(VarBlindKey(i));
+  std::sort(keys.begin(), keys.end());
+  std::string out = "not(";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '&';
+  }
+  out += ')';
+  return out;
+}
+
+// Assigns canonical variable numbers in first-appearance order.
+class Renamer {
+ public:
+  Term Rename(const Term& t) {
+    if (t.is_const()) return t;
+    auto it = map_.find(t.var());
+    if (it == map_.end()) {
+      VarId fresh = static_cast<VarId>(map_.size());
+      map_[t.var()] = fresh;
+      return Term::Var(fresh);
+    }
+    return Term::Var(it->second);
+  }
+
+  Primitive Rename(const Primitive& p) {
+    Primitive q = p;
+    q.lhs = Rename(p.lhs);
+    if (p.kind == PrimKind::kEq || p.kind == PrimKind::kNeq ||
+        p.kind == PrimKind::kCmp) {
+      q.rhs = Rename(p.rhs);
+    }
+    if (p.kind == PrimKind::kIn || p.kind == PrimKind::kNotIn) {
+      for (Term& t : q.call.args) t = Rename(t);
+    }
+    return q;
+  }
+
+  // Renders a block with inner literals ordered and variables renamed.
+  std::string RenderBlock(const NotBlock& b) {
+    std::vector<Primitive> prims = b.prims;
+    std::stable_sort(prims.begin(), prims.end(),
+                     [](const Primitive& x, const Primitive& y) {
+                       return VarBlindKey(x) < VarBlindKey(y);
+                     });
+    std::vector<NotBlock> inner = b.inner;
+    std::stable_sort(inner.begin(), inner.end(),
+                     [](const NotBlock& x, const NotBlock& y) {
+                       return VarBlindKey(x) < VarBlindKey(y);
+                     });
+    std::string out = "not(";
+    bool first = true;
+    for (const Primitive& p : prims) {
+      if (!first) out += " & ";
+      out += Rename(p).ToString();
+      first = false;
+    }
+    for (const NotBlock& i : inner) {
+      if (!first) out += " & ";
+      out += RenderBlock(i);
+      first = false;
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::unordered_map<VarId, VarId> map_;
+};
+
+}  // namespace
+
+std::string CanonicalAtomString(const std::string& pred, const TermVec& args,
+                                const Constraint& c) {
+  SimplifiedAtom s = SimplifyAtom(args, c);
+  if (s.constraint.is_false()) {
+    return pred + "/false";
+  }
+
+  // Order literals deterministically by variable-blind key (stable, so
+  // literals with equal keys keep their relative order).
+  std::vector<Primitive> prims = s.constraint.prims();
+  std::stable_sort(prims.begin(), prims.end(),
+                   [](const Primitive& a, const Primitive& b) {
+                     return VarBlindKey(a) < VarBlindKey(b);
+                   });
+  std::vector<NotBlock> nots = s.constraint.nots();
+  for (NotBlock& b : nots) {
+    std::stable_sort(b.prims.begin(), b.prims.end(),
+                     [](const Primitive& a, const Primitive& b2) {
+                       return VarBlindKey(a) < VarBlindKey(b2);
+                     });
+  }
+  std::stable_sort(nots.begin(), nots.end(),
+                   [](const NotBlock& a, const NotBlock& b) {
+                     return VarBlindKey(a) < VarBlindKey(b);
+                   });
+
+  // Rename variables by first appearance: head first, then ordered literals.
+  Renamer renamer;
+  std::ostringstream os;
+  os << pred << '(';
+  for (size_t i = 0; i < s.head.size(); ++i) {
+    if (i) os << ',';
+    os << renamer.Rename(s.head[i]).ToString();
+  }
+  os << ") <- ";
+  bool first = true;
+  for (const Primitive& p : prims) {
+    if (!first) os << " & ";
+    os << renamer.Rename(p).ToString();
+    first = false;
+  }
+  for (const NotBlock& b : nots) {
+    if (!first) os << " & ";
+    os << renamer.RenderBlock(b);
+    first = false;
+  }
+  if (first) os << "true";
+  return os.str();
+}
+
+}  // namespace mmv

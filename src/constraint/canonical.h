@@ -1,0 +1,28 @@
+// Canonical string form of a constrained atom, used for set-semantics
+// deduplication in the fixpoint engine.
+//
+// Two constrained atoms with the same canonical string are syntactic
+// variants (same literals modulo variable renaming and literal order).
+// The mapping is conservative: semantically equivalent atoms may canonicalize
+// differently (the paper notes p(X,Y) <- X = Y+1 vs p(X,Y) <- Y = X-1), in
+// which case they are simply retained as duplicates — still sound.
+
+#ifndef MMV_CONSTRAINT_CANONICAL_H_
+#define MMV_CONSTRAINT_CANONICAL_H_
+
+#include <string>
+
+#include "constraint/constraint.h"
+
+namespace mmv {
+
+/// \brief Canonical key of the constrained atom pred(args) <- c.
+///
+/// Simplifies the constraint, orders literals by a variable-insensitive key,
+/// then renames variables by first appearance.
+std::string CanonicalAtomString(const std::string& pred, const TermVec& args,
+                                const Constraint& c);
+
+}  // namespace mmv
+
+#endif  // MMV_CONSTRAINT_CANONICAL_H_

@@ -1,0 +1,318 @@
+#include "constraint/constraint.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mmv {
+
+size_t DomainCall::Hash() const {
+  size_t h = HashCombineString(0x6d6d76, domain);
+  h = HashCombineString(h, function);
+  for (const Term& t : args) h = HashCombine(h, t.Hash());
+  return h;
+}
+
+std::string DomainCall::ToString() const {
+  std::ostringstream os;
+  os << domain << ":" << function << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    os << args[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return CmpOp::kLt;
+}
+
+CmpOp SwapCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return CmpOp::kLt;
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Primitive Primitive::Eq(Term l, Term r) {
+  Primitive p;
+  p.kind = PrimKind::kEq;
+  p.lhs = std::move(l);
+  p.rhs = std::move(r);
+  p.op = CmpOp::kLt;
+  return p;
+}
+
+Primitive Primitive::Neq(Term l, Term r) {
+  Primitive p = Eq(std::move(l), std::move(r));
+  p.kind = PrimKind::kNeq;
+  return p;
+}
+
+Primitive Primitive::Cmp(Term l, CmpOp op, Term r) {
+  Primitive p = Eq(std::move(l), std::move(r));
+  p.kind = PrimKind::kCmp;
+  p.op = op;
+  return p;
+}
+
+Primitive Primitive::In(Term x, DomainCall call) {
+  Primitive p;
+  p.kind = PrimKind::kIn;
+  p.lhs = std::move(x);
+  p.op = CmpOp::kLt;
+  p.call = std::move(call);
+  return p;
+}
+
+Primitive Primitive::NotInCall(Term x, DomainCall call) {
+  Primitive p = In(std::move(x), std::move(call));
+  p.kind = PrimKind::kNotIn;
+  return p;
+}
+
+Primitive Primitive::Negated() const {
+  Primitive p = *this;
+  switch (kind) {
+    case PrimKind::kEq:
+      p.kind = PrimKind::kNeq;
+      break;
+    case PrimKind::kNeq:
+      p.kind = PrimKind::kEq;
+      break;
+    case PrimKind::kCmp:
+      p.op = NegateCmp(op);
+      break;
+    case PrimKind::kIn:
+      p.kind = PrimKind::kNotIn;
+      break;
+    case PrimKind::kNotIn:
+      p.kind = PrimKind::kIn;
+      break;
+  }
+  return p;
+}
+
+bool Primitive::operator==(const Primitive& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case PrimKind::kEq:
+    case PrimKind::kNeq:
+      return lhs == other.lhs && rhs == other.rhs;
+    case PrimKind::kCmp:
+      return op == other.op && lhs == other.lhs && rhs == other.rhs;
+    case PrimKind::kIn:
+    case PrimKind::kNotIn:
+      return lhs == other.lhs && call == other.call;
+  }
+  return false;
+}
+
+size_t Primitive::Hash() const {
+  size_t h = static_cast<size_t>(kind) * 0x2545f4914f6cdd1dULL;
+  h = HashCombine(h, lhs.Hash());
+  switch (kind) {
+    case PrimKind::kEq:
+    case PrimKind::kNeq:
+      h = HashCombine(h, rhs.Hash());
+      break;
+    case PrimKind::kCmp:
+      h = HashCombine(h, static_cast<size_t>(op));
+      h = HashCombine(h, rhs.Hash());
+      break;
+    case PrimKind::kIn:
+    case PrimKind::kNotIn:
+      h = HashCombine(h, call.Hash());
+      break;
+  }
+  return h;
+}
+
+std::string Primitive::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case PrimKind::kEq:
+      os << lhs << " = " << rhs;
+      break;
+    case PrimKind::kNeq:
+      os << lhs << " != " << rhs;
+      break;
+    case PrimKind::kCmp:
+      os << lhs << " " << CmpOpName(op) << " " << rhs;
+      break;
+    case PrimKind::kIn:
+      os << "in(" << lhs << ", " << call.ToString() << ")";
+      break;
+    case PrimKind::kNotIn:
+      os << "notin(" << lhs << ", " << call.ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+void Primitive::CollectVariables(std::vector<VarId>* out) const {
+  auto add = [out](const Term& t) {
+    if (t.is_var() &&
+        std::find(out->begin(), out->end(), t.var()) == out->end()) {
+      out->push_back(t.var());
+    }
+  };
+  add(lhs);
+  if (kind == PrimKind::kEq || kind == PrimKind::kNeq ||
+      kind == PrimKind::kCmp) {
+    add(rhs);
+  }
+  if (kind == PrimKind::kIn || kind == PrimKind::kNotIn) {
+    for (const Term& t : call.args) add(t);
+  }
+}
+
+size_t NotBlock::Hash() const {
+  size_t h = 0x6e6f74;  // "not"
+  for (const Primitive& p : prims) h = HashCombine(h, p.Hash());
+  for (const NotBlock& b : inner) h = HashCombine(h, b.Hash());
+  return h;
+}
+
+std::string NotBlock::ToString() const {
+  std::ostringstream os;
+  os << "not(";
+  bool first = true;
+  for (const Primitive& p : prims) {
+    if (!first) os << " & ";
+    os << p.ToString();
+    first = false;
+  }
+  for (const NotBlock& b : inner) {
+    if (!first) os << " & ";
+    os << b.ToString();
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+void NotBlock::CollectVariables(std::vector<VarId>* out) const {
+  for (const Primitive& p : prims) p.CollectVariables(out);
+  for (const NotBlock& b : inner) b.CollectVariables(out);
+}
+
+void Constraint::AddNot(NotBlock b) {
+  if (b.BodyEmpty()) {
+    // not(true) == false.
+    false_marker_ = true;
+    prims_.clear();
+    nots_.clear();
+    return;
+  }
+  nots_.push_back(std::move(b));
+}
+
+void Constraint::AndWith(const Constraint& other) {
+  if (other.false_marker_ || false_marker_) {
+    *this = False();
+    return;
+  }
+  prims_.insert(prims_.end(), other.prims_.begin(), other.prims_.end());
+  nots_.insert(nots_.end(), other.nots_.begin(), other.nots_.end());
+}
+
+Constraint Constraint::And(const Constraint& a, const Constraint& b) {
+  Constraint out = a;
+  out.AndWith(b);
+  return out;
+}
+
+NotBlock Constraint::Negate(const Constraint& c) {
+  NotBlock b;
+  b.prims = c.prims();
+  b.inner = c.nots();
+  return b;
+}
+
+std::vector<VarId> Constraint::Variables() const {
+  std::vector<VarId> out;
+  for (const Primitive& p : prims_) p.CollectVariables(&out);
+  for (const NotBlock& b : nots_) b.CollectVariables(&out);
+  return out;
+}
+
+namespace {
+
+size_t BlockLiteralCount(const NotBlock& b) {
+  size_t n = b.prims.size();
+  for (const NotBlock& i : b.inner) n += BlockLiteralCount(i);
+  return n;
+}
+
+}  // namespace
+
+size_t Constraint::LiteralCount() const {
+  size_t n = prims_.size();
+  for (const NotBlock& b : nots_) n += BlockLiteralCount(b);
+  return n;
+}
+
+size_t Constraint::Hash() const {
+  if (false_marker_) return 0xdead;
+  size_t h = 0x636f6e;
+  for (const Primitive& p : prims_) h = HashCombine(h, p.Hash());
+  for (const NotBlock& b : nots_) h = HashCombine(h, b.Hash());
+  return h;
+}
+
+std::string Constraint::ToString() const {
+  if (false_marker_) return "false";
+  if (is_true()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  for (const Primitive& p : prims_) {
+    if (!first) os << " & ";
+    os << p.ToString();
+    first = false;
+  }
+  for (const NotBlock& b : nots_) {
+    if (!first) os << " & ";
+    os << b.ToString();
+    first = false;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Constraint& c) {
+  return os << c.ToString();
+}
+
+}  // namespace mmv

@@ -1,0 +1,182 @@
+// Constraint AST (paper Section 2.3).
+//
+// The paper's constraint grammar:
+//   - any DCA-atom in(X, d:f(args)) is a constraint,
+//   - X = T and X != T are constraints (T variable or constant),
+//   - any conjunction of constraints is a constraint.
+// Numeric comparisons (X <= 3, ...) are admitted as sugar for DCA-atoms over
+// the `arith` domain ("a more common way of writing this constraint",
+// Example 2) and are kept primitive here so the solver can reason over
+// intervals instead of enumerating infinite sets.
+//
+// Deletion (rewrite (4)) and insertion (P-flat) introduce *negated blocks*
+// not(c1 ^ ... ^ ck); a Constraint is therefore a conjunction of positive
+// primitives plus a conjunction of negated blocks.
+
+#ifndef MMV_CONSTRAINT_CONSTRAINT_H_
+#define MMV_CONSTRAINT_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/term.h"
+
+namespace mmv {
+
+/// \brief A call into an external domain: d : f(args) (paper Section 2.1).
+struct DomainCall {
+  std::string domain;    ///< e.g. "paradox", "arith", "spatialdb"
+  std::string function;  ///< e.g. "select_eq", "greater"
+  TermVec args;
+
+  bool operator==(const DomainCall& other) const {
+    return domain == other.domain && function == other.function &&
+           args == other.args;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+};
+
+/// \brief Comparison operator of a numeric primitive.
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe };
+
+/// \brief Flips op across negation: not(X < c) == X >= c.
+CmpOp NegateCmp(CmpOp op);
+/// \brief Mirrors op across argument swap: (X < Y) == (Y > X).
+CmpOp SwapCmp(CmpOp op);
+const char* CmpOpName(CmpOp op);
+
+/// \brief Kind tag of a primitive constraint.
+enum class PrimKind : uint8_t {
+  kEq,     ///< lhs = rhs
+  kNeq,    ///< lhs != rhs
+  kCmp,    ///< lhs op rhs (numeric)
+  kIn,     ///< in(lhs, call)  — DCA-atom
+  kNotIn,  ///< not in(lhs, call) — arises only from negation expansion
+};
+
+/// \brief An atomic constraint.
+struct Primitive {
+  PrimKind kind;
+  Term lhs;
+  Term rhs;         // kEq / kNeq / kCmp only
+  CmpOp op;         // kCmp only
+  DomainCall call;  // kIn / kNotIn only
+
+  static Primitive Eq(Term l, Term r);
+  static Primitive Neq(Term l, Term r);
+  static Primitive Cmp(Term l, CmpOp op, Term r);
+  static Primitive In(Term x, DomainCall call);
+  static Primitive NotInCall(Term x, DomainCall call);
+
+  /// \brief The logical negation (used when expanding negated blocks).
+  Primitive Negated() const;
+
+  bool operator==(const Primitive& other) const;
+  size_t Hash() const;
+  std::string ToString() const;
+
+  /// \brief Appends all variables occurring in this primitive to \p out
+  /// (first appearance order, deduplicated against existing content).
+  void CollectVariables(std::vector<VarId>* out) const;
+};
+
+/// \brief A negated constraint not(c1 ^ ... ^ ck ^ not(B1) ^ ... ^ not(Bm)).
+///
+/// Blocks nest: repeated maintenance rewrites negate constraints that
+/// already carry negated blocks (e.g. StDel pairs whose sibling constraints
+/// were themselves replaced), so the body of a not(...) is a full
+/// conjunction of primitives and inner blocks.
+struct NotBlock {
+  std::vector<Primitive> prims;
+  std::vector<NotBlock> inner;  ///< nested not(...) conjuncts of the body
+
+  /// \brief True when the body is the empty conjunction (i.e. `not(true)`).
+  bool BodyEmpty() const { return prims.empty() && inner.empty(); }
+
+  bool operator==(const NotBlock& other) const {
+    return prims == other.prims && inner == other.inner;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+
+  /// \brief All variables in the block (appended to \p out, deduplicated).
+  void CollectVariables(std::vector<VarId>* out) const;
+};
+
+/// \brief A constraint: conjunction of primitives and negated blocks.
+///
+/// The empty constraint is `true`. An explicitly unsatisfiable constraint
+/// (e.g. produced by simplification) is represented with `false_marker`.
+class Constraint {
+ public:
+  Constraint() = default;
+
+  /// \brief The constraint `true`.
+  static Constraint True() { return Constraint(); }
+
+  /// \brief The constraint `false`.
+  static Constraint False() {
+    Constraint c;
+    c.false_marker_ = true;
+    return c;
+  }
+
+  /// \brief True iff this is the trivially-false marker.
+  bool is_false() const { return false_marker_; }
+
+  /// \brief True iff there are no literals at all (trivially true).
+  bool is_true() const {
+    return !false_marker_ && prims_.empty() && nots_.empty();
+  }
+
+  const std::vector<Primitive>& prims() const { return prims_; }
+  const std::vector<NotBlock>& nots() const { return nots_; }
+  std::vector<Primitive>* mutable_prims() { return &prims_; }
+  std::vector<NotBlock>* mutable_nots() { return &nots_; }
+
+  /// \brief Appends a positive primitive.
+  void Add(Primitive p) { prims_.push_back(std::move(p)); }
+
+  /// \brief Appends a negated block; empty blocks (not(true) == false) turn
+  /// the whole constraint false.
+  void AddNot(NotBlock b);
+
+  /// \brief Conjoins all literals of \p other into this constraint.
+  void AndWith(const Constraint& other);
+
+  /// \brief Conjunction of two constraints (paper: phi ^ psi).
+  static Constraint And(const Constraint& a, const Constraint& b);
+
+  /// \brief The negation of \p c as a single block: not(c).
+  ///
+  /// Precondition: !c.is_false() and !c.is_true() (callers handle the
+  /// trivial cases: not(false) is true, not(true) is false).
+  static NotBlock Negate(const Constraint& c);
+
+  /// \brief All variables occurring anywhere in the constraint
+  /// (first-appearance order).
+  std::vector<VarId> Variables() const;
+
+  /// \brief Total number of literals (primitives + primitives inside nots).
+  size_t LiteralCount() const;
+
+  bool operator==(const Constraint& other) const {
+    return false_marker_ == other.false_marker_ && prims_ == other.prims_ &&
+           nots_ == other.nots_;
+  }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<Primitive> prims_;
+  std::vector<NotBlock> nots_;
+  bool false_marker_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const Constraint& c);
+
+}  // namespace mmv
+
+#endif  // MMV_CONSTRAINT_CONSTRAINT_H_

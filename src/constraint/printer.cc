@@ -1,0 +1,106 @@
+#include "constraint/printer.h"
+
+#include <sstream>
+
+namespace mmv {
+
+std::string VarNames::NameOf(VarId id) const {
+  auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  std::ostringstream os;
+  os << "X" << id;
+  return os.str();
+}
+
+std::string PrintTerm(const Term& t, const VarNames* names) {
+  if (t.is_var()) {
+    if (names) return names->NameOf(t.var());
+    return t.ToString();
+  }
+  return t.constant().ToString();
+}
+
+namespace {
+
+std::string PrintPrimitive(const Primitive& p, const VarNames* names) {
+  std::ostringstream os;
+  switch (p.kind) {
+    case PrimKind::kEq:
+      os << PrintTerm(p.lhs, names) << " = " << PrintTerm(p.rhs, names);
+      break;
+    case PrimKind::kNeq:
+      os << PrintTerm(p.lhs, names) << " != " << PrintTerm(p.rhs, names);
+      break;
+    case PrimKind::kCmp:
+      os << PrintTerm(p.lhs, names) << " " << CmpOpName(p.op) << " "
+         << PrintTerm(p.rhs, names);
+      break;
+    case PrimKind::kIn:
+    case PrimKind::kNotIn: {
+      os << (p.kind == PrimKind::kIn ? "in(" : "notin(")
+         << PrintTerm(p.lhs, names) << ", " << p.call.domain << ":"
+         << p.call.function << "(";
+      for (size_t i = 0; i < p.call.args.size(); ++i) {
+        if (i) os << ", ";
+        os << PrintTerm(p.call.args[i], names);
+      }
+      os << "))";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string PrintBlock(const NotBlock& b, const VarNames* names) {
+  std::ostringstream os;
+  os << "not(";
+  bool first = true;
+  for (const Primitive& p : b.prims) {
+    if (!first) os << " & ";
+    os << PrintPrimitive(p, names);
+    first = false;
+  }
+  for (const NotBlock& i : b.inner) {
+    if (!first) os << " & ";
+    os << PrintBlock(i, names);
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string PrintConstraint(const Constraint& c, const VarNames* names) {
+  if (c.is_false()) return "false";
+  if (c.is_true()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  for (const Primitive& p : c.prims()) {
+    if (!first) os << " & ";
+    os << PrintPrimitive(p, names);
+    first = false;
+  }
+  for (const NotBlock& b : c.nots()) {
+    if (!first) os << " & ";
+    os << PrintBlock(b, names);
+    first = false;
+  }
+  return os.str();
+}
+
+std::string PrintAtom(const std::string& pred, const TermVec& args,
+                      const Constraint& c, const VarNames* names) {
+  std::ostringstream os;
+  os << pred << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    os << PrintTerm(args[i], names);
+  }
+  os << ")";
+  std::string cs = PrintConstraint(c, names);
+  if (cs != "true") os << " <- " << cs;
+  return os.str();
+}
+
+}  // namespace mmv

@@ -1,0 +1,31 @@
+#include "constraint/term.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mmv {
+
+std::string Term::ToString() const {
+  if (is_var()) {
+    std::ostringstream os;
+    os << "X" << var_;
+    return os.str();
+  }
+  return value_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+void CollectVars(const TermVec& terms, std::vector<VarId>* out) {
+  for (const Term& t : terms) {
+    if (t.is_var() &&
+        std::find(out->begin(), out->end(), t.var()) == out->end()) {
+      out->push_back(t.var());
+    }
+  }
+}
+
+}  // namespace mmv

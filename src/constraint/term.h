@@ -1,0 +1,99 @@
+// Terms: variables and constants, the arguments of atoms, domain calls and
+// primitive constraints (paper Section 2.1/2.3).
+
+#ifndef MMV_CONSTRAINT_TERM_H_
+#define MMV_CONSTRAINT_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/value.h"
+
+namespace mmv {
+
+/// \brief Variable identifier. Variables are globally numbered; fresh ids are
+/// drawn from a VarFactory so clause instances can be standardized apart.
+using VarId = int32_t;
+
+/// \brief A term: either a variable or a constant Value.
+class Term {
+ public:
+  /// Constructs a constant term holding \p v.
+  static Term Const(Value v) { return Term(kConstTag, -1, std::move(v)); }
+
+  /// Constructs a variable term with id \p id.
+  static Term Var(VarId id) { return Term(kVarTag, id, Value()); }
+
+  /// Default: the null constant.
+  Term() : Term(kConstTag, -1, Value()) {}
+
+  bool is_var() const { return tag_ == kVarTag; }
+  bool is_const() const { return tag_ == kConstTag; }
+
+  /// \brief Variable id; requires is_var().
+  VarId var() const { return var_; }
+
+  /// \brief Constant payload; requires is_const().
+  const Value& constant() const { return value_; }
+
+  bool operator==(const Term& other) const {
+    if (tag_ != other.tag_) return false;
+    return is_var() ? var_ == other.var_ : value_ == other.value_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  size_t Hash() const {
+    size_t h = static_cast<size_t>(tag_) * 0x517cc1b727220a95ULL;
+    return is_var() ? HashCombine(h, static_cast<size_t>(var_))
+                    : HashCombine(h, value_.Hash());
+  }
+
+  /// \brief Debug rendering; variables print as X<id> unless \p names
+  /// supplies a symbolic name.
+  std::string ToString() const;
+
+ private:
+  enum Tag : uint8_t { kVarTag, kConstTag };
+  Term(Tag tag, VarId var, Value value)
+      : tag_(tag), var_(var), value_(std::move(value)) {}
+
+  Tag tag_;
+  VarId var_;
+  Value value_;
+};
+
+/// \brief A tuple of terms (atom arguments / domain-call arguments).
+using TermVec = std::vector<Term>;
+
+/// \brief Source of fresh variable ids; one per program/materialization so
+/// that clause renaming ("standardizing apart") never collides.
+class VarFactory {
+ public:
+  VarFactory() = default;
+
+  /// \brief Returns a fresh, never-before-issued variable id.
+  VarId Fresh() { return next_++; }
+
+  /// \brief Ensures future Fresh() calls return ids > \p id.
+  void ReserveAbove(VarId id) {
+    if (id >= next_) next_ = id + 1;
+  }
+
+  /// \brief Number of ids issued so far.
+  VarId issued() const { return next_; }
+
+ private:
+  VarId next_ = 0;
+};
+
+/// \brief Collects the distinct variables of \p terms into \p out
+/// (first-appearance order, no duplicates).
+void CollectVars(const TermVec& terms, std::vector<VarId>* out);
+
+std::ostream& operator<<(std::ostream& os, const Term& t);
+
+}  // namespace mmv
+
+#endif  // MMV_CONSTRAINT_TERM_H_

@@ -1,0 +1,66 @@
+#include "core/clause.h"
+
+#include <sstream>
+
+namespace mmv {
+
+std::string BodyAtom::ToString(const VarNames* names) const {
+  std::ostringstream os;
+  os << pred << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    os << PrintTerm(args[i], names);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<VarId> Clause::Variables() const {
+  std::vector<VarId> vars;
+  CollectVars(head_args, &vars);
+  for (VarId v : constraint.Variables()) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  for (const BodyAtom& a : body) {
+    CollectVars(a.args, &vars);
+  }
+  return vars;
+}
+
+Clause Clause::Rename(VarFactory* factory) const {
+  Substitution renaming = FreshRenaming(Variables(), factory);
+  Clause out;
+  out.number = number;
+  out.head_pred = head_pred;
+  out.head_args = renaming.Apply(head_args);
+  out.constraint = renaming.Apply(constraint);
+  out.body.reserve(body.size());
+  for (const BodyAtom& a : body) {
+    out.body.push_back(BodyAtom{a.pred, renaming.Apply(a.args)});
+  }
+  return out;
+}
+
+std::string Clause::ToString(const VarNames* names) const {
+  std::ostringstream os;
+  os << head_pred << "(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i) os << ", ";
+    os << PrintTerm(head_args[i], names);
+  }
+  os << ") <- ";
+  std::string cs = PrintConstraint(constraint, names);
+  os << cs;
+  if (!body.empty()) {
+    os << " || ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i) os << ", ";
+      os << body[i].ToString(names);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mmv

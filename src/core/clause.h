@@ -1,0 +1,56 @@
+// Constrained clauses (paper Section 2.1):
+//
+//   A  <-  D1 ^ ... ^ Dm  ||  A1, ..., An
+//
+// where the Di (DCA-atoms plus =, !=, numeric comparisons) form the clause
+// constraint and the Ai are ordinary body atoms over mediator predicates.
+
+#ifndef MMV_CORE_CLAUSE_H_
+#define MMV_CORE_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/constraint.h"
+#include "constraint/printer.h"
+#include "constraint/substitution.h"
+
+namespace mmv {
+
+/// \brief An ordinary (non-constraint) body atom Ai(ti).
+struct BodyAtom {
+  std::string pred;
+  TermVec args;
+
+  bool operator==(const BodyAtom& other) const {
+    return pred == other.pred && args == other.args;
+  }
+  std::string ToString(const VarNames* names = nullptr) const;
+};
+
+/// \brief One mediator rule.
+struct Clause {
+  int number = -1;  ///< Cn(C): assigned by Program::AddClause
+  std::string head_pred;
+  TermVec head_args;
+  Constraint constraint;        ///< D1 ^ ... ^ Dm (possibly with not-blocks)
+  std::vector<BodyAtom> body;   ///< A1, ..., An (empty for constrained facts)
+
+  /// \brief True when the body is empty (a "constraint base fact").
+  bool IsFact() const { return body.empty(); }
+
+  /// \brief All variables of the clause (head, constraint, body) in
+  /// first-appearance order.
+  std::vector<VarId> Variables() const;
+
+  /// \brief A variant of this clause with every variable replaced by a fresh
+  /// one from \p factory ("standardizing apart").
+  Clause Rename(VarFactory* factory) const;
+
+  /// \brief head <- constraint || body.
+  std::string ToString(const VarNames* names = nullptr) const;
+};
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_CLAUSE_H_

@@ -1,0 +1,267 @@
+#include "core/fixpoint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "constraint/canonical.h"
+#include "constraint/simplify.h"
+
+namespace mmv {
+
+namespace {
+
+// Seminaive materialization engine for one Materialize call.
+class Engine {
+ public:
+  Engine(const Program& program, DcaEvaluator* evaluator,
+         const FixpointOptions& options, FixpointStats* stats)
+      : program_(program),
+        options_(options),
+        stats_(stats),
+        solver_(evaluator, options.solver),
+        factory_(program.factory()) {}
+
+  Result<View> Run(View initial, size_t delta_begin) {
+    // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
+    for (ViewAtom& a : initial.atoms()) {
+      ReserveVars(a);
+      AddAtom(std::move(a));
+    }
+    delta_begin = std::min(delta_begin, view_.size());
+
+    // Round 0: constrained facts (empty-body clauses).
+    if (options_.derive_facts) {
+      for (const Clause& c : program_.clauses()) {
+        if (!c.IsFact()) continue;
+        MMV_RETURN_NOT_OK(Derive(c, {}, 0));
+        if (Capped()) return Finish();
+      }
+    }
+
+    int round = 0;
+    while (true) {
+      size_t delta_end = view_.size();
+      if (delta_begin == delta_end) break;  // no new atoms last round
+      ++round;
+      if (round > options_.max_iterations) {
+        stats_->truncated = true;
+        break;
+      }
+      stats_->iterations = round;
+      size_t size_at_round_start = view_.size();
+
+      for (const Clause& c : program_.clauses()) {
+        if (c.IsFact()) continue;
+        MMV_RETURN_NOT_OK(DeriveWithClause(c, delta_begin, delta_end, round));
+        if (Capped()) return Finish();
+      }
+      delta_begin = size_at_round_start;
+    }
+    return Finish();
+  }
+
+ private:
+  bool Capped() {
+    if (view_.size() >= options_.max_atoms) {
+      stats_->truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  View Finish() {
+    stats_->solver = solver_.stats();
+    return std::move(view_);
+  }
+
+  void ReserveVars(const ViewAtom& a) {
+    std::vector<VarId> vars;
+    CollectVars(a.args, &vars);
+    for (VarId v : a.constraint.Variables()) factory_.ReserveAbove(v);
+    for (VarId v : vars) factory_.ReserveAbove(v);
+  }
+
+  // Enumerates body-atom combinations for clause c with the standard
+  // seminaive pivot trick: position `pivot` ranges over the newest delta,
+  // earlier positions over strictly older atoms, later positions over
+  // everything up to delta_end.
+  Status DeriveWithClause(const Clause& c, size_t delta_begin,
+                          size_t delta_end, int round) {
+    size_t n = c.body.size();
+    std::vector<const std::vector<size_t>*> lists(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = by_pred_.find(c.body[i].pred);
+      if (it == by_pred_.end()) return Status::OK();  // no candidates at all
+      lists[i] = &it->second;
+    }
+    std::vector<size_t> chosen(n);
+    for (size_t pivot = 0; pivot < n; ++pivot) {
+      MMV_RETURN_NOT_OK(
+          Recurse(c, lists, pivot, 0, delta_begin, delta_end, round, &chosen));
+      if (view_.size() >= options_.max_atoms) break;
+    }
+    return Status::OK();
+  }
+
+  Status Recurse(const Clause& c,
+                 const std::vector<const std::vector<size_t>*>& lists,
+                 size_t pivot, size_t pos, size_t delta_begin,
+                 size_t delta_end, int round, std::vector<size_t>* chosen) {
+    if (pos == c.body.size()) {
+      return Derive(c, *chosen, round);
+    }
+    // Bounds for this position.
+    size_t lo_limit, hi_limit;
+    if (pos < pivot) {
+      lo_limit = 0;
+      hi_limit = delta_begin;
+    } else if (pos == pivot) {
+      lo_limit = delta_begin;
+      hi_limit = delta_end;
+    } else {
+      lo_limit = 0;
+      hi_limit = delta_end;
+    }
+    // Work with positions, not iterators: Derive() appends to the index
+    // vectors (recursive rules), which may reallocate their buffers. The
+    // positional window stays valid because appends only push_back values
+    // >= delta_end, beyond hi_limit.
+    const std::vector<size_t>& idx = *lists[pos];  // ascending atom indices
+    size_t lo_pos = static_cast<size_t>(
+        std::lower_bound(idx.begin(), idx.end(), lo_limit) - idx.begin());
+    size_t hi_pos = static_cast<size_t>(
+        std::lower_bound(idx.begin(), idx.end(), hi_limit) - idx.begin());
+    for (size_t i = lo_pos; i < hi_pos; ++i) {
+      (*chosen)[pos] = (*lists[pos])[i];
+      MMV_RETURN_NOT_OK(Recurse(c, lists, pivot, pos + 1, delta_begin,
+                                delta_end, round, chosen));
+      if (view_.size() >= options_.max_atoms) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // Executes one derivation: clause c applied to the chosen instances.
+  Status Derive(const Clause& c, const std::vector<size_t>& chosen,
+                int round) {
+    stats_->derivations_attempted++;
+    Clause renamed = c.Rename(&factory_);
+    Constraint acc = renamed.constraint;
+    std::vector<Support> children;
+    children.reserve(chosen.size());
+
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      const ViewAtom& inst = view_.atoms()[chosen[i]];
+      const TermVec& pattern = renamed.body[i].args;
+      if (inst.args.size() != pattern.size()) {
+        return Status::InvalidArgument(
+            "arity mismatch joining " + inst.pred + "/" +
+            std::to_string(inst.args.size()) + " against clause " +
+            std::to_string(c.number));
+      }
+      // Standardize the instance apart (T_P: "which share no variables").
+      std::vector<VarId> vars;
+      CollectVars(inst.args, &vars);
+      for (VarId v : inst.constraint.Variables()) {
+        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+          vars.push_back(v);
+        }
+      }
+      Substitution renaming = FreshRenaming(vars, &factory_);
+      TermVec inst_args = renaming.Apply(inst.args);
+      acc.AndWith(renaming.Apply(inst.constraint));
+      for (size_t k = 0; k < pattern.size(); ++k) {
+        acc.Add(Primitive::Eq(inst_args[k], pattern[k]));
+      }
+      children.push_back(inst.support);
+    }
+
+    TermVec head = renamed.head_args;
+    Constraint constraint = std::move(acc);
+    if (options_.simplify) {
+      SimplifiedAtom s = SimplifyAtom(head, constraint);
+      head = std::move(s.head);
+      constraint = std::move(s.constraint);
+    }
+    if (constraint.is_false() && options_.prune_static_contradictions) {
+      stats_->unsat_pruned++;
+      return Status::OK();
+    }
+    if (options_.op == OperatorKind::kTp && !constraint.is_false()) {
+      SolveOutcome o = solver_.Solve(constraint);
+      if (o == SolveOutcome::kError) return solver_.last_status();
+      if (o == SolveOutcome::kUnsat) {
+        stats_->unsat_pruned++;
+        return Status::OK();
+      }
+    } else if (options_.op == OperatorKind::kTp && constraint.is_false()) {
+      stats_->unsat_pruned++;
+      return Status::OK();
+    }
+
+    ViewAtom atom;
+    atom.pred = renamed.head_pred;
+    atom.args = std::move(head);
+    atom.constraint = std::move(constraint);
+    atom.support = Support(c.number, std::move(children));
+    atom.depth = round;
+    AddAtom(std::move(atom));
+    return Status::OK();
+  }
+
+  // Appends the atom unless it is a duplicate; maintains indexes.
+  bool AddAtom(ViewAtom atom) {
+    if (options_.semantics == DupSemantics::kDuplicate) {
+      size_t h = atom.support.Hash();
+      auto [lo, hi] = support_index_.equal_range(h);
+      for (auto it = lo; it != hi; ++it) {
+        if (view_.atoms()[it->second].support == atom.support) {
+          stats_->duplicates_suppressed++;
+          return false;
+        }
+      }
+      support_index_.emplace(h, view_.size());
+    } else {
+      std::string key =
+          CanonicalAtomString(atom.pred, atom.args, atom.constraint);
+      if (!canonical_seen_.insert(std::move(key)).second) {
+        stats_->duplicates_suppressed++;
+        return false;
+      }
+    }
+    by_pred_[atom.pred].push_back(view_.size());
+    stats_->atoms_created++;
+    view_.Add(std::move(atom));
+    return true;
+  }
+
+  const Program& program_;
+  FixpointOptions options_;
+  FixpointStats* stats_;
+  Solver solver_;
+  VarFactory factory_;
+
+  View view_;
+  std::unordered_map<std::string, std::vector<size_t>> by_pred_;
+  std::unordered_multimap<size_t, size_t> support_index_;
+  std::unordered_set<std::string> canonical_seen_;
+};
+
+}  // namespace
+
+Result<View> MaterializeFrom(const Program& program, View initial,
+                             DcaEvaluator* evaluator,
+                             const FixpointOptions& options,
+                             FixpointStats* stats, size_t delta_begin) {
+  FixpointStats local;
+  Engine engine(program, evaluator, options, stats ? stats : &local);
+  return engine.Run(std::move(initial), delta_begin);
+}
+
+Result<View> Materialize(const Program& program, DcaEvaluator* evaluator,
+                         const FixpointOptions& options,
+                         FixpointStats* stats) {
+  return MaterializeFrom(program, View(), evaluator, options, stats);
+}
+
+}  // namespace mmv

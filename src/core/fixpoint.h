@@ -1,0 +1,99 @@
+// The fixpoint engine: T_P (Gabbrielli–Levi, paper Section 2.3) and W_P
+// (paper Section 4).
+//
+// T_P(I) derives, for every clause A(t0) <- c0 || A1(t1),...,An(tn) and every
+// tuple of (variable-disjoint renamings of) atoms Ai(Xi) <- ci from I, the
+// atom A(t0) <- c0 ^ c1 ^ ... ^ cn ^ {Xi = ti}, *provided the constraint is
+// solvable*. W_P is identical except the solvability requirement is dropped,
+// making the materialized view a purely syntactic construct whose DCA-atoms
+// are re-interpreted at query time (Theorem 4 / Corollary 1).
+//
+// Both operators use duplicate semantics (Mumick): one view atom per
+// derivation, identified by its support (Lemma 1). kSet mode instead
+// deduplicates by canonicalized constraint — the duplicate-free views for
+// which Extended DRed is designed.
+//
+// Termination: with T_P, acyclic data yields finitely many derivations. W_P
+// does not prune unsatisfiable joins, so *recursive* programs generally
+// diverge under it (the paper tacitly targets non-recursive mediators for
+// W_P); max_iterations / max_atoms bound the damage and are reported via
+// FixpointStats::truncated.
+
+#ifndef MMV_CORE_FIXPOINT_H_
+#define MMV_CORE_FIXPOINT_H_
+
+#include "common/result.h"
+#include "constraint/solver.h"
+#include "core/program.h"
+#include "core/view.h"
+
+namespace mmv {
+
+/// \brief Which fixpoint operator to run.
+enum class OperatorKind : uint8_t {
+  kTp,  ///< Gabbrielli–Levi: constraints must be solvable
+  kWp,  ///< paper's Section 4 operator: no solvability requirement
+};
+
+/// \brief Duplicate handling of the materialized view.
+enum class DupSemantics : uint8_t {
+  kDuplicate,  ///< one atom per derivation (dedup by support)
+  kSet,        ///< dedup by canonicalized constrained atom
+};
+
+/// \brief Materialization knobs.
+struct FixpointOptions {
+  OperatorKind op = OperatorKind::kTp;
+  DupSemantics semantics = DupSemantics::kDuplicate;
+  int max_iterations = 100;
+  size_t max_atoms = 5'000'000;
+  /// Simplify each derived atom's constraint (recommended; Example 5).
+  bool simplify = true;
+  /// Drop atoms whose constraint is *statically* contradictory (X=1 ^ X=2).
+  /// Sound under W_P too, since static contradictions are time-invariant.
+  bool prune_static_contradictions = true;
+  /// Derive the program's constrained facts in round 0. Disable for
+  /// seminaive *continuations* over maintained views (Algorithm 3): the
+  /// facts were derived when the view was first materialized, and blindly
+  /// re-deriving them would resurrect previously deleted fact atoms.
+  bool derive_facts = true;
+  /// Solver configuration for T_P solvability checks.
+  SolverOptions solver;
+};
+
+/// \brief Instrumentation of a materialization run.
+struct FixpointStats {
+  int iterations = 0;
+  int64_t derivations_attempted = 0;
+  int64_t atoms_created = 0;
+  int64_t unsat_pruned = 0;       ///< T_P only
+  int64_t duplicates_suppressed = 0;
+  bool truncated = false;         ///< hit max_iterations / max_atoms
+  SolveStats solver;              ///< aggregated solver counters
+};
+
+/// \brief Computes T_P^w(initial) (or W_P^w) over \p program.
+///
+/// \p evaluator provides DCA evaluation for T_P's solvability checks; it may
+/// be null, in which case every DCA-atom defers (all joins are kept — the
+/// W_P behaviour — even under kTp).
+///
+/// \p delta_begin marks the first atom of \p initial to treat as *new*:
+/// atoms before it are assumed closed under the program already, so no
+/// derivation using only those atoms is attempted. Pass 0 (default) to
+/// close over the whole initial set; pass the old view size to continue a
+/// fixpoint after appending new atoms (Algorithm 3's P_ADD unfolding).
+Result<View> MaterializeFrom(const Program& program, View initial,
+                             DcaEvaluator* evaluator,
+                             const FixpointOptions& options = {},
+                             FixpointStats* stats = nullptr,
+                             size_t delta_begin = 0);
+
+/// \brief Computes the materialized view T_P^w(empty set) (or W_P^w).
+Result<View> Materialize(const Program& program, DcaEvaluator* evaluator,
+                         const FixpointOptions& options = {},
+                         FixpointStats* stats = nullptr);
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_FIXPOINT_H_

@@ -1,0 +1,78 @@
+#include "core/program.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace mmv {
+
+int Program::AddClause(Clause clause) {
+  clause.number = static_cast<int>(clauses_.size()) + 1;
+  // Keep the factory ahead of every variable mentioned in the clause.
+  for (VarId v : clause.Variables()) factory_.ReserveAbove(v);
+  by_pred_.clear();
+  clauses_.push_back(std::move(clause));
+  return clauses_.back().number;
+}
+
+const Clause* Program::ClauseByNumber(int number) const {
+  if (number < 1 || number > static_cast<int>(clauses_.size())) {
+    return nullptr;
+  }
+  return &clauses_[static_cast<size_t>(number - 1)];
+}
+
+const std::vector<size_t>& Program::ClausesFor(const std::string& pred) const {
+  if (by_pred_.empty()) {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      by_pred_[clauses_[i].head_pred].push_back(i);
+    }
+  }
+  static const std::vector<size_t> kEmpty;
+  auto it = by_pred_.find(pred);
+  return it == by_pred_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Program::HeadPredicates() const {
+  std::set<std::string> preds;
+  for (const Clause& c : clauses_) preds.insert(c.head_pred);
+  return {preds.begin(), preds.end()};
+}
+
+bool Program::IsRecursive() const {
+  // Build the predicate dependency graph and look for a cycle.
+  std::set<std::string> preds;
+  for (const Clause& c : clauses_) preds.insert(c.head_pred);
+  std::unordered_map<std::string, std::set<std::string>> deps;
+  for (const Clause& c : clauses_) {
+    for (const BodyAtom& a : c.body) {
+      if (preds.count(a.pred)) deps[c.head_pred].insert(a.pred);
+    }
+  }
+  // DFS cycle detection.
+  std::unordered_map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& p) -> bool {
+    color[p] = 1;
+    for (const std::string& q : deps[p]) {
+      if (color[q] == 1) return true;
+      if (color[q] == 0 && dfs(q)) return true;
+    }
+    color[p] = 2;
+    return false;
+  };
+  for (const std::string& p : preds) {
+    if (color[p] == 0 && dfs(p)) return true;
+  }
+  return false;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const Clause& c : clauses_) {
+    os << c.number << ". " << c.ToString(&names_) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mmv

@@ -1,0 +1,62 @@
+// Program: a constrained database / mediator — an ordered, numbered set of
+// clauses plus the variable numbering authority.
+
+#ifndef MMV_CORE_PROGRAM_H_
+#define MMV_CORE_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clause.h"
+
+namespace mmv {
+
+/// \brief A constrained database P.
+///
+/// Clause numbers Cn(C) are assigned on insertion (1-based, matching the
+/// paper's examples) and are stable identities used by supports.
+class Program {
+ public:
+  Program() = default;
+
+  /// \brief Adds \p clause, assigning and returning its clause number.
+  int AddClause(Clause clause);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// \brief The clause numbered \p number (1-based), or nullptr.
+  const Clause* ClauseByNumber(int number) const;
+
+  /// \brief Indices of clauses whose head predicate is \p pred.
+  const std::vector<size_t>& ClausesFor(const std::string& pred) const;
+
+  /// \brief Every predicate appearing in a head.
+  std::vector<std::string> HeadPredicates() const;
+
+  /// \brief True if any clause with head \p pred has a nonempty body that
+  /// (transitively) can reach \p pred again.
+  bool IsRecursive() const;
+
+  /// \brief Variable-id authority shared by parsing and materialization.
+  VarFactory* factory() { return &factory_; }
+  const VarFactory& factory() const { return factory_; }
+
+  /// \brief Symbolic variable names for printing (filled by the parser).
+  VarNames* names() { return &names_; }
+  const VarNames& names() const { return names_; }
+
+  std::string ToString() const;
+
+  size_t size() const { return clauses_.size(); }
+
+ private:
+  std::vector<Clause> clauses_;
+  mutable std::unordered_map<std::string, std::vector<size_t>> by_pred_;
+  VarFactory factory_;
+  VarNames names_;
+};
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_PROGRAM_H_

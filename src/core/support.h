@@ -1,0 +1,62 @@
+// Supports (paper Section 3.1.2): the derivation index of a constraint atom.
+//
+//   spt(A) = <Cn(C)>                                  for base derivations
+//   spt(A) = <Cn(C), spt(B1), ..., spt(Bk)>           otherwise
+//
+// Lemma 1: equal supports identify the same constraint atom in T_P^w, so
+// supports serve as derivation identities for duplicate semantics, and the
+// StDel algorithm propagates deletions by matching supports of direct body
+// subderivations.
+
+#ifndef MMV_CORE_SUPPORT_H_
+#define MMV_CORE_SUPPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mmv {
+
+/// \brief A derivation tree of clause numbers.
+class Support {
+ public:
+  Support() : clause_(-1) {}
+
+  /// \brief Leaf support <Cn(C)> for a constraint-fact derivation.
+  explicit Support(int clause) : clause_(clause) {}
+
+  /// \brief Interior support <Cn(C), children...>.
+  Support(int clause, std::vector<Support> children)
+      : clause_(clause), children_(std::move(children)) {}
+
+  /// \brief The clause number Cn(C) at the root.
+  int clause() const { return clause_; }
+
+  /// \brief Sub-supports of the body atoms, in body order.
+  const std::vector<Support>& children() const { return children_; }
+
+  /// \brief Total number of nodes (for overhead accounting, E6).
+  size_t NodeCount() const;
+
+  /// \brief Depth of the tree (a leaf has depth 1).
+  size_t Depth() const;
+
+  bool operator==(const Support& other) const;
+  bool operator!=(const Support& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  /// \brief Renders <4, <2, <3>>> like the paper's examples.
+  std::string ToString() const;
+
+ private:
+  int clause_;
+  std::vector<Support> children_;
+};
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_SUPPORT_H_

@@ -1,0 +1,46 @@
+#include "core/view.h"
+
+#include <sstream>
+
+namespace mmv {
+
+void View::Add(ViewAtom atom) { atoms_.push_back(std::move(atom)); }
+
+std::vector<size_t> View::AtomsFor(const std::string& pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].pred == pred) out.push_back(i);
+  }
+  return out;
+}
+
+bool View::HasSupport(const Support& s) const {
+  for (const ViewAtom& a : atoms_) {
+    if (a.support == s) return true;
+  }
+  return false;
+}
+
+void View::MarkAll(bool value) {
+  for (ViewAtom& a : atoms_) a.marked = value;
+}
+
+size_t View::ApproxBytes() const {
+  size_t bytes = sizeof(View);
+  for (const ViewAtom& a : atoms_) bytes += a.ApproxBytes();
+  return bytes;
+}
+
+size_t View::TotalLiterals() const {
+  size_t n = 0;
+  for (const ViewAtom& a : atoms_) n += a.constraint.LiteralCount();
+  return n;
+}
+
+std::string View::ToString(const VarNames* names) const {
+  std::ostringstream os;
+  for (const ViewAtom& a : atoms_) os << a.ToString(names) << "\n";
+  return os.str();
+}
+
+}  // namespace mmv

@@ -1,0 +1,69 @@
+// View: a materialized mediated view — an ordered collection of constrained
+// atoms with supports.
+
+#ifndef MMV_CORE_VIEW_H_
+#define MMV_CORE_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/view_atom.h"
+
+namespace mmv {
+
+/// \brief A materialized mediated view M.
+///
+/// Maintenance algorithms mutate atoms in place (replace constraints, set
+/// marks) and remove atoms; the by-predicate index is rebuilt lazily.
+class View {
+ public:
+  View() = default;
+
+  /// \brief Appends an atom.
+  void Add(ViewAtom atom);
+
+  std::vector<ViewAtom>& atoms() { return atoms_; }
+  const std::vector<ViewAtom>& atoms() const { return atoms_; }
+
+  /// \brief Indices of atoms with predicate \p pred.
+  std::vector<size_t> AtomsFor(const std::string& pred) const;
+
+  /// \brief True iff some atom has exactly this support.
+  bool HasSupport(const Support& s) const;
+
+  /// \brief Removes atoms flagged by \p pred (erase-remove).
+  template <typename Pred>
+  size_t RemoveIf(Pred pred) {
+    size_t before = atoms_.size();
+    std::vector<ViewAtom> kept;
+    kept.reserve(atoms_.size());
+    for (ViewAtom& a : atoms_) {
+      if (!pred(a)) kept.push_back(std::move(a));
+    }
+    atoms_ = std::move(kept);
+    return before - atoms_.size();
+  }
+
+  /// \brief Sets every atom's mark to \p value (StDel step 1).
+  void MarkAll(bool value);
+
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// \brief Total approximate bytes (atoms + supports), for E6.
+  size_t ApproxBytes() const;
+
+  /// \brief Sum of constraint literal counts (constraint growth metric, E8).
+  size_t TotalLiterals() const;
+
+  /// \brief One atom per line.
+  std::string ToString(const VarNames* names = nullptr) const;
+
+ private:
+  std::vector<ViewAtom> atoms_;
+};
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_VIEW_H_

@@ -1,0 +1,23 @@
+#include "core/view_atom.h"
+
+#include <sstream>
+
+namespace mmv {
+
+std::string ViewAtom::ToString(const VarNames* names) const {
+  std::ostringstream os;
+  os << PrintAtom(pred, args, constraint, names);
+  os << "  " << support.ToString();
+  return os.str();
+}
+
+size_t ViewAtom::ApproxBytes() const {
+  size_t bytes = sizeof(ViewAtom);
+  bytes += pred.size();
+  bytes += args.size() * sizeof(Term);
+  bytes += constraint.LiteralCount() * sizeof(Primitive);
+  bytes += support.NodeCount() * (sizeof(int) + sizeof(std::vector<Support>));
+  return bytes;
+}
+
+}  // namespace mmv

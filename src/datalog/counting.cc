@@ -1,0 +1,162 @@
+#include "datalog/counting.h"
+
+#include <chrono>
+#include <functional>
+
+namespace mmv {
+namespace datalog {
+
+Result<CountingView> CountingView::Build(const GProgram& program) {
+  CountingView view(&program);
+  MMV_ASSIGN_OR_RETURN(view.topo_, program.Stratify());
+
+  // EDB facts: count 1 per distinct tuple (duplicates accumulate).
+  for (const GroundFact& f : program.facts()) {
+    view.counts_[f.pred][f.args] += 1;
+    view.db_.Insert(f.pred, f.args);
+  }
+
+  // Non-recursive: one pass per predicate in dependency order suffices.
+  for (const std::string& pred : view.topo_) {
+    for (const GRule& rule : program.rules()) {
+      if (rule.head.pred != pred) continue;
+      MatchRule(rule, view.db_, nullptr, -1, [&](const Bindings& b) {
+        int64_t prod = 1;
+        for (const GAtomPat& a : rule.body) {
+          Tuple t;
+          t.reserve(a.args.size());
+          for (const GTerm& term : a.args) {
+            t.push_back(term.is_var ? b.at(term.var) : term.val);
+          }
+          prod *= view.CountOf(a.pred, t);
+        }
+        Tuple head = InstantiateHead(rule.head, b);
+        view.counts_[pred][head] += prod;
+        view.db_.Insert(pred, head);
+      });
+    }
+  }
+  return view;
+}
+
+int64_t CountingView::CountOf(const std::string& pred, const Tuple& t) const {
+  auto it = counts_.find(pred);
+  if (it == counts_.end()) return 0;
+  auto jt = it->second.find(t);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+Status CountingView::DeleteFacts(const std::vector<GroundFact>& facts,
+                                 CountingStats* stats) {
+  CountingStats local;
+  if (!stats) stats = &local;
+  *stats = CountingStats();
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+
+  // delta[pred][tuple] = number of derivations lost.
+  std::unordered_map<std::string,
+                     std::unordered_map<Tuple, int64_t, TupleHash>>
+      delta;
+  for (const GroundFact& f : facts) {
+    int64_t c = CountOf(f.pred, f.args);
+    if (c > 0) delta[f.pred][f.args] = c;  // all copies of the EDB fact go
+  }
+
+  // Propagate per stratum. For each rule grounding with at least one body
+  // tuple losing derivations, the lost head derivations are
+  //   prod_{i<j} new_i * delta_j * prod_{i>j} old_i
+  // summed over pivots j — the standard telescoping of old-prod minus
+  // new-prod.
+  auto old_count = [&](const std::string& p, const Tuple& t) {
+    return CountOf(p, t);
+  };
+  auto delta_of = [&](const std::string& p, const Tuple& t) -> int64_t {
+    auto it = delta.find(p);
+    if (it == delta.end()) return 0;
+    auto jt = it->second.find(t);
+    return jt == it->second.end() ? 0 : jt->second;
+  };
+  auto new_count = [&](const std::string& p, const Tuple& t) {
+    return old_count(p, t) - delta_of(p, t);
+  };
+
+  for (const std::string& pred : topo_) {
+    for (const GRule& rule : *(&program_->rules())) {
+      if (rule.head.pred != pred) continue;
+      size_t n = rule.body.size();
+      for (size_t pivot = 0; pivot < n; ++pivot) {
+        // Enumerate bindings with the pivot drawn from tuples that lost
+        // derivations; earlier positions use post-deletion tuples, later
+        // positions pre-deletion tuples.
+        std::function<void(size_t, Bindings*)> rec = [&](size_t pos,
+                                                          Bindings* b) {
+          if (pos == n) {
+            stats->delta_derivations++;
+            int64_t lost = 1;
+            for (size_t i = 0; i < n; ++i) {
+              Tuple t;
+              t.reserve(rule.body[i].args.size());
+              for (const GTerm& term : rule.body[i].args) {
+                t.push_back(term.is_var ? b->at(term.var) : term.val);
+              }
+              if (i < pivot) {
+                lost *= new_count(rule.body[i].pred, t);
+              } else if (i == pivot) {
+                lost *= delta_of(rule.body[i].pred, t);
+              } else {
+                lost *= old_count(rule.body[i].pred, t);
+              }
+            }
+            if (lost != 0) {
+              Tuple head = InstantiateHead(rule.head, *b);
+              delta[pred][head] += lost;
+            }
+            return;
+          }
+          const GAtomPat& pat = rule.body[pos];
+          if (pos == pivot) {
+            auto it = delta.find(pat.pred);
+            if (it == delta.end()) return;
+            for (const auto& [t, d] : it->second) {
+              if (d == 0) continue;
+              Bindings saved = *b;
+              if (MatchAtom(pat, t, b)) rec(pos + 1, b);
+              *b = std::move(saved);
+            }
+            return;
+          }
+          for (const Tuple& t : db_.Rel(pat.pred)) {
+            // pos < pivot must still exist after deletion; pos > pivot uses
+            // the pre-deletion state (db_ still holds it during this pass).
+            if (pos < pivot && new_count(pat.pred, t) <= 0) continue;
+            Bindings saved = *b;
+            if (MatchAtom(pat, t, b)) rec(pos + 1, b);
+            *b = std::move(saved);
+          }
+        };
+        Bindings b;
+        rec(0, &b);
+      }
+    }
+  }
+
+  // Apply the deltas.
+  for (auto& [pred, tuples] : delta) {
+    for (auto& [t, d] : tuples) {
+      int64_t& c = counts_[pred][t];
+      c -= d;
+      if (c <= 0) {
+        counts_[pred].erase(t);
+        db_.Remove(pred, t);
+        stats->tuples_removed++;
+      }
+    }
+  }
+  stats->delete_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return Status::OK();
+}
+
+}  // namespace datalog
+}  // namespace mmv

@@ -1,0 +1,58 @@
+// The counting algorithm of Gupta, Katiyar & Mumick [21]: maintain, per
+// derived tuple, the number of its derivations; deletion decrements counts
+// and removes tuples that reach zero.
+//
+// The algorithm is restricted to NON-recursive programs — on recursion the
+// counts can be infinite, which is exactly the limitation the paper's StDel
+// algorithm overcomes (Conclusion, bullet 2). Build() rejects recursive
+// programs with InvalidArgument.
+
+#ifndef MMV_DATALOG_COUNTING_H_
+#define MMV_DATALOG_COUNTING_H_
+
+#include "datalog/engine.h"
+
+namespace mmv {
+namespace datalog {
+
+/// \brief Deletion counters.
+struct CountingStats {
+  int64_t delta_derivations = 0;
+  size_t tuples_removed = 0;
+  double delete_ms = 0;
+};
+
+/// \brief Materialized view with derivation counts.
+class CountingView {
+ public:
+  /// \brief Evaluates \p program and computes derivation counts per tuple.
+  /// Fails for recursive programs (infinite counts).
+  static Result<CountingView> Build(const GProgram& program);
+
+  /// \brief Incrementally deletes base \p facts: the classic delta-join
+  /// count propagation. No rederivation pass is ever needed — but only
+  /// because recursion was ruled out up front.
+  Status DeleteFacts(const std::vector<GroundFact>& facts,
+                     CountingStats* stats = nullptr);
+
+  /// \brief Tuples with positive count.
+  const Database& db() const { return db_; }
+
+  /// \brief The derivation count of a tuple (0 when absent).
+  int64_t CountOf(const std::string& pred, const Tuple& t) const;
+
+ private:
+  explicit CountingView(const GProgram* program) : program_(program) {}
+
+  const GProgram* program_;
+  std::vector<std::string> topo_;  ///< IDB predicates in dependency order
+  Database db_;
+  std::unordered_map<std::string,
+                     std::unordered_map<Tuple, int64_t, TupleHash>>
+      counts_;
+};
+
+}  // namespace datalog
+}  // namespace mmv
+
+#endif  // MMV_DATALOG_COUNTING_H_

@@ -1,0 +1,80 @@
+#include "datalog/dred_ground.h"
+
+#include <chrono>
+
+namespace mmv {
+namespace datalog {
+
+void DeleteFactsDRed(const GProgram& program, Database* db,
+                     const std::vector<GroundFact>& facts,
+                     GroundDRedStats* stats) {
+  GroundDRedStats local;
+  if (!stats) stats = &local;
+  *stats = GroundDRedStats();
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+
+  // ---- Overdelete ------------------------------------------------------
+  Database over;   // everything possibly gone
+  Database layer;  // newest overdeleted layer
+  std::unordered_set<std::string> base_deleted_preds;
+  for (const GroundFact& f : facts) {
+    if (db->Contains(f.pred, f.args) && over.Insert(f.pred, f.args)) {
+      layer.Insert(f.pred, f.args);
+    }
+  }
+  while (layer.size() > 0) {
+    Database next;
+    for (const GRule& rule : program.rules()) {
+      for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+        MatchRule(rule, *db, &layer, static_cast<int>(pivot),
+                  [&](const Bindings& b) {
+                    stats->overdelete_derivations++;
+                    Tuple head = InstantiateHead(rule.head, b);
+                    if (db->Contains(rule.head.pred, head) &&
+                        !over.Contains(rule.head.pred, head)) {
+                      over.Insert(rule.head.pred, head);
+                      next.Insert(rule.head.pred, head);
+                    }
+                  });
+      }
+    }
+    layer = std::move(next);
+  }
+  // Apply the overdeletion.
+  for (const std::string& pred : over.Predicates()) {
+    for (const Tuple& t : over.Rel(pred)) db->Remove(pred, t);
+    stats->overdeleted += over.Rel(pred).size();
+  }
+  stats->overdelete_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // ---- Rederive ----------------------------------------------------------
+  t0 = Clock::now();
+  // The deleted base facts themselves must not come back as EDB; they may
+  // only reappear if some rule derives them.
+  Database candidates = over;
+  for (const GroundFact& f : facts) candidates.Remove(f.pred, f.args);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GRule& rule : program.rules()) {
+      MatchRule(rule, *db, nullptr, -1, [&](const Bindings& b) {
+        stats->rederive_derivations++;
+        Tuple head = InstantiateHead(rule.head, b);
+        if (candidates.Contains(rule.head.pred, head) &&
+            !db->Contains(rule.head.pred, head)) {
+          db->Insert(rule.head.pred, head);
+          stats->rederived++;
+          changed = true;
+        }
+      });
+    }
+  }
+  stats->rederive_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace datalog
+}  // namespace mmv

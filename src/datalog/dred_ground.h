@@ -1,0 +1,38 @@
+// The ground DRed algorithm of Gupta, Mumick & Subrahmanian (SIGMOD'93)
+// [22] — the baseline the paper's Section 3.1.1 extends to constraints.
+//
+// Overdelete: seed with the deleted base facts; transitively collect every
+// tuple with at least one derivation through a deleted tuple. Rederive:
+// tuples in the overdeleted set that still have an alternative derivation
+// from surviving tuples are put back, to fixpoint. The rederivation step is
+// the cost the paper's StDel eliminates.
+
+#ifndef MMV_DATALOG_DRED_GROUND_H_
+#define MMV_DATALOG_DRED_GROUND_H_
+
+#include "datalog/engine.h"
+
+namespace mmv {
+namespace datalog {
+
+/// \brief Phase counters of a ground DRed run.
+struct GroundDRedStats {
+  size_t overdeleted = 0;
+  size_t rederived = 0;
+  int64_t overdelete_derivations = 0;
+  int64_t rederive_derivations = 0;
+  double overdelete_ms = 0;
+  double rederive_ms = 0;
+};
+
+/// \brief Deletes \p facts (base tuples) from \p db, maintaining the
+/// materialized view of \p program incrementally. \p db must equal
+/// Evaluate(program). The facts are also removed from consideration as EDB.
+void DeleteFactsDRed(const GProgram& program, Database* db,
+                     const std::vector<GroundFact>& facts,
+                     GroundDRedStats* stats = nullptr);
+
+}  // namespace datalog
+}  // namespace mmv
+
+#endif  // MMV_DATALOG_DRED_GROUND_H_

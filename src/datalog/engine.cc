@@ -1,0 +1,154 @@
+#include "datalog/engine.h"
+
+#include <functional>
+
+namespace mmv {
+namespace datalog {
+
+bool Database::Insert(const std::string& pred, Tuple t) {
+  return rels_[pred].insert(std::move(t)).second;
+}
+
+bool Database::Remove(const std::string& pred, const Tuple& t) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) return false;
+  return it->second.erase(t) > 0;
+}
+
+bool Database::Contains(const std::string& pred, const Tuple& t) const {
+  auto it = rels_.find(pred);
+  return it != rels_.end() && it->second.count(t) > 0;
+}
+
+const std::unordered_set<Tuple, TupleHash>& Database::Rel(
+    const std::string& pred) const {
+  static const std::unordered_set<Tuple, TupleHash> kEmpty;
+  auto it = rels_.find(pred);
+  return it == rels_.end() ? kEmpty : it->second;
+}
+
+size_t Database::size() const {
+  size_t n = 0;
+  for (const auto& [_, rel] : rels_) n += rel.size();
+  return n;
+}
+
+std::vector<std::string> Database::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(rels_.size());
+  for (const auto& [p, _] : rels_) out.push_back(p);
+  return out;
+}
+
+bool MatchAtom(const GAtomPat& pat, const Tuple& tuple, Bindings* b) {
+  if (pat.args.size() != tuple.size()) return false;
+  // Collect tentative new bindings so a failed match leaves b untouched.
+  std::vector<std::pair<int, Value>> added;
+  for (size_t i = 0; i < pat.args.size(); ++i) {
+    const GTerm& t = pat.args[i];
+    if (!t.is_var) {
+      if (!(t.val == tuple[i])) {
+        for (auto& [v, _] : added) b->erase(v);
+        return false;
+      }
+      continue;
+    }
+    auto it = b->find(t.var);
+    if (it != b->end()) {
+      if (!(it->second == tuple[i])) {
+        for (auto& [v, _] : added) b->erase(v);
+        return false;
+      }
+    } else {
+      (*b)[t.var] = tuple[i];
+      added.emplace_back(t.var, tuple[i]);
+    }
+  }
+  return true;
+}
+
+Tuple InstantiateHead(const GAtomPat& head, const Bindings& b) {
+  Tuple out;
+  out.reserve(head.args.size());
+  for (const GTerm& t : head.args) {
+    if (t.is_var) {
+      out.push_back(b.at(t.var));
+    } else {
+      out.push_back(t.val);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void MatchFrom(const GRule& rule, const Database& db, const Database* delta,
+               int pivot, size_t pos, Bindings* b,
+               const std::function<void(const Bindings&)>& emit) {
+  if (pos == rule.body.size()) {
+    emit(*b);
+    return;
+  }
+  const GAtomPat& pat = rule.body[pos];
+  const auto& rel = (static_cast<int>(pos) == pivot && delta != nullptr)
+                        ? delta->Rel(pat.pred)
+                        : db.Rel(pat.pred);
+  for (const Tuple& t : rel) {
+    Bindings saved = *b;
+    if (MatchAtom(pat, t, b)) {
+      MatchFrom(rule, db, delta, pivot, pos + 1, b, emit);
+    }
+    *b = std::move(saved);
+  }
+}
+
+}  // namespace
+
+void MatchRule(const GRule& rule, const Database& db, const Database* delta,
+               int pivot, const std::function<void(const Bindings&)>& emit) {
+  Bindings b;
+  MatchFrom(rule, db, delta, pivot, 0, &b, emit);
+}
+
+Database Evaluate(const GProgram& program, EvalStats* stats) {
+  EvalStats local;
+  if (!stats) stats = &local;
+  *stats = EvalStats();
+  Database db;
+  Database delta;
+  for (const GroundFact& f : program.facts()) {
+    if (db.Insert(f.pred, f.args)) delta.Insert(f.pred, f.args);
+  }
+  while (delta.size() > 0) {
+    stats->rounds++;
+    Database next_delta;
+    for (const GRule& rule : program.rules()) {
+      for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+        // Seminaive: the pivot position reads the delta, earlier positions
+        // read (db \ delta) would be ideal; reading db for non-pivot
+        // positions re-derives some tuples, which Insert dedups. To avoid
+        // duplicate *enumeration* across pivots we only require the pivot
+        // to hit delta; correctness is unaffected.
+        MatchRule(rule, db, &delta, static_cast<int>(pivot),
+                  [&](const Bindings& b) {
+                    stats->derivations++;
+                    Tuple head = InstantiateHead(rule.head, b);
+                    if (!db.Contains(rule.head.pred, head)) {
+                      next_delta.Insert(rule.head.pred, head);
+                    }
+                  });
+      }
+    }
+    for (const std::string& pred : next_delta.Predicates()) {
+      for (const Tuple& t : next_delta.Rel(pred)) {
+        db.Insert(pred, t);
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  stats->tuples = static_cast<int64_t>(db.size());
+  return db;
+}
+
+}  // namespace datalog
+}  // namespace mmv

@@ -1,0 +1,67 @@
+// Seminaive bottom-up evaluation of ground Datalog.
+
+#ifndef MMV_DATALOG_ENGINE_H_
+#define MMV_DATALOG_ENGINE_H_
+
+#include <functional>
+
+#include "datalog/program.h"
+
+namespace mmv {
+namespace datalog {
+
+/// \brief Relations: predicate -> set of tuples.
+class Database {
+ public:
+  /// \brief Inserts; returns true if the tuple was new.
+  bool Insert(const std::string& pred, Tuple t);
+
+  /// \brief Removes; returns true if present.
+  bool Remove(const std::string& pred, const Tuple& t);
+
+  bool Contains(const std::string& pred, const Tuple& t) const;
+
+  const std::unordered_set<Tuple, TupleHash>& Rel(
+      const std::string& pred) const;
+
+  /// \brief Total tuples across all relations.
+  size_t size() const;
+
+  std::vector<std::string> Predicates() const;
+
+  bool operator==(const Database& other) const { return rels_ == other.rels_; }
+
+ private:
+  std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>> rels_;
+};
+
+/// \brief Evaluation counters.
+struct EvalStats {
+  int64_t rounds = 0;
+  int64_t derivations = 0;
+  int64_t tuples = 0;
+};
+
+/// \brief Seminaive least-fixpoint evaluation (facts + rules to closure).
+Database Evaluate(const GProgram& program, EvalStats* stats = nullptr);
+
+/// \brief Binding environment during rule matching: variable id -> value.
+using Bindings = std::unordered_map<int, Value>;
+
+/// \brief Matches \p pat against \p tuple, extending \p b; false on clash.
+bool MatchAtom(const GAtomPat& pat, const Tuple& tuple, Bindings* b);
+
+/// \brief Instantiates a head pattern under complete bindings.
+Tuple InstantiateHead(const GAtomPat& head, const Bindings& b);
+
+/// \brief Enumerates all body matches of \p rule against \p db with the
+/// body position \p pivot restricted to tuples of \p delta (the seminaive
+/// delta trick); pass pivot = -1 to match against db alone. Calls \p emit
+/// for every complete binding.
+void MatchRule(const GRule& rule, const Database& db, const Database* delta,
+               int pivot, const std::function<void(const Bindings&)>& emit);
+
+}  // namespace datalog
+}  // namespace mmv
+
+#endif  // MMV_DATALOG_ENGINE_H_

@@ -1,0 +1,65 @@
+#include "datalog/program.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace mmv {
+namespace datalog {
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t h = 0x747570;
+  for (const Value& v : t) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string GroundFact::ToString() const {
+  std::ostringstream os;
+  os << pred << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    os << args[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+bool GProgram::IsRecursive() const {
+  return !Stratify().ok();
+}
+
+Result<std::vector<std::string>> GProgram::Stratify() const {
+  std::set<std::string> idb;
+  for (const GRule& r : rules_) idb.insert(r.head.pred);
+  std::unordered_map<std::string, std::set<std::string>> deps;
+  for (const GRule& r : rules_) {
+    for (const GAtomPat& a : r.body) {
+      if (idb.count(a.pred)) deps[r.head.pred].insert(a.pred);
+    }
+  }
+  std::vector<std::string> order;
+  std::unordered_map<std::string, int> color;  // 0 white 1 gray 2 black
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& p) -> bool {
+    color[p] = 1;
+    for (const std::string& q : deps[p]) {
+      if (color[q] == 1) return false;  // cycle
+      if (color[q] == 0 && !dfs(q)) return false;
+    }
+    color[p] = 2;
+    order.push_back(p);
+    return true;
+  };
+  for (const std::string& p : idb) {
+    if (color[p] == 0 && !dfs(p)) {
+      return Status::InvalidArgument("program is recursive: cycle through " +
+                                     p);
+    }
+  }
+  return order;
+}
+
+}  // namespace datalog
+}  // namespace mmv

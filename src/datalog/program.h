@@ -1,0 +1,94 @@
+// Ground Datalog substrate: the setting of the baselines the paper improves
+// on — the DRed algorithm of Gupta, Mumick & Subrahmanian [22] and the
+// counting algorithm of Gupta, Katiyar & Mumick [21]. Views here are sets of
+// fully ground tuples (the assumption the paper removes).
+
+#ifndef MMV_DATALOG_PROGRAM_H_
+#define MMV_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace mmv {
+namespace datalog {
+
+/// \brief A ground tuple.
+using Tuple = std::vector<Value>;
+
+/// \brief Hash functor for tuples.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+/// \brief A term of a rule: variable (id >= 0) or constant.
+struct GTerm {
+  bool is_var = false;
+  int var = -1;
+  Value val;
+
+  static GTerm Var(int v) {
+    GTerm t;
+    t.is_var = true;
+    t.var = v;
+    return t;
+  }
+  static GTerm Const(Value v) {
+    GTerm t;
+    t.val = std::move(v);
+    return t;
+  }
+};
+
+/// \brief An atom pattern pred(t1, ..., tk).
+struct GAtomPat {
+  std::string pred;
+  std::vector<GTerm> args;
+};
+
+/// \brief A Datalog rule head :- body.
+struct GRule {
+  GAtomPat head;
+  std::vector<GAtomPat> body;
+};
+
+/// \brief A ground fact pred(values).
+struct GroundFact {
+  std::string pred;
+  Tuple args;
+
+  bool operator==(const GroundFact& other) const {
+    return pred == other.pred && args == other.args;
+  }
+  std::string ToString() const;
+};
+
+/// \brief A Datalog program: base facts (EDB) plus rules (IDB).
+class GProgram {
+ public:
+  void AddFact(GroundFact fact) { facts_.push_back(std::move(fact)); }
+  void AddRule(GRule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<GroundFact>& facts() const { return facts_; }
+  const std::vector<GRule>& rules() const { return rules_; }
+
+  /// \brief True iff the IDB dependency graph has a cycle.
+  bool IsRecursive() const;
+
+  /// \brief IDB predicates in a topological order of dependencies;
+  /// fails when the program is recursive.
+  Result<std::vector<std::string>> Stratify() const;
+
+ private:
+  std::vector<GroundFact> facts_;
+  std::vector<GRule> rules_;
+};
+
+}  // namespace datalog
+}  // namespace mmv
+
+#endif  // MMV_DATALOG_PROGRAM_H_

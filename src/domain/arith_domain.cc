@@ -1,0 +1,113 @@
+#include "domain/arith_domain.h"
+
+#include <cmath>
+
+namespace mmv {
+namespace dom {
+
+namespace {
+
+Status ArityError(const std::string& fn, size_t want, size_t got) {
+  return Status::InvalidArgument("arith:" + fn + " expects " +
+                                 std::to_string(want) + " args, got " +
+                                 std::to_string(got));
+}
+
+Status NumError(const std::string& fn) {
+  return Status::TypeError("arith:" + fn + " requires numeric arguments");
+}
+
+class ArithDomain : public Domain {
+ public:
+  ArithDomain() : Domain("arith") {}
+
+  Result<DcaResult> Call(const std::string& fn,
+                         const std::vector<Value>& args) override {
+    auto need = [&](size_t n) -> Status {
+      if (args.size() != n) return ArityError(fn, n, args.size());
+      for (const Value& v : args) {
+        if (!v.is_numeric()) return NumError(fn);
+      }
+      return Status::OK();
+    };
+
+    if (fn == "greater" || fn == "greater_eq" || fn == "less" ||
+        fn == "less_eq") {
+      MMV_RETURN_NOT_OK(need(1));
+      Interval i;
+      i.integral = true;
+      double x = args[0].numeric();
+      if (fn == "greater") {
+        i.lo = x;
+        i.lo_strict = true;
+      } else if (fn == "greater_eq") {
+        i.lo = x;
+      } else if (fn == "less") {
+        i.hi = x;
+        i.hi_strict = true;
+      } else {
+        i.hi = x;
+      }
+      return DcaResult::Of(i);
+    }
+    if (fn == "between" || fn == "real_between") {
+      MMV_RETURN_NOT_OK(need(2));
+      Interval i;
+      i.integral = (fn == "between");
+      i.lo = args[0].numeric();
+      i.hi = args[1].numeric();
+      return DcaResult::Of(i);
+    }
+    if (fn == "plus" || fn == "minus" || fn == "times" || fn == "min" ||
+        fn == "max") {
+      MMV_RETURN_NOT_OK(need(2));
+      double a = args[0].numeric(), b = args[1].numeric();
+      double r = 0;
+      if (fn == "plus") r = a + b;
+      if (fn == "minus") r = a - b;
+      if (fn == "times") r = a * b;
+      if (fn == "min") r = std::min(a, b);
+      if (fn == "max") r = std::max(a, b);
+      return Singleton(r, args[0].is_int() && args[1].is_int());
+    }
+    if (fn == "div") {
+      MMV_RETURN_NOT_OK(need(2));
+      if (args[1].numeric() == 0) return DcaResult::Finite({});
+      return Singleton(args[0].numeric() / args[1].numeric(), false);
+    }
+    if (fn == "mod") {
+      MMV_RETURN_NOT_OK(need(2));
+      if (!args[0].is_int() || !args[1].is_int()) return NumError(fn);
+      if (args[1].as_int() == 0) return DcaResult::Finite({});
+      return DcaResult::Finite({Value(args[0].as_int() % args[1].as_int())});
+    }
+    if (fn == "abs") {
+      MMV_RETURN_NOT_OK(need(1));
+      return Singleton(std::fabs(args[0].numeric()), args[0].is_int());
+    }
+    return Status::NotFound("arith has no function " + fn);
+  }
+
+  std::vector<std::string> Functions() const override {
+    return {"greater", "greater_eq", "less", "less_eq", "between",
+            "real_between", "plus", "minus", "times", "div",
+            "mod", "abs", "min", "max"};
+  }
+
+ private:
+  static Result<DcaResult> Singleton(double v, bool integral) {
+    if (integral && v == std::floor(v)) {
+      return DcaResult::Finite({Value(static_cast<int64_t>(v))});
+    }
+    return DcaResult::Finite({Value(v)});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Domain> MakeArithDomain() {
+  return std::make_unique<ArithDomain>();
+}
+
+}  // namespace dom
+}  // namespace mmv

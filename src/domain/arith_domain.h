@@ -1,0 +1,39 @@
+// The `arith` constraint domain (paper Example 2, Kanellakis-style
+// constrained databases).
+//
+// Functions returning infinite sets (greater, less, ...) yield *symbolic
+// interval* results instead of enumerations, matching the paper's remark
+// that "the entire — infinite — set need not be computed all at once".
+
+#ifndef MMV_DOMAIN_ARITH_DOMAIN_H_
+#define MMV_DOMAIN_ARITH_DOMAIN_H_
+
+#include <memory>
+
+#include "domain/domain.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Creates the stateless `arith` domain.
+///
+/// Functions:
+///   greater(x)      -> integers strictly greater than x (interval)
+///   greater_eq(x)   -> integers >= x (interval)
+///   less(x)         -> integers strictly less than x (interval)
+///   less_eq(x)      -> integers <= x (interval)
+///   between(a, b)   -> integers in [a, b] (interval)
+///   real_between(a, b) -> reals in [a, b] (interval)
+///   plus(x, y)      -> { x + y }
+///   minus(x, y)     -> { x - y }
+///   times(x, y)     -> { x * y }
+///   div(x, y)       -> { x / y } ({} when y == 0)
+///   mod(x, y)       -> { x mod y } ({} when y == 0; integer args)
+///   abs(x)          -> { |x| }
+///   min(x, y) / max(x, y) -> singleton
+std::unique_ptr<Domain> MakeArithDomain();
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_ARITH_DOMAIN_H_

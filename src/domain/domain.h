@@ -1,0 +1,134 @@
+// Domains (paper Section 2.1): named collections of functions over data
+// objects. A domain call d:f(args) denotes a set of values; the DCA-atom
+// in(X, d:f(args)) constrains X to that set.
+//
+// Domains are *time-versioned*: CallAt(f, args, t) returns the behaviour
+// f_t of Section 4, and DomainManager::Delta computes f+ / f- (eqs. 6, 7).
+
+#ifndef MMV_DOMAIN_DOMAIN_H_
+#define MMV_DOMAIN_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/solver.h"
+#include "relational/catalog.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Abstract external source exposing set-valued functions.
+class Domain {
+ public:
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+  virtual ~Domain() = default;
+
+  /// \brief Domain name used in DCA-atoms (e.g. "arith", "rel").
+  const std::string& name() const { return name_; }
+
+  /// \brief Evaluates \p function on ground \p args at the current state.
+  virtual Result<DcaResult> Call(const std::string& function,
+                                 const std::vector<Value>& args) = 0;
+
+  /// \brief Evaluates at historical tick \p tick (the paper's f_t).
+  /// Stateless domains ignore the tick.
+  virtual Result<DcaResult> CallAt(const std::string& function,
+                                   const std::vector<Value>& args,
+                                   int64_t tick) {
+    (void)tick;
+    return Call(function, args);
+  }
+
+  /// \brief Names of the functions this domain implements.
+  virtual std::vector<std::string> Functions() const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// \brief f+ / f- of one ground call between two ticks (paper eqs. 6, 7).
+struct FunctionDelta {
+  std::vector<Value> added;    ///< f+ : in f_{t1} but not f_{t0}
+  std::vector<Value> removed;  ///< f- : in f_{t0} but not f_{t1}
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+/// \brief Owns all registered domains and routes DCA evaluation to them.
+///
+/// Implements DcaEvaluator so a Solver can be pointed directly at it.
+/// Evaluation happens at the shared clock's current tick unless a time is
+/// pinned (used to reproduce "the view materialized at time t").
+class DomainManager : public DcaEvaluator {
+ public:
+  explicit DomainManager(rel::Clock* clock) : clock_(clock) {}
+
+  /// \brief Registers \p domain; AlreadyExists on name clash.
+  Status Register(std::unique_ptr<Domain> domain);
+
+  /// \brief Looks up a domain by name.
+  Result<Domain*> Get(const std::string& name);
+
+  /// \brief DcaEvaluator hook: evaluates at EffectiveTime().
+  Result<DcaResult> Evaluate(const std::string& domain,
+                             const std::string& function,
+                             const std::vector<Value>& args) override;
+
+  /// \brief Evaluates at an explicit tick.
+  Result<DcaResult> EvaluateAt(const std::string& domain,
+                               const std::string& function,
+                               const std::vector<Value>& args, int64_t tick);
+
+  /// \brief Pins all Evaluate() calls to \p tick; pass -1 to unpin.
+  void PinTime(int64_t tick) { pinned_ = tick; }
+
+  /// \brief The tick Evaluate() uses: pinned time, or the clock's now.
+  int64_t EffectiveTime() const {
+    return pinned_ >= 0 ? pinned_ : clock_->now();
+  }
+
+  /// \brief f+ / f- of a ground call between \p t0 and \p t1. Fails for
+  /// calls whose results are not finite sets (e.g. symbolic intervals).
+  Result<FunctionDelta> Delta(const std::string& domain,
+                              const std::string& function,
+                              const std::vector<Value>& args, int64_t t0,
+                              int64_t t1);
+
+  rel::Clock* clock() { return clock_; }
+
+  /// \brief Total number of domain calls evaluated (for benchmarks).
+  int64_t call_count() const { return call_count_; }
+  void ResetCallCount() { call_count_ = 0; }
+
+  /// \brief Enables memoization of *historical* evaluations (tick strictly
+  /// before the clock's now — those snapshots are immutable, so the cache
+  /// never goes stale; current-tick calls are always evaluated live).
+  ///
+  /// This realizes the paper's Section 5 remark that materializing the
+  /// external function calls (Kemper/Kilger/Moerkotte-style function
+  /// materialization) complements the view-level machinery.
+  void EnableCallCache(bool enabled) {
+    cache_enabled_ = enabled;
+    if (!enabled) call_cache_.clear();
+  }
+
+  /// \brief Number of cache hits served (for benchmarks).
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  rel::Clock* clock_;
+  std::unordered_map<std::string, std::unique_ptr<Domain>> domains_;
+  int64_t pinned_ = -1;
+  int64_t call_count_ = 0;
+  bool cache_enabled_ = false;
+  int64_t cache_hits_ = 0;
+  std::unordered_map<std::string, DcaResult> call_cache_;
+};
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_DOMAIN_H_

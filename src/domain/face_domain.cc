@@ -1,0 +1,145 @@
+#include "domain/face_domain.h"
+
+namespace mmv {
+namespace dom {
+
+namespace {
+
+std::string SurveillanceFile(const std::string& photo_id, int64_t face_id) {
+  return "sv_" + photo_id + "_" + std::to_string(face_id) + ".img";
+}
+
+std::string LibraryFile(int64_t face_id) {
+  return "db_" + std::to_string(face_id) + ".img";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FaceDomain>> FaceDomain::Create(std::string name,
+                                                       rel::Catalog* catalog) {
+  std::unique_ptr<FaceDomain> d(new FaceDomain(std::move(name), catalog));
+  MMV_RETURN_NOT_OK(catalog
+                        ->CreateTable(rel::Schema{
+                            d->SurveillanceTable(),
+                            {"dataset", "photo_id", "face_id", "file"}})
+                        .status());
+  MMV_RETURN_NOT_OK(catalog
+                        ->CreateTable(rel::Schema{
+                            d->MugshotTable(), {"person", "face_id", "file"}})
+                        .status());
+  return d;
+}
+
+Result<std::string> FaceDomain::AddSurveillanceFace(
+    const std::string& dataset, const std::string& photo_id,
+    int64_t face_id) {
+  std::string file = SurveillanceFile(photo_id, face_id);
+  MMV_RETURN_NOT_OK(catalog_->Insert(
+      SurveillanceTable(),
+      {Value(dataset), Value(photo_id), Value(face_id), Value(file)}));
+  return file;
+}
+
+Status FaceDomain::RemoveSurveillanceFace(const std::string& dataset,
+                                          const std::string& photo_id,
+                                          int64_t face_id) {
+  return catalog_->Delete(
+      SurveillanceTable(),
+      {Value(dataset), Value(photo_id), Value(face_id),
+       Value(SurveillanceFile(photo_id, face_id))});
+}
+
+Result<std::string> FaceDomain::AddPerson(const std::string& person_name,
+                                          int64_t face_id) {
+  std::string file = LibraryFile(face_id);
+  MMV_RETURN_NOT_OK(catalog_->Insert(
+      MugshotTable(), {Value(person_name), Value(face_id), Value(file)}));
+  return file;
+}
+
+Result<int64_t> FaceDomain::FaceIdOf(const std::string& file,
+                                     int64_t tick) const {
+  MMV_ASSIGN_OR_RETURN(const rel::Table* sv,
+                       static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                           SurveillanceTable()));
+  for (const rel::Row& r : sv->RowsAt(tick)) {
+    if (r[3].is_string() && r[3].as_string() == file) return r[2].as_int();
+  }
+  MMV_ASSIGN_OR_RETURN(const rel::Table* mg,
+                       static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                           MugshotTable()));
+  for (const rel::Row& r : mg->RowsAt(tick)) {
+    if (r[2].is_string() && r[2].as_string() == file) return r[1].as_int();
+  }
+  return Status::NotFound("unknown face file " + file);
+}
+
+Result<DcaResult> FaceDomain::Call(const std::string& fn,
+                                   const std::vector<Value>& args) {
+  return CallAt(fn, args, catalog_->clock().now());
+}
+
+Result<DcaResult> FaceDomain::CallAt(const std::string& fn,
+                                     const std::vector<Value>& args,
+                                     int64_t tick) {
+  if (fn == "segmentface") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":segmentface(dataset)");
+    }
+    MMV_ASSIGN_OR_RETURN(const rel::Table* sv,
+                         static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                             SurveillanceTable()));
+    std::vector<Value> out;
+    for (const rel::Row& r : sv->RowsAt(tick)) {
+      if (r[0] == args[0]) {
+        // [result_file, origin_photo] — the pair shape of the paper.
+        out.push_back(Value(ValueList{r[3], r[1]}));
+      }
+    }
+    return DcaResult::Finite(std::move(out));
+  }
+  if (fn == "matchface") {
+    if (args.size() != 2 || !args[0].is_string() || !args[1].is_string()) {
+      return Status::InvalidArgument(name() + ":matchface(file1, file2)");
+    }
+    Result<int64_t> a = FaceIdOf(args[0].as_string(), tick);
+    Result<int64_t> b = FaceIdOf(args[1].as_string(), tick);
+    if (!a.ok() || !b.ok()) return DcaResult::Finite({});
+    if (*a == *b) return DcaResult::Finite({Value(true)});
+    return DcaResult::Finite({});
+  }
+  if (fn == "findface") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":findface(person)");
+    }
+    MMV_ASSIGN_OR_RETURN(const rel::Table* mg,
+                         static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                             MugshotTable()));
+    std::vector<Value> out;
+    for (const rel::Row& r : mg->RowsAt(tick)) {
+      if (r[0] == args[0]) out.push_back(r[2]);
+    }
+    return DcaResult::Finite(std::move(out));
+  }
+  if (fn == "findname") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":findname(face_file)");
+    }
+    // Resolve the face behind the file (surveillance or library), then
+    // report every person registered with that face.
+    Result<int64_t> fid = FaceIdOf(args[0].as_string(), tick);
+    if (!fid.ok()) return DcaResult::Finite({});
+    MMV_ASSIGN_OR_RETURN(const rel::Table* mg,
+                         static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                             MugshotTable()));
+    std::vector<Value> out;
+    for (const rel::Row& r : mg->RowsAt(tick)) {
+      if (r[1].is_int() && r[1].as_int() == *fid) out.push_back(r[0]);
+    }
+    return DcaResult::Finite(std::move(out));
+  }
+  return Status::NotFound(name() + " has no function " + fn);
+}
+
+}  // namespace dom
+}  // namespace mmv

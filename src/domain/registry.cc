@@ -1,0 +1,40 @@
+#include "domain/registry.h"
+
+#include "domain/arith_domain.h"
+#include "domain/rel_domain.h"
+
+namespace mmv {
+namespace dom {
+
+Result<StandardDomains> RegisterStandardDomains(DomainManager* manager,
+                                                rel::Catalog* catalog) {
+  StandardDomains handles;
+
+  MMV_RETURN_NOT_OK(manager->Register(MakeArithDomain()));
+  MMV_RETURN_NOT_OK(manager->Register(MakeTupleDomain()));
+  MMV_RETURN_NOT_OK(manager->Register(MakeRelationalDomain("rel", catalog)));
+  // Second relational alias so mediators can address two "different" DBMSs,
+  // mirroring the paper's PARADOX vs DBASE split.
+  MMV_RETURN_NOT_OK(
+      manager->Register(MakeRelationalDomain("paradox", catalog)));
+  MMV_RETURN_NOT_OK(manager->Register(MakeRelationalDomain("dbase", catalog)));
+
+  std::unique_ptr<SpatialDomain> spatial = MakeSpatialDomain();
+  handles.spatial = spatial.get();
+  MMV_RETURN_NOT_OK(manager->Register(std::move(spatial)));
+
+  MMV_ASSIGN_OR_RETURN(std::unique_ptr<FaceDomain> faces,
+                       FaceDomain::Create("faces", catalog));
+  handles.facextract = faces.get();
+  MMV_RETURN_NOT_OK(manager->Register(std::move(faces)));
+
+  MMV_ASSIGN_OR_RETURN(std::unique_ptr<TextDomain> text,
+                       TextDomain::Create("text", catalog));
+  handles.text = text.get();
+  MMV_RETURN_NOT_OK(manager->Register(std::move(text)));
+
+  return handles;
+}
+
+}  // namespace dom
+}  // namespace mmv

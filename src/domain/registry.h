@@ -1,0 +1,36 @@
+// One-call registration of the standard domain suite.
+
+#ifndef MMV_DOMAIN_REGISTRY_H_
+#define MMV_DOMAIN_REGISTRY_H_
+
+#include "domain/domain.h"
+#include "domain/face_domain.h"
+#include "domain/spatial_domain.h"
+#include "domain/text_domain.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Handles to the stateful domains created by RegisterStandardDomains
+/// (the stateless ones need no handle).
+struct StandardDomains {
+  SpatialDomain* spatial = nullptr;
+  FaceDomain* facextract = nullptr;  // also registered under "facedb"? no:
+                                     // one FaceDomain serves both fn groups
+  TextDomain* text = nullptr;
+};
+
+/// \brief Registers arith, tuple, rel (wrapping \p catalog), spatial,
+/// facextract (with facedb functions) and text domains into \p manager.
+///
+/// The face domain is registered once under the name "faces" implementing
+/// all four functions (segmentface/matchface/findface/findname), which the
+/// law-enforcement mediator addresses as faces:... — the paper's split into
+/// facextract/facedb is a naming convention, not a semantic one.
+Result<StandardDomains> RegisterStandardDomains(DomainManager* manager,
+                                                rel::Catalog* catalog);
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_REGISTRY_H_

@@ -1,0 +1,185 @@
+#include "domain/rel_domain.h"
+
+#include <algorithm>
+
+namespace mmv {
+namespace dom {
+
+namespace {
+
+class RelationalDomain : public Domain {
+ public:
+  RelationalDomain(std::string name, rel::Catalog* catalog)
+      : Domain(std::move(name)), catalog_(catalog) {}
+
+  Result<DcaResult> Call(const std::string& fn,
+                         const std::vector<Value>& args) override {
+    return CallAt(fn, args, catalog_->clock().now());
+  }
+
+  Result<DcaResult> CallAt(const std::string& fn,
+                           const std::vector<Value>& args,
+                           int64_t tick) override {
+    if (fn == "field") {
+      return Field(args);
+    }
+    if (args.empty() || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":" + fn +
+                                     " expects a table name first argument");
+    }
+    MMV_ASSIGN_OR_RETURN(const rel::Table* table,
+                         static_cast<const rel::Catalog*>(catalog_)->GetTable(
+                             args[0].as_string()));
+
+    // As-of snapshot: when tick is the current clock we use the live table
+    // (indexed); otherwise we replay the log.
+    const bool current = (tick >= catalog_->clock().now());
+
+    if (fn == "select_eq") {
+      if (args.size() != 3 || !args[1].is_string()) {
+        return Status::InvalidArgument(
+            name() + ":select_eq(table, column, value)");
+      }
+      if (current) {
+        MMV_ASSIGN_OR_RETURN(std::vector<rel::Row> rows,
+                             table->SelectEq(args[1].as_string(), args[2]));
+        return RowsResult(rows);
+      }
+      return FilteredSnapshot(table, tick, args[1].as_string(),
+                              [&](const Value& v) { return v == args[2]; });
+    }
+    if (fn == "select_range") {
+      if (args.size() != 4 || !args[1].is_string() || !args[2].is_numeric() ||
+          !args[3].is_numeric()) {
+        return Status::InvalidArgument(
+            name() + ":select_range(table, column, lo, hi)");
+      }
+      double lo = args[2].numeric(), hi = args[3].numeric();
+      if (current) {
+        MMV_ASSIGN_OR_RETURN(
+            std::vector<rel::Row> rows,
+            table->SelectRange(args[1].as_string(), lo, hi));
+        return RowsResult(rows);
+      }
+      return FilteredSnapshot(table, tick, args[1].as_string(),
+                              [&](const Value& v) {
+                                return v.is_numeric() && v.numeric() >= lo &&
+                                       v.numeric() <= hi;
+                              });
+    }
+    if (fn == "scan") {
+      std::vector<rel::Row> rows =
+          current ? table->Scan() : table->RowsAt(tick);
+      return RowsResult(rows);
+    }
+    if (fn == "project") {
+      if (args.size() != 2 || !args[1].is_string()) {
+        return Status::InvalidArgument(name() + ":project(table, column)");
+      }
+      int col = table->schema().ColumnIndex(args[1].as_string());
+      if (col < 0) {
+        return Status::NotFound("no column " + args[1].as_string());
+      }
+      std::vector<rel::Row> rows =
+          current ? table->Scan() : table->RowsAt(tick);
+      std::vector<Value> out;
+      out.reserve(rows.size());
+      for (const rel::Row& r : rows) out.push_back(r[static_cast<size_t>(col)]);
+      // Deduplicate (set semantics for projections).
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return DcaResult::Finite(std::move(out));
+    }
+    if (fn == "count") {
+      std::vector<rel::Row> rows =
+          current ? table->Scan() : table->RowsAt(tick);
+      return DcaResult::Finite({Value(static_cast<int64_t>(rows.size()))});
+    }
+    return Status::NotFound(name() + " has no function " + fn);
+  }
+
+  std::vector<std::string> Functions() const override {
+    return {"select_eq", "select_range", "scan", "project", "field", "count"};
+  }
+
+ private:
+  static Result<DcaResult> Field(const std::vector<Value>& args) {
+    if (args.size() != 2 || !args[0].is_list() || !args[1].is_int()) {
+      return Status::InvalidArgument("field(tuple, index)");
+    }
+    int64_t i = args[1].as_int();
+    const ValueList& l = args[0].as_list();
+    if (i < 0 || static_cast<size_t>(i) >= l.size()) {
+      return DcaResult::Finite({});
+    }
+    return DcaResult::Finite({l[static_cast<size_t>(i)]});
+  }
+
+  template <typename Pred>
+  Result<DcaResult> FilteredSnapshot(const rel::Table* table, int64_t tick,
+                                     const std::string& column, Pred pred) {
+    int col = table->schema().ColumnIndex(column);
+    if (col < 0) return Status::NotFound("no column " + column);
+    std::vector<rel::Row> rows = table->RowsAt(tick);
+    std::vector<rel::Row> out;
+    for (rel::Row& r : rows) {
+      if (pred(r[static_cast<size_t>(col)])) out.push_back(std::move(r));
+    }
+    return RowsResult(out);
+  }
+
+  static Result<DcaResult> RowsResult(const std::vector<rel::Row>& rows) {
+    std::vector<Value> out;
+    out.reserve(rows.size());
+    for (const rel::Row& r : rows) out.push_back(rel::RowToValue(r));
+    return DcaResult::Finite(std::move(out));
+  }
+
+  rel::Catalog* catalog_;
+};
+
+class TupleDomain : public Domain {
+ public:
+  TupleDomain() : Domain("tuple") {}
+
+  Result<DcaResult> Call(const std::string& fn,
+                         const std::vector<Value>& args) override {
+    if (fn == "get") {
+      if (args.size() != 2 || !args[0].is_list() || !args[1].is_int()) {
+        return Status::InvalidArgument("tuple:get(tuple, index)");
+      }
+      int64_t i = args[1].as_int();
+      const ValueList& l = args[0].as_list();
+      if (i < 0 || static_cast<size_t>(i) >= l.size()) {
+        return DcaResult::Finite({});
+      }
+      return DcaResult::Finite({l[static_cast<size_t>(i)]});
+    }
+    if (fn == "size") {
+      if (args.size() != 1 || !args[0].is_list()) {
+        return Status::InvalidArgument("tuple:size(tuple)");
+      }
+      return DcaResult::Finite(
+          {Value(static_cast<int64_t>(args[0].as_list().size()))});
+    }
+    return Status::NotFound("tuple has no function " + fn);
+  }
+
+  std::vector<std::string> Functions() const override {
+    return {"get", "size"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Domain> MakeRelationalDomain(std::string name,
+                                             rel::Catalog* catalog) {
+  return std::make_unique<RelationalDomain>(std::move(name), catalog);
+}
+
+std::unique_ptr<Domain> MakeTupleDomain() {
+  return std::make_unique<TupleDomain>();
+}
+
+}  // namespace dom
+}  // namespace mmv

@@ -1,0 +1,37 @@
+// The `rel` domain: exposes catalog tables as set-valued domain functions,
+// playing the role of the PARADOX / DBASE / INGRES systems in HERMES.
+
+#ifndef MMV_DOMAIN_REL_DOMAIN_H_
+#define MMV_DOMAIN_REL_DOMAIN_H_
+
+#include <memory>
+
+#include "domain/domain.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Creates a relational domain named \p name over \p catalog.
+///
+/// Several instances with different names may wrap the same catalog, so a
+/// mediator can address `paradox:` and `dbase:` separately as in the paper.
+///
+/// Functions (all time-versioned through the catalog's mutation logs):
+///   select_eq(table, column, value)       -> matching rows (as tuples)
+///   select_range(table, column, lo, hi)   -> rows with lo <= col <= hi
+///   scan(table)                           -> all rows
+///   project(table, column)                -> column values
+///   field(tuple, index)                   -> { tuple[index] }
+///   count(table)                          -> { row count }
+std::unique_ptr<Domain> MakeRelationalDomain(std::string name,
+                                             rel::Catalog* catalog);
+
+/// \brief Creates the stateless `tuple` domain:
+///   get(tuple, index) -> { tuple[index] }
+///   size(tuple)       -> { length }
+std::unique_ptr<Domain> MakeTupleDomain();
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_REL_DOMAIN_H_

@@ -1,0 +1,88 @@
+#include "domain/spatial_domain.h"
+
+#include <cmath>
+#include <functional>
+
+namespace mmv {
+namespace dom {
+
+void SpatialDomain::AddMap(const std::string& name, double cx, double cy) {
+  maps_[name] = Point{cx, cy};
+}
+
+void SpatialDomain::AddAddress(const std::string& key, double x, double y) {
+  addresses_[key] = Point{x, y};
+}
+
+std::string SpatialDomain::AddressKey(const std::vector<Value>& args) {
+  std::string key;
+  for (const Value& v : args) {
+    key += v.ToString();
+    key += '|';
+  }
+  return key;
+}
+
+std::pair<double, double> SpatialDomain::SyntheticGeocode(
+    const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  double x = static_cast<double>(h % 1000003ULL) / 1000003.0 * 1000.0;
+  double y = static_cast<double>((h / 1000003ULL) % 1000003ULL) / 1000003.0 *
+             1000.0;
+  return {x, y};
+}
+
+Result<DcaResult> SpatialDomain::Call(const std::string& fn,
+                                      const std::vector<Value>& args) {
+  if (fn == "locateaddress") {
+    if (args.empty()) {
+      return Status::InvalidArgument("spatial:locateaddress needs >=1 arg");
+    }
+    std::string key = AddressKey(args);
+    double x, y;
+    auto it = addresses_.find(key);
+    if (it != addresses_.end()) {
+      x = it->second.x;
+      y = it->second.y;
+    } else {
+      std::tie(x, y) = SyntheticGeocode(key);
+    }
+    return DcaResult::Finite({Value(ValueList{Value(x), Value(y)})});
+  }
+  if (fn == "range") {
+    if (args.size() != 4 || !args[0].is_string() || !args[1].is_numeric() ||
+        !args[2].is_numeric() || !args[3].is_numeric()) {
+      return Status::InvalidArgument("spatial:range(map, x, y, radius)");
+    }
+    auto it = maps_.find(args[0].as_string());
+    if (it == maps_.end()) {
+      return Status::NotFound("no map named " + args[0].as_string());
+    }
+    double dx = args[1].numeric() - it->second.x;
+    double dy = args[2].numeric() - it->second.y;
+    double r = args[3].numeric();
+    if (dx * dx + dy * dy <= r * r) {
+      return DcaResult::Finite({Value(true)});
+    }
+    return DcaResult::Finite({});
+  }
+  if (fn == "distance") {
+    if (args.size() != 4 || !args[0].is_numeric() || !args[1].is_numeric() ||
+        !args[2].is_numeric() || !args[3].is_numeric()) {
+      return Status::InvalidArgument("spatial:distance(x1, y1, x2, y2)");
+    }
+    double dx = args[0].numeric() - args[2].numeric();
+    double dy = args[1].numeric() - args[3].numeric();
+    return DcaResult::Finite({Value(std::sqrt(dx * dx + dy * dy))});
+  }
+  return Status::NotFound("spatial has no function " + fn);
+}
+
+std::unique_ptr<SpatialDomain> MakeSpatialDomain() {
+  auto d = std::make_unique<SpatialDomain>();
+  d->AddMap("dcareamap", 500.0, 500.0);
+  return d;
+}
+
+}  // namespace dom
+}  // namespace mmv

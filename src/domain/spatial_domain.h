@@ -1,0 +1,66 @@
+// The `spatial` domain: synthetic geocoder + range predicate standing in for
+// the spatial data management package of the law-enforcement example
+// (clause (2): locateaddress / range).
+
+#ifndef MMV_DOMAIN_SPATIAL_DOMAIN_H_
+#define MMV_DOMAIN_SPATIAL_DOMAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "domain/domain.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Synthetic spatial reasoning domain.
+///
+/// Functions:
+///   locateaddress(streetnum, streetname, cityname, statename, zipcode)
+///       -> { [x, y] }   deterministic synthetic geocoding
+///   range(mapname, x, y, radius)
+///       -> { true } if (x,y) lies within radius of the named map's center,
+///          {} otherwise — the boolean-DCA idiom in(true, spatial:range(...))
+///   distance(x1, y1, x2, y2) -> { euclidean distance }
+class SpatialDomain : public Domain {
+ public:
+  SpatialDomain() : Domain("spatial") {}
+
+  /// \brief Registers a named map centered at (cx, cy).
+  void AddMap(const std::string& name, double cx, double cy);
+
+  /// \brief Overrides the synthetic geocoder for one address key. The key is
+  /// the concatenation of the five address fields.
+  void AddAddress(const std::string& key, double x, double y);
+
+  Result<DcaResult> Call(const std::string& fn,
+                         const std::vector<Value>& args) override;
+
+  std::vector<std::string> Functions() const override {
+    return {"locateaddress", "range", "distance"};
+  }
+
+  /// \brief The deterministic synthetic geocode of an address key:
+  /// hash-derived coordinates in [0, 1000) x [0, 1000).
+  static std::pair<double, double> SyntheticGeocode(const std::string& key);
+
+  /// \brief The key under which locateaddress(args) looks up an address —
+  /// use with AddAddress to pin coordinates for specific addresses.
+  static std::string AddressKey(const std::vector<Value>& args);
+
+ private:
+  struct Point {
+    double x, y;
+  };
+  std::unordered_map<std::string, Point> maps_;
+  std::unordered_map<std::string, Point> addresses_;
+};
+
+/// \brief Creates a spatial domain with a default "dcareamap" centered at
+/// (500, 500).
+std::unique_ptr<SpatialDomain> MakeSpatialDomain();
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_SPATIAL_DOMAIN_H_

@@ -1,0 +1,73 @@
+#include "domain/text_domain.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mmv {
+namespace dom {
+
+Result<std::unique_ptr<TextDomain>> TextDomain::Create(std::string name,
+                                                       rel::Catalog* catalog) {
+  std::unique_ptr<TextDomain> d(new TextDomain(std::move(name), catalog));
+  MMV_RETURN_NOT_OK(
+      catalog->CreateTable(rel::Schema{d->DocTable(), {"doc_id", "text"}})
+          .status());
+  return d;
+}
+
+Status TextDomain::AddDocument(const std::string& doc_id,
+                               const std::string& text) {
+  return catalog_->Insert(DocTable(), {Value(doc_id), Value(text)});
+}
+
+Status TextDomain::RemoveDocument(const std::string& doc_id,
+                                  const std::string& text) {
+  return catalog_->Delete(DocTable(), {Value(doc_id), Value(text)});
+}
+
+Result<DcaResult> TextDomain::Call(const std::string& fn,
+                                   const std::vector<Value>& args) {
+  return CallAt(fn, args, catalog_->clock().now());
+}
+
+Result<DcaResult> TextDomain::CallAt(const std::string& fn,
+                                     const std::vector<Value>& args,
+                                     int64_t tick) {
+  MMV_ASSIGN_OR_RETURN(
+      const rel::Table* docs,
+      static_cast<const rel::Catalog*>(catalog_)->GetTable(DocTable()));
+  if (fn == "match") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":match(keyword)");
+    }
+    const std::string& kw = args[0].as_string();
+    std::vector<Value> out;
+    for (const rel::Row& r : docs->RowsAt(tick)) {
+      if (r[1].is_string() && r[1].as_string().find(kw) != std::string::npos) {
+        out.push_back(r[0]);
+      }
+    }
+    return DcaResult::Finite(std::move(out));
+  }
+  if (fn == "words") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name() + ":words(doc_id)");
+    }
+    std::vector<Value> out;
+    for (const rel::Row& r : docs->RowsAt(tick)) {
+      if (r[0] == args[0] && r[1].is_string()) {
+        std::istringstream is(r[1].as_string());
+        std::string w;
+        while (is >> w) out.push_back(Value(w));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return DcaResult::Finite(std::move(out));
+  }
+  return Status::NotFound(name() + " has no function " + fn);
+}
+
+}  // namespace dom
+}  // namespace mmv

@@ -1,0 +1,54 @@
+// The `text` domain: a tiny keyword-search text database (HERMES integrates
+// "a text database"; this exercises a further kind of set-valued source).
+
+#ifndef MMV_DOMAIN_TEXT_DOMAIN_H_
+#define MMV_DOMAIN_TEXT_DOMAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "domain/domain.h"
+
+namespace mmv {
+namespace dom {
+
+/// \brief Time-versioned keyword-search domain over a documents table.
+///
+/// Functions:
+///   match(keyword)   -> doc ids whose text contains the keyword
+///   words(doc_id)    -> distinct words of the document
+class TextDomain : public Domain {
+ public:
+  /// \brief Creates the backing table `<name>_documents` in \p catalog.
+  static Result<std::unique_ptr<TextDomain>> Create(std::string name,
+                                                    rel::Catalog* catalog);
+
+  /// \brief Adds a document at the current tick.
+  Status AddDocument(const std::string& doc_id, const std::string& text);
+
+  /// \brief Removes a document at the current tick.
+  Status RemoveDocument(const std::string& doc_id, const std::string& text);
+
+  Result<DcaResult> Call(const std::string& fn,
+                         const std::vector<Value>& args) override;
+  Result<DcaResult> CallAt(const std::string& fn,
+                           const std::vector<Value>& args,
+                           int64_t tick) override;
+
+  std::vector<std::string> Functions() const override {
+    return {"match", "words"};
+  }
+
+ private:
+  TextDomain(std::string name, rel::Catalog* catalog)
+      : Domain(std::move(name)), catalog_(catalog) {}
+
+  std::string DocTable() const { return name() + "_documents"; }
+
+  rel::Catalog* catalog_;
+};
+
+}  // namespace dom
+}  // namespace mmv
+
+#endif  // MMV_DOMAIN_TEXT_DOMAIN_H_

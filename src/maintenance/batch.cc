@@ -1,0 +1,73 @@
+#include "maintenance/batch.h"
+
+namespace mmv {
+namespace maint {
+
+Status ApplyUpdates(const Program& program, View* view,
+                    const std::vector<Update>& updates,
+                    DcaEvaluator* evaluator, const FixpointOptions& options,
+                    BatchStats* stats, int* ext_support_counter) {
+  BatchStats local_stats;
+  if (!stats) stats = &local_stats;
+  *stats = BatchStats();
+  int local_counter = 0;
+  if (!ext_support_counter) {
+    // Seed below any external support already present in the view.
+    for (const ViewAtom& a : view->atoms()) {
+      local_counter = std::min(local_counter, a.support.clause());
+    }
+    ext_support_counter = &local_counter;
+  }
+
+  for (const Update& u : updates) {
+    if (u.kind == Update::Kind::kDelete) {
+      StDelStats s;
+      MMV_RETURN_NOT_OK(DeleteStDel(program, view, u.atom, evaluator,
+                                    options.solver, &s));
+      stats->deletions_applied++;
+      stats->replacements += s.replacements;
+      stats->removed_unsolvable += s.removed_unsolvable;
+    } else {
+      InsertStats s;
+      MMV_RETURN_NOT_OK(InsertAtom(program, view, u.atom, evaluator, options,
+                                   &s, ext_support_counter));
+      stats->insertions_applied++;
+      stats->atoms_added += s.atoms_added;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> IsDuplicateFree(const View& view, DcaEvaluator* evaluator) {
+  Solver solver(evaluator);
+  VarFactory factory;
+  for (const ViewAtom& a : view.atoms()) {
+    std::vector<VarId> vars;
+    CollectVars(a.args, &vars);
+    for (VarId v : a.constraint.Variables()) factory.ReserveAbove(v);
+    for (VarId v : vars) factory.ReserveAbove(v);
+  }
+
+  const auto& atoms = view.atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms[i].pred != atoms[j].pred ||
+          atoms[i].args.size() != atoms[j].args.size()) {
+        continue;
+      }
+      // Overlap: atom i's constraint conjoined with "args are an instance
+      // of atom j".
+      Constraint overlap = Constraint::And(
+          atoms[i].constraint,
+          InstanceConstraint(atoms[i].args, atoms[j].args,
+                             atoms[j].constraint, &factory));
+      SolveOutcome o = solver.Solve(overlap);
+      if (o == SolveOutcome::kError) return solver.last_status();
+      if (IsSolvable(o)) return false;  // shared instances (or undecided)
+    }
+  }
+  return true;
+}
+
+}  // namespace maint
+}  // namespace mmv

@@ -1,0 +1,58 @@
+// Batched view updates: apply a sequence of constrained-atom deletions and
+// insertions in order (the paper treats single updates; real mediators
+// receive bursts). Deletions use StDel — which, unlike DRed, needs no
+// program threading between updates — and insertions use Algorithm 3.
+
+#ifndef MMV_MAINTENANCE_BATCH_H_
+#define MMV_MAINTENANCE_BATCH_H_
+
+#include "maintenance/insert.h"
+#include "maintenance/stdel.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief One element of an update batch.
+struct Update {
+  enum class Kind : uint8_t { kDelete, kInsert };
+  Kind kind;
+  UpdateAtom atom;
+
+  static Update Delete(UpdateAtom a) {
+    return Update{Kind::kDelete, std::move(a)};
+  }
+  static Update Insert(UpdateAtom a) {
+    return Update{Kind::kInsert, std::move(a)};
+  }
+};
+
+/// \brief Aggregated counters across a batch.
+struct BatchStats {
+  size_t deletions_applied = 0;
+  size_t insertions_applied = 0;
+  size_t replacements = 0;       ///< total StDel constraint replacements
+  size_t atoms_added = 0;        ///< total inserted atoms + consequences
+  size_t removed_unsolvable = 0;
+};
+
+/// \brief Applies \p updates to \p view in order (duplicate-semantics view,
+/// as required by StDel). \p ext_support_counter persists external-fact
+/// support numbering across batches on the same view.
+Status ApplyUpdates(const Program& program, View* view,
+                    const std::vector<Update>& updates,
+                    DcaEvaluator* evaluator,
+                    const FixpointOptions& options = {},
+                    BatchStats* stats = nullptr,
+                    int* ext_support_counter = nullptr);
+
+/// \brief The duplicate-freeness condition of Algorithm 1 (Section 3.1):
+/// for all distinct atoms A(X1) <- phi1, A(X2) <- phi2 of the same
+/// predicate, [A <- phi1] and [A <- phi2] are disjoint. Decided by pairwise
+/// overlap solvability; conservative under deferred constraints (reports
+/// "not duplicate-free" when overlap cannot be ruled out).
+Result<bool> IsDuplicateFree(const View& view, DcaEvaluator* evaluator);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_BATCH_H_

@@ -1,0 +1,62 @@
+// Algorithm 1: the Extended DRed algorithm (paper Section 3.1.1) — the
+// ground DRed deletion algorithm of Gupta, Mumick & Subrahmanian lifted to
+// constrained atoms.
+//
+// Phases (instrumented separately for the E2 ablation):
+//   1. P_OUT unfolding: over-approximate the constrained atoms possibly
+//      affected by the deletion, by unfolding Del through the program with
+//      exactly one body position drawn from the previous P_OUT layer.
+//   2. Overestimate M': subtract every P_OUT overlap from the view
+//      (eq. (5): phi ^ not(gamma)).
+//   3. Rederivation: T_{P''}^w(M') where P'' keeps only the clauses whose
+//      head predicates were affected (our conservative realization of the
+//      paper's clause-elimination steps 3a-3c), each guarded per rewrite
+//      (4). This is the expensive re-derivation step that Algorithm 2
+//      (StDel) eliminates.
+
+#ifndef MMV_MAINTENANCE_DRED_CONSTRAINED_H_
+#define MMV_MAINTENANCE_DRED_CONSTRAINED_H_
+
+#include "core/fixpoint.h"
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief Phase timers and counters of one Extended DRed run.
+struct DRedStats {
+  size_t del_elements = 0;
+  size_t pout_atoms = 0;
+  size_t atoms_overestimated = 0;  ///< view atoms whose constraint shrank
+  size_t pruned_clauses = 0;       ///< clauses dropped when building P''
+  int64_t rederive_derivations = 0;
+  size_t removed_unsolvable = 0;
+  double unfold_ms = 0;
+  double overestimate_ms = 0;
+  double rederive_ms = 0;
+  SolveStats solver;
+};
+
+/// \brief Deletes the request's instances from \p view over \p program,
+/// returning the maintained view (Theorem 1: instance-equivalent to the
+/// least fixpoint of the deletion rewrite P').
+///
+/// Designed for duplicate-free views (DupSemantics::kSet); it also accepts
+/// duplicate views but may then retain more syntactic duplicates.
+///
+/// IMPORTANT for sequences of deletions: a deletion changes the *view
+/// definition* — declaratively the program becomes P' (rewrite (4)). The
+/// rederivation phase of any LATER update must therefore run against the
+/// rewritten program, or it would re-derive the earlier deletion's
+/// instances. After each DeleteDRed call, advance the program with
+/// RewriteForDeletion(program, request) before issuing the next update.
+/// (StDel does not need this: it never re-derives.)
+Result<View> DeleteDRed(const Program& program, const View& view,
+                        const UpdateAtom& request, DcaEvaluator* evaluator,
+                        const FixpointOptions& options = {},
+                        DRedStats* stats = nullptr);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_DRED_CONSTRAINED_H_

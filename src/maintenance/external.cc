@@ -1,0 +1,73 @@
+#include "maintenance/external.h"
+
+namespace mmv {
+namespace maint {
+
+Result<MaintainedView> MaintainedView::Create(const Program* program,
+                                              dom::DomainManager* domains,
+                                              MaintenancePolicy policy,
+                                              FixpointOptions options) {
+  options.op = policy == MaintenancePolicy::kWpSyntactic ? OperatorKind::kWp
+                                                         : OperatorKind::kTp;
+  MaintainedView mv(program, domains, policy, options);
+  FixpointStats stats;
+  MMV_ASSIGN_OR_RETURN(mv.view_,
+                       Materialize(*program, domains, options, &stats));
+  return mv;
+}
+
+Status MaintainedView::OnExternalChange() {
+  if (policy_ == MaintenancePolicy::kWpSyntactic) {
+    // Theorem 4: M_{t+1} is syntactically identical to M_t. Nothing to do.
+    return Status::OK();
+  }
+  FixpointStats stats;
+  MMV_ASSIGN_OR_RETURN(view_,
+                       Materialize(*program_, domains_, options_, &stats));
+  recomputes_++;
+  maintenance_derivations_ += stats.derivations_attempted;
+  return Status::OK();
+}
+
+namespace {
+
+void CollectFromBlock(const NotBlock& b, std::vector<DomainCall>* out) {
+  for (const Primitive& p : b.prims) {
+    if (p.kind == PrimKind::kIn || p.kind == PrimKind::kNotIn) {
+      out->push_back(p.call);
+    }
+  }
+  for (const NotBlock& i : b.inner) CollectFromBlock(i, out);
+}
+
+}  // namespace
+
+std::vector<DomainCall> CollectDomainCalls(const Program& program) {
+  std::vector<DomainCall> calls;
+  for (const Clause& c : program.clauses()) {
+    for (const Primitive& p : c.constraint.prims()) {
+      if (p.kind == PrimKind::kIn || p.kind == PrimKind::kNotIn) {
+        calls.push_back(p.call);
+      }
+    }
+    for (const NotBlock& b : c.constraint.nots()) {
+      CollectFromBlock(b, &calls);
+    }
+  }
+  // Deduplicate structurally.
+  std::vector<DomainCall> out;
+  for (const DomainCall& c : calls) {
+    bool dup = false;
+    for (const DomainCall& q : out) {
+      if (q == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace maint
+}  // namespace mmv

@@ -1,0 +1,42 @@
+#include "maintenance/insert.h"
+
+namespace mmv {
+namespace maint {
+
+Status InsertAtom(const Program& program, View* view,
+                  const UpdateAtom& request, DcaEvaluator* evaluator,
+                  const FixpointOptions& options, InsertStats* stats,
+                  int* ext_support_counter) {
+  InsertStats local;
+  if (!stats) stats = &local;
+  *stats = InsertStats();
+  Solver solver(evaluator, options.solver);
+
+  MMV_ASSIGN_OR_RETURN(
+      std::vector<ViewAtom> add,
+      BuildAdd(*view, request, &solver, ext_support_counter));
+  stats->add_atoms = add.size();
+  stats->solver = solver.stats();
+  if (add.empty()) return Status::OK();  // already covered
+
+  size_t old_size = view->size();
+  View seeded = std::move(*view);
+  for (ViewAtom& a : add) seeded.Add(std::move(a));
+
+  FixpointStats fstats;
+  FixpointOptions continuation = options;
+  // The view's facts were derived at materialization time; re-deriving
+  // them here would resurrect fact atoms deleted by earlier updates.
+  continuation.derive_facts = false;
+  MMV_ASSIGN_OR_RETURN(View result,
+                       MaterializeFrom(program, std::move(seeded), evaluator,
+                                       continuation, &fstats, old_size));
+  stats->unfold_derivations = fstats.derivations_attempted;
+  stats->truncated = fstats.truncated;
+  stats->atoms_added = result.size() - old_size;
+  *view = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace maint
+}  // namespace mmv

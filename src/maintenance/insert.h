@@ -1,0 +1,42 @@
+// Algorithm 3: constrained-atom insertion (paper Section 3.2).
+//
+// The Add set (the requested instances minus everything already present) is
+// unfolded through the program: P_ADD_{k+1} extends P_ADD_k with every
+// derivation using at least one P_ADD body atom (the rest drawn from the
+// view). The new view is M union P_ADD — this is exactly a seminaive
+// continuation of the fixpoint with Add as the delta.
+
+#ifndef MMV_MAINTENANCE_INSERT_H_
+#define MMV_MAINTENANCE_INSERT_H_
+
+#include "core/fixpoint.h"
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief Counters of one insertion run.
+struct InsertStats {
+  size_t add_atoms = 0;          ///< size of the initial Add set
+  size_t atoms_added = 0;        ///< total new atoms (Add + consequences)
+  int64_t unfold_derivations = 0;
+  bool truncated = false;
+  SolveStats solver;
+};
+
+/// \brief Inserts the request's instances into \p view in place
+/// (Theorem 3: the result is instance-equivalent to the fixpoint of the
+/// insertion rewrite).
+///
+/// \p ext_support_counter disambiguates supports of externally inserted
+/// atoms (they have no deriving clause); pass a counter that persists
+/// across insertions into the same view.
+Status InsertAtom(const Program& program, View* view,
+                  const UpdateAtom& request, DcaEvaluator* evaluator,
+                  const FixpointOptions& options, InsertStats* stats,
+                  int* ext_support_counter);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_INSERT_H_

@@ -1,0 +1,36 @@
+#include "maintenance/recompute.h"
+
+#include "maintenance/rewrite.h"
+
+namespace mmv {
+namespace maint {
+
+Result<View> Recompute(const Program& program, DcaEvaluator* evaluator,
+                       const FixpointOptions& options, FixpointStats* stats) {
+  MMV_ASSIGN_OR_RETURN(View view,
+                       Materialize(program, evaluator, options, stats));
+  Solver solver(evaluator, options.solver);
+  PruneUnsolvable(&view, &solver);
+  return view;
+}
+
+Result<View> RecomputeAfterDeletion(const Program& program,
+                                    const UpdateAtom& request,
+                                    DcaEvaluator* evaluator,
+                                    const FixpointOptions& options,
+                                    FixpointStats* stats) {
+  Program rewritten = RewriteForDeletion(program, request, evaluator);
+  return Recompute(rewritten, evaluator, options, stats);
+}
+
+Result<View> RecomputeAfterInsertion(const Program& program,
+                                     const UpdateAtom& request,
+                                     DcaEvaluator* evaluator,
+                                     const FixpointOptions& options,
+                                     FixpointStats* stats) {
+  Program extended = AppendFact(program, request);
+  return Recompute(extended, evaluator, options, stats);
+}
+
+}  // namespace maint
+}  // namespace mmv

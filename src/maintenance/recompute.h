@@ -1,0 +1,37 @@
+// From-scratch recomputation — the baseline every incremental algorithm is
+// benchmarked against, and the oracle the correctness tests compare with.
+
+#ifndef MMV_MAINTENANCE_RECOMPUTE_H_
+#define MMV_MAINTENANCE_RECOMPUTE_H_
+
+#include "core/fixpoint.h"
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief Materializes \p program from scratch and prunes unsolvable atoms.
+Result<View> Recompute(const Program& program, DcaEvaluator* evaluator,
+                       const FixpointOptions& options = {},
+                       FixpointStats* stats = nullptr);
+
+/// \brief Declarative post-deletion view: T_{P'}^w(empty) for the rewrite
+/// P' of \p program w.r.t. \p request (Theorems 1 and 2's right-hand side).
+Result<View> RecomputeAfterDeletion(const Program& program,
+                                    const UpdateAtom& request,
+                                    DcaEvaluator* evaluator,
+                                    const FixpointOptions& options = {},
+                                    FixpointStats* stats = nullptr);
+
+/// \brief Declarative post-insertion view: the fixpoint of P extended with
+/// the request as a constrained fact.
+Result<View> RecomputeAfterInsertion(const Program& program,
+                                     const UpdateAtom& request,
+                                     DcaEvaluator* evaluator,
+                                     const FixpointOptions& options = {},
+                                     FixpointStats* stats = nullptr);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_RECOMPUTE_H_

@@ -1,0 +1,50 @@
+#include "maintenance/rewrite.h"
+
+namespace mmv {
+namespace maint {
+
+Program RewriteForDeletion(const Program& program, const UpdateAtom& request,
+                           DcaEvaluator* evaluator) {
+  Program out;
+  VarFactory factory = program.factory();
+  // Keep fresh ids clear of the request's variables too.
+  {
+    std::vector<VarId> vars;
+    CollectVars(request.args, &vars);
+    for (VarId v : request.constraint.Variables()) vars.push_back(v);
+    for (VarId v : vars) factory.ReserveAbove(v);
+  }
+  for (const Clause& c : program.clauses()) {
+    Clause copy = c;
+    if (c.head_pred == request.pred &&
+        c.head_args.size() == request.args.size()) {
+      Constraint guard_delta = InstanceConstraint(
+          c.head_args, request.args, request.constraint, &factory);
+      SubtractDeletedPart(c.head_args, guard_delta, evaluator,
+                          &copy.constraint);
+    }
+    out.AddClause(std::move(copy));
+  }
+  // Propagate the factory high-water mark and names for printing.
+  out.factory()->ReserveAbove(factory.issued());
+  *out.names() = program.names();
+  return out;
+}
+
+Program AppendFact(const Program& program, const UpdateAtom& request) {
+  Program out;
+  for (const Clause& c : program.clauses()) {
+    out.AddClause(c);
+  }
+  Clause fact;
+  fact.head_pred = request.pred;
+  fact.head_args = request.args;
+  fact.constraint = request.constraint;
+  out.AddClause(std::move(fact));
+  out.factory()->ReserveAbove(program.factory().issued());
+  *out.names() = program.names();
+  return out;
+}
+
+}  // namespace maint
+}  // namespace mmv

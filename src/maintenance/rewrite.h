@@ -1,0 +1,37 @@
+// Declarative semantics of updates as program rewrites (paper Section 3).
+//
+// Deletion of A(X) <- psi: P' guards every A-headed clause with
+// not(psi[X <- head args]) (rewrite (4)); the least fixpoint of P' is the
+// intended post-deletion view (Theorems 1, 2 compare against it).
+//
+// Insertion of A(X) <- psi: the intended post-insertion instances are those
+// of P with the request appended as a constrained fact (the paper's P-flat
+// additionally rewrites duplicate derivations; at the instance level the
+// fact-extension is equivalent and is what the correctness tests check).
+
+#ifndef MMV_MAINTENANCE_REWRITE_H_
+#define MMV_MAINTENANCE_REWRITE_H_
+
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief Builds P' for deletion (rewrite (4)). Clause numbering is
+/// preserved, so supports remain comparable.
+///
+/// When \p evaluator is provided, the not-guards are grounded over the
+/// deleted instances where finitely enumerable (exact even when the
+/// request constraint has non-head variables); otherwise they remain
+/// symbolic.
+Program RewriteForDeletion(const Program& program, const UpdateAtom& request,
+                           DcaEvaluator* evaluator = nullptr);
+
+/// \brief Builds the insertion oracle program: P plus the request as a
+/// constrained fact.
+Program AppendFact(const Program& program, const UpdateAtom& request);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_REWRITE_H_

@@ -1,0 +1,182 @@
+#include "maintenance/stdel.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "constraint/simplify.h"
+
+namespace mmv {
+namespace maint {
+
+namespace {
+
+// A P_OUT pair: the deleted part of an atom plus the atom's support.
+struct Pair {
+  std::string pred;
+  TermVec args;
+  Constraint deleted;  ///< over the atom's head variables (positive form)
+  Support spt;
+};
+
+// Re-expresses a simplified constraint over the original head arguments.
+Constraint RebindHead(const TermVec& orig_head, const SimplifiedAtom& s) {
+  Constraint c = s.constraint;
+  if (c.is_false()) return c;
+  for (size_t k = 0; k < orig_head.size() && k < s.head.size(); ++k) {
+    if (!(orig_head[k] == s.head[k])) {
+      c.Add(Primitive::Eq(orig_head[k], s.head[k]));
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Status DeleteStDel(const Program& program, View* view,
+                   const UpdateAtom& request, DcaEvaluator* evaluator,
+                   const SolverOptions& solver_options, StDelStats* stats) {
+  StDelStats local;
+  if (!stats) stats = &local;
+  *stats = StDelStats();
+  Solver solver(evaluator, solver_options);
+  VarFactory factory = FreshFactory(program, *view, &request);
+
+  // Step 1: mark every constraint atom in M.
+  view->MarkAll(true);
+
+  // Input: the Del set.
+  MMV_ASSIGN_OR_RETURN(std::vector<DelElement> del,
+                       BuildDel(*view, request, &solver));
+  stats->del_elements = del.size();
+  if (del.empty()) {
+    stats->solver = solver.stats();
+    return Status::OK();
+  }
+
+  // Snapshot the pre-deletion constraints: step 3's lift reassembles the
+  // derivation as it existed when it was made, so sibling contributions use
+  // their ORIGINAL constraints. (Derivations lost through a sibling's own
+  // deletion are subtracted by that sibling's P_OUT pair separately;
+  // using the already-replaced sibling constraint here would make the lift
+  // unsatisfiable whenever several body atoms die together, leaving the
+  // parent's lost instances behind.)
+  std::vector<Constraint> original_constraints;
+  original_constraints.reserve(view->size());
+  for (const ViewAtom& a : view->atoms()) {
+    original_constraints.push_back(a.constraint);
+  }
+
+  // Support lookup structures over the (stable) atom vector:
+  //  - by_support: support -> atom index (supports are unique, Lemma 1)
+  //  - child_index: child-support hash -> (parent atom index, child slot)
+  std::unordered_multimap<size_t, size_t> by_support;
+  std::unordered_multimap<size_t, std::pair<size_t, size_t>> child_index;
+  for (size_t i = 0; i < view->atoms().size(); ++i) {
+    const Support& s = view->atoms()[i].support;
+    by_support.emplace(s.Hash(), i);
+    for (size_t k = 0; k < s.children().size(); ++k) {
+      child_index.emplace(s.children()[k].Hash(), std::make_pair(i, k));
+    }
+  }
+  auto atom_by_support = [&](const Support& s) -> int64_t {
+    auto [lo, hi] = by_support.equal_range(s.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      if (view->atoms()[it->second].support == s) {
+        return static_cast<int64_t>(it->second);
+      }
+    }
+    return -1;
+  };
+
+  // Step 2: subtract the Del overlaps and seed P_OUT.
+  std::vector<Pair> pout;
+  for (const DelElement& e : del) {
+    ViewAtom& atom = view->atoms()[e.atom_index];
+    if (!SubtractDeletedPart(atom.args, e.deleted_part, evaluator,
+                             &atom.constraint)) {
+      continue;  // the overlap denotes no instances at the current state
+    }
+    stats->replacements++;
+    pout.push_back(Pair{atom.pred, atom.args, e.deleted_part, atom.support});
+  }
+
+  // Step 3: propagate along supports until no replacement happens.
+  for (size_t qi = 0; qi < pout.size(); ++qi) {
+    Pair pair = pout[qi];  // copy: the vector grows as we iterate
+    auto [lo, hi] = child_index.equal_range(pair.spt.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      auto [parent_idx, child_slot] = it->second;
+      ViewAtom& parent = view->atoms()[parent_idx];
+      if (!parent.marked) continue;
+      if (!(parent.support.children()[child_slot] == pair.spt)) continue;
+
+      const Clause* clause = program.ClauseByNumber(parent.support.clause());
+      if (clause == nullptr) continue;  // externally inserted: no clause
+      Clause renamed = clause->Rename(&factory);
+      size_t n = renamed.body.size();
+      if (n != parent.support.children().size()) continue;
+
+      // Reassemble the derivation with the deleted part at child_slot and
+      // the (current) sibling atoms elsewhere — conditions (a)-(c).
+      Constraint delta = renamed.constraint;
+      bool siblings_ok = true;
+      for (size_t i = 0; i < n && siblings_ok; ++i) {
+        const TermVec* inst_args;
+        const Constraint* inst_c;
+        if (i == child_slot) {
+          inst_args = &pair.args;
+          inst_c = &pair.deleted;
+        } else {
+          int64_t sib = atom_by_support(parent.support.children()[i]);
+          if (sib < 0) {
+            siblings_ok = false;  // condition (b) fails
+            break;
+          }
+          const ViewAtom& sib_atom = view->atoms()[static_cast<size_t>(sib)];
+          inst_args = &sib_atom.args;
+          inst_c = &original_constraints[static_cast<size_t>(sib)];
+        }
+        std::vector<VarId> vars;
+        CollectVars(*inst_args, &vars);
+        for (VarId v : inst_c->Variables()) {
+          if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+            vars.push_back(v);
+          }
+        }
+        Substitution rho = FreshRenaming(vars, &factory);
+        TermVec a = rho.Apply(*inst_args);
+        delta.AndWith(rho.Apply(*inst_c));
+        for (size_t k = 0; k < a.size(); ++k) {
+          delta.Add(Primitive::Eq(a[k], renamed.body[i].args[k]));
+        }
+      }
+      if (!siblings_ok) continue;
+      // Bridge to the parent's own head variables.
+      for (size_t k = 0; k < parent.args.size(); ++k) {
+        delta.Add(Primitive::Eq(parent.args[k], renamed.head_args[k]));
+      }
+      SimplifiedAtom s = SimplifyAtom(parent.args, delta);
+      Constraint lifted = RebindHead(parent.args, s);
+      if (lifted.is_false()) continue;
+      SolveOutcome o = solver.Solve(lifted);  // condition (c)
+      if (o == SolveOutcome::kError) return solver.last_status();
+      if (!IsSolvable(o)) continue;
+
+      if (!SubtractDeletedPart(parent.args, lifted, evaluator,
+                               &parent.constraint)) {
+        continue;  // the lifted part denotes no instances
+      }
+      stats->replacements++;
+      pout.push_back(Pair{parent.pred, parent.args, lifted, parent.support});
+    }
+  }
+  stats->pout_pairs = pout.size();
+
+  // Step 4: drop atoms whose constraints became unsolvable.
+  stats->removed_unsolvable = PruneUnsolvable(view, &solver);
+  stats->solver = solver.stats();
+  return Status::OK();
+}
+
+}  // namespace maint
+}  // namespace mmv

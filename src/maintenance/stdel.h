@@ -1,0 +1,48 @@
+// Algorithm 2: the Straight Delete (StDel) algorithm (paper Section 3.1.2).
+//
+// Every view atom carries a support — its derivation tree of clause numbers
+// (Lemma 1: supports are unique identities under duplicate semantics).
+// Deletion propagates along supports:
+//
+//   step 2: atoms overlapping the Del set get their constraint restricted
+//           (phi ^ not(delta)) and the pair (delta, spt(F)) enters P_OUT;
+//   step 3: any atom whose support has a *direct child* matching a P_OUT
+//           pair gets the lifted deleted part subtracted, generating a new
+//           pair — until no replacements happen;
+//   step 4: atoms whose constraints became unsolvable are removed.
+//
+// No rederivation step, no duplicate elimination: this is the paper's
+// improvement over (Extended) DRed and over the counting algorithm.
+
+#ifndef MMV_MAINTENANCE_STDEL_H_
+#define MMV_MAINTENANCE_STDEL_H_
+
+#include "core/fixpoint.h"
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace maint {
+
+/// \brief Counters of one StDel run.
+struct StDelStats {
+  size_t del_elements = 0;
+  size_t pout_pairs = 0;      ///< pairs pushed into P_OUT
+  size_t replacements = 0;    ///< constraint replacements performed
+  size_t removed_unsolvable = 0;
+  SolveStats solver;
+};
+
+/// \brief Deletes the request's instances from \p view in place.
+///
+/// Requires a view materialized with DupSemantics::kDuplicate (supports are
+/// the propagation index; Lemma 1 guarantees uniqueness). Correct for
+/// recursive and non-recursive programs alike (Theorem 2).
+Status DeleteStDel(const Program& program, View* view,
+                   const UpdateAtom& request, DcaEvaluator* evaluator,
+                   const SolverOptions& solver_options = {},
+                   StDelStats* stats = nullptr);
+
+}  // namespace maint
+}  // namespace mmv
+
+#endif  // MMV_MAINTENANCE_STDEL_H_

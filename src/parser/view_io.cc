@@ -1,0 +1,132 @@
+#include "parser/view_io.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "parser/parser.h"
+
+namespace mmv {
+namespace parser {
+
+std::string SerializeView(const View& view) {
+  std::ostringstream os;
+  for (const ViewAtom& a : view.atoms()) {
+    os << PrintAtom(a.pred, a.args, a.constraint, /*names=*/nullptr);
+    if (a.constraint.is_true()) {
+      os << " <- true";  // keep the "<-" anchor for the reader
+    }
+    os << " @ " << a.support.ToString() << " # " << a.depth << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Recursive-descent support parser over "<n, <...>, ...>".
+class SupportParser {
+ public:
+  explicit SupportParser(std::string_view s) : s_(s) {}
+
+  Result<Support> Parse() {
+    MMV_ASSIGN_OR_RETURN(Support root, ParseOne());
+    SkipSpace();
+    if (pos_ != s_.size()) {
+      return Status::ParseError("trailing characters after support");
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  Result<Support> ParseOne() {
+    SkipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != '<') {
+      return Status::ParseError("expected '<' in support");
+    }
+    ++pos_;
+    SkipSpace();
+    // Clause number (possibly negative for external supports).
+    bool neg = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= s_.size() || !isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return Status::ParseError("expected clause number in support");
+    }
+    int num = 0;
+    while (pos_ < s_.size() && isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      num = num * 10 + (s_[pos_] - '0');
+      ++pos_;
+    }
+    if (neg) num = -num;
+    std::vector<Support> children;
+    SkipSpace();
+    while (pos_ < s_.size() && s_[pos_] == ',') {
+      ++pos_;
+      MMV_ASSIGN_OR_RETURN(Support child, ParseOne());
+      children.push_back(std::move(child));
+      SkipSpace();
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '>') {
+      return Status::ParseError("expected '>' in support");
+    }
+    ++pos_;
+    return Support(num, std::move(children));
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Support> ParseSupport(std::string_view text) {
+  return SupportParser(Trim(text)).Parse();
+}
+
+Result<View> DeserializeView(std::string_view text, Program* program) {
+  View view;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '%') continue;
+
+    // Split off "# depth" then "@ support".
+    int depth = 0;
+    size_t hash = line.rfind(" # ");
+    if (hash != std::string_view::npos) {
+      std::string d(Trim(line.substr(hash + 3)));
+      try {
+        depth = std::stoi(d);
+      } catch (...) {
+        return Status::ParseError("bad depth field: " + d);
+      }
+      line = Trim(line.substr(0, hash));
+    }
+    size_t at = line.rfind(" @ ");
+    if (at == std::string_view::npos) {
+      return Status::ParseError("missing ' @ <support>' in line: " +
+                                std::string(line));
+    }
+    MMV_ASSIGN_OR_RETURN(Support support,
+                         ParseSupport(line.substr(at + 3)));
+    std::string atom_text(Trim(line.substr(0, at)));
+    atom_text += ".";
+
+    MMV_ASSIGN_OR_RETURN(ParsedAtom atom,
+                         ParseConstrainedAtom(atom_text, program));
+    ViewAtom va;
+    va.pred = std::move(atom.pred);
+    va.args = std::move(atom.args);
+    va.constraint = std::move(atom.constraint);
+    va.support = std::move(support);
+    va.depth = depth;
+    view.Add(std::move(va));
+  }
+  return view;
+}
+
+}  // namespace parser
+}  // namespace mmv

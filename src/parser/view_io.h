@@ -1,0 +1,39 @@
+// View (de)serialization: a line-oriented text format so materialized
+// mediated views survive process restarts (a production necessity the
+// paper's HERMES system implies but does not spell out).
+//
+// Format, one atom per line:
+//
+//   pred(arg1, ..., argk) <- constraint @ <support> # depth
+//
+// Variables print as X<id>; deserialization re-scopes them per atom (the
+// ids are local to each constrained atom anyway). Supports use the paper's
+// angle-bracket notation <Cn, <...>, ...>.
+
+#ifndef MMV_PARSER_VIEW_IO_H_
+#define MMV_PARSER_VIEW_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/program.h"
+#include "core/view.h"
+
+namespace mmv {
+namespace parser {
+
+/// \brief Serializes \p view into the line format above.
+std::string SerializeView(const View& view);
+
+/// \brief Parses a serialized view. Fresh variable ids are drawn from
+/// \p program's factory so the atoms can be joined against the program.
+Result<View> DeserializeView(std::string_view text, Program* program);
+
+/// \brief Parses a support in the paper notation, e.g. "<4, <2, <3>>>".
+Result<Support> ParseSupport(std::string_view text);
+
+}  // namespace parser
+}  // namespace mmv
+
+#endif  // MMV_PARSER_VIEW_IO_H_

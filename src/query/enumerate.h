@@ -1,0 +1,64 @@
+// Enumeration of view instances: [M] (paper Section 2.3), evaluated with
+// the *current* meaning of every domain function — the query-time
+// solvability that makes W_P views maintenance-free (Corollary 1).
+
+#ifndef MMV_QUERY_ENUMERATE_H_
+#define MMV_QUERY_ENUMERATE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraint/solver.h"
+#include "core/view.h"
+
+namespace mmv {
+namespace query {
+
+/// \brief One ground instance pred(v1, ..., vk).
+struct Instance {
+  std::string pred;
+  std::vector<Value> values;
+
+  bool operator==(const Instance& other) const {
+    return pred == other.pred && values == other.values;
+  }
+  bool operator<(const Instance& other) const;
+  std::string ToString() const;
+};
+
+/// \brief Enumeration limits.
+struct EnumerateOptions {
+  size_t max_instances = 1000000;
+  SolverOptions solver;
+};
+
+/// \brief Result of an enumeration.
+struct InstanceSet {
+  std::set<Instance> instances;
+  /// False when an atom's solutions could not be finitely enumerated
+  /// (unbounded variable domain) or max_instances was hit.
+  bool complete = true;
+  /// True when some instance was admitted on a deferred (undecidable-now)
+  /// constraint.
+  bool approximate = false;
+
+  bool operator==(const InstanceSet& other) const {
+    return instances == other.instances;
+  }
+};
+
+/// \brief Enumerates the solutions of one constrained atom at the current
+/// domain state.
+Result<InstanceSet> EnumerateAtom(const ViewAtom& atom,
+                                  DcaEvaluator* evaluator,
+                                  const EnumerateOptions& options = {});
+
+/// \brief Enumerates [M]: the union of all atoms' solutions.
+Result<InstanceSet> EnumerateView(const View& view, DcaEvaluator* evaluator,
+                                  const EnumerateOptions& options = {});
+
+}  // namespace query
+}  // namespace mmv
+
+#endif  // MMV_QUERY_ENUMERATE_H_

@@ -1,0 +1,55 @@
+#include "query/query.h"
+
+#include <unordered_map>
+
+namespace mmv {
+namespace query {
+
+Result<InstanceSet> QueryPred(const View& view, const std::string& pred,
+                              const TermVec& pattern,
+                              DcaEvaluator* evaluator,
+                              const EnumerateOptions& options) {
+  InstanceSet out;
+  for (const ViewAtom& atom : view.atoms()) {
+    if (atom.pred != pred || atom.args.size() != pattern.size()) continue;
+    // Restrict the atom by the pattern.
+    ViewAtom restricted = atom;
+    std::unordered_map<VarId, size_t> first_pos;
+    for (size_t k = 0; k < pattern.size(); ++k) {
+      const Term& p = pattern[k];
+      if (p.is_const()) {
+        restricted.constraint.Add(
+            Primitive::Eq(atom.args[k], Term::Const(p.constant())));
+      } else {
+        auto it = first_pos.find(p.var());
+        if (it == first_pos.end()) {
+          first_pos[p.var()] = k;
+        } else {
+          // Repeated pattern variable: positions must be equal.
+          restricted.constraint.Add(
+              Primitive::Eq(atom.args[k], atom.args[it->second]));
+        }
+      }
+    }
+    MMV_ASSIGN_OR_RETURN(InstanceSet one,
+                         EnumerateAtom(restricted, evaluator, options));
+    out.instances.insert(one.instances.begin(), one.instances.end());
+    out.complete = out.complete && one.complete;
+    out.approximate = out.approximate || one.approximate;
+  }
+  return out;
+}
+
+Result<bool> Ask(const View& view, const std::string& pred,
+                 const std::vector<Value>& values, DcaEvaluator* evaluator,
+                 const EnumerateOptions& options) {
+  TermVec pattern;
+  pattern.reserve(values.size());
+  for (const Value& v : values) pattern.push_back(Term::Const(v));
+  MMV_ASSIGN_OR_RETURN(InstanceSet result,
+                       QueryPred(view, pred, pattern, evaluator, options));
+  return !result.instances.empty();
+}
+
+}  // namespace query
+}  // namespace mmv

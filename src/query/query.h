@@ -1,0 +1,30 @@
+// Pattern queries over materialized mediated views.
+
+#ifndef MMV_QUERY_QUERY_H_
+#define MMV_QUERY_QUERY_H_
+
+#include "query/enumerate.h"
+
+namespace mmv {
+namespace query {
+
+/// \brief Instances of \p pred in \p view matching \p pattern.
+///
+/// Constant positions of the pattern filter; variable positions are
+/// wildcards (a repeated pattern variable forces equal values). Evaluation
+/// uses the evaluator's current time — so a W_P view answers with
+/// up-to-date external data with no maintenance having run (Corollary 1).
+Result<InstanceSet> QueryPred(const View& view, const std::string& pred,
+                              const TermVec& pattern,
+                              DcaEvaluator* evaluator,
+                              const EnumerateOptions& options = {});
+
+/// \brief True iff pred(values) is an instance of the view.
+Result<bool> Ask(const View& view, const std::string& pred,
+                 const std::vector<Value>& values, DcaEvaluator* evaluator,
+                 const EnumerateOptions& options = {});
+
+}  // namespace query
+}  // namespace mmv
+
+#endif  // MMV_QUERY_QUERY_H_

@@ -1,0 +1,44 @@
+#include "relational/catalog.h"
+
+namespace mmv {
+namespace rel {
+
+Result<Table*> Catalog::CreateTable(Schema schema) {
+  std::string name = schema.table_name;  // copy: schema is moved below
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_[std::move(name)] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::Insert(const std::string& table, Row row) {
+  MMV_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  return t->Insert(std::move(row), clock_.now());
+}
+
+Status Catalog::Delete(const std::string& table, const Row& row) {
+  MMV_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  return t->Delete(row, clock_.now());
+}
+
+}  // namespace rel
+}  // namespace mmv

@@ -1,0 +1,66 @@
+// Catalog: named tables plus the global clock that stamps every mutation.
+//
+// The clock is the time axis of the paper's Section 4: domain functions
+// evaluated "at time t" read table state RowsAt(t); advancing the clock and
+// mutating tables models external updates to the integrated sources.
+
+#ifndef MMV_RELATIONAL_CATALOG_H_
+#define MMV_RELATIONAL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace mmv {
+namespace rel {
+
+/// \brief Monotone logical clock shared by the catalog and domain manager.
+class Clock {
+ public:
+  /// \brief Current tick.
+  int64_t now() const { return now_; }
+
+  /// \brief Advances and returns the new tick.
+  int64_t Advance() { return ++now_; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// \brief Owns tables and the clock.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// \brief Creates an empty table; AlreadyExists if the name is taken.
+  Result<Table*> CreateTable(Schema schema);
+
+  /// \brief Looks up a table by name.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// \brief Inserts at the current tick (convenience).
+  Status Insert(const std::string& table, Row row);
+
+  /// \brief Deletes one occurrence at the current tick (convenience).
+  Status Delete(const std::string& table, const Row& row);
+
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  Clock clock_;
+};
+
+}  // namespace rel
+}  // namespace mmv
+
+#endif  // MMV_RELATIONAL_CATALOG_H_

@@ -1,0 +1,23 @@
+#include "relational/index.h"
+
+namespace mmv {
+namespace rel {
+
+HashIndex::HashIndex(const std::vector<Row>& rows, size_t col) : col_(col) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    map_.emplace(rows[i][col_].Hash(), i);
+  }
+}
+
+std::vector<size_t> HashIndex::Lookup(const std::vector<Row>& rows,
+                                      const Value& v) const {
+  std::vector<size_t> out;
+  auto [lo, hi] = map_.equal_range(v.Hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (rows[it->second][col_] == v) out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace rel
+}  // namespace mmv

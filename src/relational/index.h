@@ -1,0 +1,35 @@
+// Standalone hash index over rows, used by the ground Datalog engine and
+// available to embedders of the relational engine.
+
+#ifndef MMV_RELATIONAL_INDEX_H_
+#define MMV_RELATIONAL_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/row.h"
+
+namespace mmv {
+namespace rel {
+
+/// \brief Hash index mapping a key column's value to row positions.
+class HashIndex {
+ public:
+  /// \brief Builds an index on column \p col of \p rows.
+  HashIndex(const std::vector<Row>& rows, size_t col);
+
+  /// \brief Row positions whose key equals \p v.
+  std::vector<size_t> Lookup(const std::vector<Row>& rows,
+                             const Value& v) const;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  size_t col_;
+  std::unordered_multimap<size_t, size_t> map_;
+};
+
+}  // namespace rel
+}  // namespace mmv
+
+#endif  // MMV_RELATIONAL_INDEX_H_

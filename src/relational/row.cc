@@ -1,0 +1,44 @@
+#include "relational/row.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace mmv {
+namespace rel {
+
+size_t RowHash(const Row& row) {
+  size_t h = 0x726f77;  // "row"
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ", ";
+    os << row[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Value RowToValue(const Row& row) { return Value(ValueList(row)); }
+
+Result<Row> ValueToRow(const Value& v) {
+  if (!v.is_list()) {
+    return Status::TypeError("expected a tuple value, got " + v.ToString());
+  }
+  return v.as_list();
+}
+
+int Schema::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rel
+}  // namespace mmv

@@ -1,0 +1,47 @@
+// Rows and schemas for the in-memory relational engine that stands in for
+// the PARADOX / DBASE / INGRES systems integrated by HERMES.
+
+#ifndef MMV_RELATIONAL_ROW_H_
+#define MMV_RELATIONAL_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace mmv {
+namespace rel {
+
+/// \brief A table row: one Value per column.
+using Row = std::vector<Value>;
+
+/// \brief Hash of a row consistent with Value equality.
+size_t RowHash(const Row& row);
+
+/// \brief Renders (v1, v2, ...) for diagnostics.
+std::string RowToString(const Row& row);
+
+/// \brief Converts a row into a single list Value, the shape in which
+/// relational domain calls return tuples to the mediator (so constraints can
+/// carry whole tuples, cf. `in(A, paradox:select_eq(...))`).
+Value RowToValue(const Row& row);
+
+/// \brief Inverse of RowToValue; fails if \p v is not a list.
+Result<Row> ValueToRow(const Value& v);
+
+/// \brief Column names of a table.
+struct Schema {
+  std::string table_name;
+  std::vector<std::string> columns;
+
+  /// \brief Index of \p column or -1.
+  int ColumnIndex(const std::string& column) const;
+
+  size_t arity() const { return columns.size(); }
+};
+
+}  // namespace rel
+}  // namespace mmv
+
+#endif  // MMV_RELATIONAL_ROW_H_

@@ -1,0 +1,98 @@
+// Versioned in-memory table.
+//
+// Every mutation is stamped with the catalog clock tick, and the full
+// mutation log is retained, so the engine can answer
+//   - current-state queries (select_eq / select_range / scan),
+//   - as-of queries RowsAt(t)  — the paper's f_t, and
+//   - diffs DiffBetween(t, t') — the paper's f+ and f- (eqs. 6, 7).
+
+#ifndef MMV_RELATIONAL_TABLE_H_
+#define MMV_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/row.h"
+
+namespace mmv {
+namespace rel {
+
+/// \brief Added/removed rows between two ticks.
+struct TableDiff {
+  std::vector<Row> added;
+  std::vector<Row> removed;
+};
+
+/// \brief A logged mutation.
+struct LogEntry {
+  int64_t tick;
+  bool is_insert;  // false == delete
+  Row row;
+};
+
+/// \brief Append-log versioned table with lazy per-column hash indexes.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Inserts \p row at \p tick. Duplicate rows are allowed
+  /// (multiset semantics, matching the paper's duplicate semantics).
+  Status Insert(Row row, int64_t tick);
+
+  /// \brief Deletes one occurrence of \p row at \p tick; NotFound if absent.
+  Status Delete(const Row& row, int64_t tick);
+
+  /// \brief Deletes every current row with \p value in \p column;
+  /// returns the number removed.
+  Result<int64_t> DeleteWhere(const std::string& column, const Value& value,
+                              int64_t tick);
+
+  /// \brief Current rows with row[column] == value (hash-indexed).
+  Result<std::vector<Row>> SelectEq(const std::string& column,
+                                    const Value& value) const;
+
+  /// \brief Current rows with lo <= row[column] <= hi (numeric).
+  Result<std::vector<Row>> SelectRange(const std::string& column, double lo,
+                                       double hi) const;
+
+  /// \brief All current rows.
+  std::vector<Row> Scan() const;
+
+  /// \brief Rows as of tick \p t (replayed from the log): the paper's f_t.
+  std::vector<Row> RowsAt(int64_t t) const;
+
+  /// \brief f+ / f- between ticks \p t0 and \p t1 (t0 <= t1).
+  TableDiff DiffBetween(int64_t t0, int64_t t1) const;
+
+  /// \brief Number of live rows.
+  size_t size() const { return live_count_; }
+
+  /// \brief Number of log entries retained.
+  size_t log_size() const { return log_.size(); }
+
+ private:
+  struct Slot {
+    Row row;
+    bool dead = false;
+  };
+
+  void InvalidateIndexes() { indexes_.clear(); }
+  const std::unordered_multimap<size_t, size_t>& IndexFor(int col) const;
+
+  Schema schema_;
+  std::vector<Slot> slots_;
+  size_t live_count_ = 0;
+  std::vector<LogEntry> log_;
+  // column -> (value hash -> slot idx); collisions re-checked with ==.
+  mutable std::unordered_map<int, std::unordered_multimap<size_t, size_t>>
+      indexes_;
+};
+
+}  // namespace rel
+}  // namespace mmv
+
+#endif  // MMV_RELATIONAL_TABLE_H_

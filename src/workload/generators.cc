@@ -1,0 +1,281 @@
+#include "workload/generators.h"
+
+namespace mmv {
+namespace workload {
+
+namespace {
+
+std::string Pred(const char* base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+
+// Adds the fact clause `pred(X) <- X = value`.
+void AddGroundFact(Program* p, const std::string& pred, int64_t value) {
+  Clause c;
+  c.head_pred = pred;
+  VarId x = p->factory()->Fresh();
+  c.head_args = {Term::Var(x)};
+  c.constraint.Add(Primitive::Eq(Term::Var(x), Term::Const(Value(value))));
+  p->AddClause(std::move(c));
+}
+
+// Adds the fact clause `pred(X) <- lo <= X <= hi`.
+void AddIntervalFact(Program* p, const std::string& pred, int64_t lo,
+                     int64_t hi) {
+  Clause c;
+  c.head_pred = pred;
+  VarId x = p->factory()->Fresh();
+  c.head_args = {Term::Var(x)};
+  c.constraint.Add(
+      Primitive::Cmp(Term::Var(x), CmpOp::kGe, Term::Const(Value(lo))));
+  c.constraint.Add(
+      Primitive::Cmp(Term::Var(x), CmpOp::kLe, Term::Const(Value(hi))));
+  // Keep the domain integral so instances are finitely enumerable.
+  DomainCall call;
+  call.domain = "arith";
+  call.function = "between";
+  call.args = {Term::Const(Value(lo)), Term::Const(Value(hi))};
+  c.constraint.Add(Primitive::In(Term::Var(x), std::move(call)));
+  p->AddClause(std::move(c));
+}
+
+// Adds the rule `head(X) <- body1(X) [, body2(X)]` with optional extras.
+void AddCopyRule(Program* p, const std::string& head,
+                 const std::vector<std::string>& body,
+                 const std::vector<Primitive>& extras = {}) {
+  Clause c;
+  VarId x = p->factory()->Fresh();
+  c.head_pred = head;
+  c.head_args = {Term::Var(x)};
+  for (const std::string& b : body) {
+    c.body.push_back(BodyAtom{b, {Term::Var(x)}});
+  }
+  for (const Primitive& e : extras) {
+    // Extras are written against variable id -1 as a placeholder; rebind.
+    Primitive q = e;
+    if (q.lhs.is_var()) q.lhs = Term::Var(x);
+    c.constraint.Add(std::move(q));
+  }
+  p->AddClause(std::move(c));
+}
+
+}  // namespace
+
+Program MakeChain(int depth, int width) {
+  Program p;
+  for (int i = 0; i < width; ++i) AddGroundFact(&p, "p0", i);
+  for (int k = 0; k < depth; ++k) {
+    AddCopyRule(&p, Pred("p", k + 1), {Pred("p", k)});
+  }
+  return p;
+}
+
+Program MakeMultiChain(int chains, int depth, int width) {
+  Program p;
+  for (int c = 0; c < chains; ++c) {
+    std::string prefix = "c" + std::to_string(c) + "_p";
+    for (int i = 0; i < width; ++i) AddGroundFact(&p, prefix + "0", i);
+    for (int k = 0; k < depth; ++k) {
+      AddCopyRule(&p, prefix + std::to_string(k + 1),
+                  {prefix + std::to_string(k)});
+    }
+  }
+  return p;
+}
+
+Program MakeDiamond(int depth, int width) {
+  Program p;
+  for (int i = 0; i < width; ++i) AddGroundFact(&p, "b", i);
+  AddCopyRule(&p, "l", {"b"});
+  AddCopyRule(&p, "r", {"b"});
+  AddCopyRule(&p, "m", {"l"});
+  AddCopyRule(&p, "m", {"r"});  // every m atom has two derivations
+  for (int k = 0; k < depth; ++k) {
+    AddCopyRule(&p, Pred("t", k + 1), {k == 0 ? "m" : Pred("t", k)});
+  }
+  return p;
+}
+
+Program MakeTransitiveClosure(
+    const std::vector<std::pair<int, int>>& edges) {
+  Program p;
+  for (const auto& [a, b] : edges) {
+    Clause c;
+    c.head_pred = "e";
+    VarId x = p.factory()->Fresh();
+    VarId y = p.factory()->Fresh();
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.constraint.Add(
+        Primitive::Eq(Term::Var(x), Term::Const(Value(static_cast<int64_t>(a)))));
+    c.constraint.Add(
+        Primitive::Eq(Term::Var(y), Term::Const(Value(static_cast<int64_t>(b)))));
+    p.AddClause(std::move(c));
+  }
+  {
+    Clause c;
+    VarId x = p.factory()->Fresh(), y = p.factory()->Fresh();
+    c.head_pred = "path";
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.body.push_back(BodyAtom{"e", {Term::Var(x), Term::Var(y)}});
+    p.AddClause(std::move(c));
+  }
+  {
+    Clause c;
+    VarId x = p.factory()->Fresh(), y = p.factory()->Fresh(),
+          z = p.factory()->Fresh();
+    c.head_pred = "path";
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.body.push_back(BodyAtom{"e", {Term::Var(x), Term::Var(z)}});
+    c.body.push_back(BodyAtom{"path", {Term::Var(z), Term::Var(y)}});
+    p.AddClause(std::move(c));
+  }
+  return p;
+}
+
+std::vector<std::pair<int, int>> ChainEdges(int n) {
+  std::vector<std::pair<int, int>> out;
+  for (int i = 0; i + 1 < n; ++i) out.emplace_back(i, i + 1);
+  return out;
+}
+
+std::vector<std::pair<int, int>> RandomDagEdges(Rng* rng, int n,
+                                                int extra_edges) {
+  std::vector<std::pair<int, int>> out = ChainEdges(n);
+  for (int k = 0; k < extra_edges; ++k) {
+    int i = static_cast<int>(rng->Int(0, n - 2));
+    int j = static_cast<int>(rng->Int(i + 1, n - 1));
+    out.emplace_back(i, j);
+  }
+  // Dedup.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Program MakeIntervalChain(int depth, int width, int span) {
+  Program p;
+  for (int i = 0; i < width; ++i) {
+    int64_t lo = static_cast<int64_t>(i) * span * 2;
+    AddIntervalFact(&p, "b0", lo, lo + span - 1);
+  }
+  for (int k = 0; k < depth; ++k) {
+    // Each level knocks one point out of the first range.
+    Primitive neq = Primitive::Neq(Term::Var(-1), Term::Const(Value(k)));
+    AddCopyRule(&p, Pred("b", k + 1), {Pred("b", k)}, {neq});
+  }
+  return p;
+}
+
+Program MakeRandomProgram(Rng* rng, const RandomProgramOptions& options) {
+  Program p;
+  std::vector<std::string> sources;
+  for (int i = 0; i < options.base_preds; ++i) {
+    std::string pred = Pred("base", i);
+    for (int f = 0; f < options.facts_per_pred; ++f) {
+      if (rng->Chance(options.interval_fact_prob)) {
+        int64_t lo = rng->Int(0, options.const_pool - 1);
+        int64_t hi = lo + rng->Int(0, 3);
+        AddIntervalFact(&p, pred, lo, hi);
+      } else {
+        AddGroundFact(&p, pred, rng->Int(0, options.const_pool - 1));
+      }
+    }
+    sources.push_back(pred);
+  }
+  for (int i = 0; i < options.derived_preds; ++i) {
+    std::string pred = Pred("d", i);
+    for (int r = 0; r < options.rules_per_pred; ++r) {
+      int body_len = static_cast<int>(rng->Int(1, options.max_body));
+      std::vector<std::string> body;
+      for (int b = 0; b < body_len; ++b) body.push_back(rng->Pick(sources));
+      std::vector<Primitive> extras;
+      if (rng->Chance(options.neq_prob)) {
+        extras.push_back(Primitive::Neq(
+            Term::Var(-1),
+            Term::Const(Value(rng->Int(0, options.const_pool - 1)))));
+      }
+      if (rng->Chance(options.cmp_prob)) {
+        extras.push_back(Primitive::Cmp(
+            Term::Var(-1), CmpOp::kLe,
+            Term::Const(Value(rng->Int(0, options.const_pool)))));
+      }
+      AddCopyRule(&p, pred, body, extras);
+    }
+    sources.push_back(pred);
+  }
+  return p;
+}
+
+maint::UpdateAtom DeleteFactRequest(const Program& program, size_t index) {
+  std::vector<const Clause*> facts;
+  for (const Clause& c : program.clauses()) {
+    if (c.IsFact()) facts.push_back(&c);
+  }
+  const Clause* chosen = facts[index % facts.size()];
+  maint::UpdateAtom request;
+  request.pred = chosen->head_pred;
+  request.args = chosen->head_args;
+  request.constraint = chosen->constraint;
+  return request;
+}
+
+datalog::GProgram MakeGroundChain(int depth, int width) {
+  datalog::GProgram p;
+  for (int i = 0; i < width; ++i) {
+    p.AddFact(datalog::GroundFact{"p0", {Value(static_cast<int64_t>(i))}});
+  }
+  for (int k = 0; k < depth; ++k) {
+    datalog::GRule r;
+    r.head = {Pred("p", k + 1), {datalog::GTerm::Var(0)}};
+    r.body = {{Pred("p", k), {datalog::GTerm::Var(0)}}};
+    p.AddRule(std::move(r));
+  }
+  return p;
+}
+
+datalog::GProgram MakeGroundDiamond(int depth, int width) {
+  datalog::GProgram p;
+  for (int i = 0; i < width; ++i) {
+    p.AddFact(datalog::GroundFact{"b", {Value(static_cast<int64_t>(i))}});
+  }
+  auto copy_rule = [](const std::string& head, const std::string& body) {
+    datalog::GRule r;
+    r.head = {head, {datalog::GTerm::Var(0)}};
+    r.body = {{body, {datalog::GTerm::Var(0)}}};
+    return r;
+  };
+  p.AddRule(copy_rule("l", "b"));
+  p.AddRule(copy_rule("r", "b"));
+  p.AddRule(copy_rule("m", "l"));
+  p.AddRule(copy_rule("m", "r"));
+  for (int k = 0; k < depth; ++k) {
+    p.AddRule(copy_rule(Pred("t", k + 1), k == 0 ? "m" : Pred("t", k)));
+  }
+  return p;
+}
+
+datalog::GProgram MakeGroundTC(
+    const std::vector<std::pair<int, int>>& edges) {
+  datalog::GProgram p;
+  for (const auto& [a, b] : edges) {
+    p.AddFact(datalog::GroundFact{
+        "e", {Value(static_cast<int64_t>(a)), Value(static_cast<int64_t>(b))}});
+  }
+  {
+    datalog::GRule r;
+    r.head = {"path", {datalog::GTerm::Var(0), datalog::GTerm::Var(1)}};
+    r.body = {{"e", {datalog::GTerm::Var(0), datalog::GTerm::Var(1)}}};
+    p.AddRule(std::move(r));
+  }
+  {
+    datalog::GRule r;
+    r.head = {"path", {datalog::GTerm::Var(0), datalog::GTerm::Var(1)}};
+    r.body = {{"e", {datalog::GTerm::Var(0), datalog::GTerm::Var(2)}},
+              {"path", {datalog::GTerm::Var(2), datalog::GTerm::Var(1)}}};
+    p.AddRule(std::move(r));
+  }
+  return p;
+}
+
+}  // namespace workload
+}  // namespace mmv

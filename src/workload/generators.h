@@ -1,0 +1,88 @@
+// Workload generators: parameterized constrained databases (and their
+// ground Datalog twins) used by the tests and by every benchmark in
+// EXPERIMENTS.md.
+
+#ifndef MMV_WORKLOAD_GENERATORS_H_
+#define MMV_WORKLOAD_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/program.h"
+#include "datalog/program.h"
+#include "maintenance/del_add.h"
+
+namespace mmv {
+namespace workload {
+
+/// \brief Chain program of the shape
+///   p0(i) facts (i in [0, width)),  p{k+1}(X) <- p{k}(X)
+/// View size = width * (depth + 1); every derived atom has exactly one
+/// derivation (good for measuring pure propagation).
+Program MakeChain(int depth, int width);
+
+/// \brief Diamond program:
+///   base(i) facts; l(X) <- base(X); r(X) <- base(X);
+///   top{k}(X) <- l(X) ... joining layers — every top atom has TWO
+/// derivations, exercising DRed's rederivation (atoms survive deletion of
+/// one proof).
+Program MakeDiamond(int depth, int width);
+
+/// \brief `chains` independent chain programs side by side (predicates
+/// c<k>_p<level>). Deleting from one chain leaves the others untouched —
+/// the regime where DRed's clause pruning (step 3a-c) shines against full
+/// recomputation.
+Program MakeMultiChain(int chains, int depth, int width);
+
+/// \brief Transitive closure over explicit edges:
+///   e(a, b) facts; path(X,Y) <- e(X,Y); path(X,Y) <- e(X,Z), path(Z,Y).
+Program MakeTransitiveClosure(
+    const std::vector<std::pair<int, int>>& edges);
+
+/// \brief Edges 0->1->...->n-1.
+std::vector<std::pair<int, int>> ChainEdges(int n);
+
+/// \brief Random DAG edges over n nodes (i -> j only for i < j).
+std::vector<std::pair<int, int>> RandomDagEdges(Rng* rng, int n,
+                                                int extra_edges);
+
+/// \brief Non-ground interval workload (E7): base atoms carry interval
+/// constraints b(X) <- lo <= X <= hi covering `width` disjoint integer
+/// ranges of span `span`, chained through `depth` derived predicates with a
+/// disequality sprinkled per level. [M] has width*span instances while |M|
+/// has only width*(depth+1) atoms.
+Program MakeIntervalChain(int depth, int width, int span);
+
+/// \brief Random acyclic constrained program for property-based testing.
+struct RandomProgramOptions {
+  int base_preds = 2;
+  int derived_preds = 3;
+  int facts_per_pred = 4;
+  int rules_per_pred = 2;
+  int max_body = 2;
+  int const_pool = 6;       ///< facts draw constants from [0, const_pool)
+  double neq_prob = 0.3;    ///< chance a rule carries X != c
+  double cmp_prob = 0.3;    ///< chance a rule carries X <= c
+  double interval_fact_prob = 0.25;  ///< chance a fact is an interval atom
+};
+Program MakeRandomProgram(Rng* rng, const RandomProgramOptions& options);
+
+/// \brief A deletion request for one base fact of a generated program:
+/// picks the \p index-th fact clause (wrapping) and requests deletion of
+/// its instances.
+maint::UpdateAtom DeleteFactRequest(const Program& program, size_t index);
+
+/// \brief Ground Datalog twin of MakeChain (for the E5 baselines).
+datalog::GProgram MakeGroundChain(int depth, int width);
+
+/// \brief Ground Datalog twin of MakeDiamond.
+datalog::GProgram MakeGroundDiamond(int depth, int width);
+
+/// \brief Ground Datalog transitive closure over edges.
+datalog::GProgram MakeGroundTC(const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace workload
+}  // namespace mmv
+
+#endif  // MMV_WORKLOAD_GENERATORS_H_

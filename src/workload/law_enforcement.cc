@@ -1,0 +1,148 @@
+#include "workload/law_enforcement.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "parser/parser.h"
+
+namespace mmv {
+namespace workload {
+
+std::string LawEnforcementScenario::PersonName(int i) {
+  return i == 0 ? "corleone" : "person" + std::to_string(i);
+}
+
+namespace {
+
+// The paper's clauses (1)-(3), adapted to the synthetic domain suite:
+//  - faces: segmentface / matchface / findname (facextract + facedb)
+//  - rel:scan over the mugshot library replaces findface with an unbound
+//    person argument (so X ranges over the library, enumerably)
+//  - paradox: the phonebook relational database
+//  - spatial: locateaddress / range with the "dcareamap"
+//  - dbase: the ABC-Corp employee database
+constexpr const char* kMediator = R"(
+seenwith(X, Y) <-
+  in(P1, faces:segmentface("surveillance")) &
+  in(P2, faces:segmentface("surveillance")) &
+  in(O1, tuple:get(P1, 1)) & in(O2, tuple:get(P2, 1)) & O1 = O2 &
+  in(F1, tuple:get(P1, 0)) & in(F2, tuple:get(P2, 0)) & F1 != F2 &
+  in(M, rel:scan("faces_mugshots")) &
+  in(X, tuple:get(M, 0)) & in(F3, tuple:get(M, 2)) &
+  in(true, faces:matchface(F1, F3)) &
+  in(Y, faces:findname(F2)).
+
+swlndc(X, Y) <-
+  seenwith(X, Y) &
+  in(A, paradox:select_eq("phonebook", "name", Y)) &
+  in(SN, tuple:get(A, 1)) & in(SS, tuple:get(A, 2)) &
+  in(CN, tuple:get(A, 3)) & in(ST, tuple:get(A, 4)) &
+  in(ZP, tuple:get(A, 5)) &
+  in(PT, spatial:locateaddress(SN, SS, CN, ST, ZP)) &
+  in(PX, tuple:get(PT, 0)) & in(PY, tuple:get(PT, 1)) &
+  in(true, spatial:range("dcareamap", PX, PY, 100)).
+
+suspect(X, Y) <-
+  swlndc(X, Y) &
+  in(T, dbase:select_eq("empl_abc", "name", Y)).
+)";
+
+}  // namespace
+
+Result<std::unique_ptr<LawEnforcementScenario>> MakeLawEnforcement(
+    const LawEnforcementOptions& options) {
+  auto s = std::make_unique<LawEnforcementScenario>();
+  s->catalog = std::make_unique<rel::Catalog>();
+  s->domains = std::make_unique<dom::DomainManager>(&s->catalog->clock());
+  MMV_ASSIGN_OR_RETURN(
+      s->handles,
+      dom::RegisterStandardDomains(s->domains.get(), s->catalog.get()));
+
+  Rng rng(options.seed);
+
+  // --- Relational tables ------------------------------------------------
+  MMV_RETURN_NOT_OK(s->catalog
+                        ->CreateTable(rel::Schema{
+                            "phonebook",
+                            {"name", "streetnum", "streetname", "cityname",
+                             "statename", "zipcode"}})
+                        .status());
+  MMV_RETURN_NOT_OK(
+      s->catalog->CreateTable(rel::Schema{"empl_abc", {"name", "title"}})
+          .status());
+
+  // --- People: faces, addresses, employment ------------------------------
+  s->target = LawEnforcementScenario::PersonName(0);
+  for (int i = 0; i < options.num_people; ++i) {
+    std::string name = LawEnforcementScenario::PersonName(i);
+    s->people.push_back(name);
+    MMV_RETURN_NOT_OK(
+        s->handles.facextract->AddPerson(name, i).status());
+
+    // Address row + pinned synthetic coordinates.
+    Value streetnum(static_cast<int64_t>(100 + i));
+    Value streetname("street" + std::to_string(i));
+    Value cityname("city");
+    Value statename("state");
+    Value zipcode(static_cast<int64_t>(20000 + i));
+    MMV_RETURN_NOT_OK(s->catalog->Insert(
+        "phonebook",
+        {Value(name), streetnum, streetname, cityname, statename, zipcode}));
+    bool near = rng.Chance(options.near_dc_prob);
+    double angle = rng.Double(0, 2 * 3.141592653589793);
+    double dist = near ? rng.Double(0, options.range_miles * 0.9)
+                       : rng.Double(options.range_miles + 30,
+                                    options.range_miles + 300);
+    double x = 500.0 + dist * std::cos(angle);
+    double y = 500.0 + dist * std::sin(angle);
+    s->handles.spatial->AddAddress(
+        dom::SpatialDomain::AddressKey(
+            {streetnum, streetname, cityname, statename, zipcode}),
+        x, y);
+    if (near) s->near_dc.insert(name);
+
+    if (rng.Chance(options.employee_prob)) {
+      MMV_RETURN_NOT_OK(
+          s->catalog->Insert("empl_abc", {Value(name), Value("staff")}));
+      s->employees.insert(name);
+    }
+  }
+
+  // --- Surveillance photos ------------------------------------------------
+  // Every photo shows the target plus a sample of other people: the pairs
+  // seen together are exactly (target, other) and (other, other').
+  for (int j = 0; j < options.num_photos; ++j) {
+    std::string photo = "photo" + std::to_string(j);
+    std::vector<int> faces = {0};
+    while (static_cast<int>(faces.size()) < options.faces_per_photo) {
+      int f = static_cast<int>(rng.Int(1, options.num_people - 1));
+      if (std::find(faces.begin(), faces.end(), f) == faces.end()) {
+        faces.push_back(f);
+      }
+    }
+    for (int f : faces) {
+      MMV_RETURN_NOT_OK(s->handles.facextract
+                            ->AddSurveillanceFace("surveillance", photo, f)
+                            .status());
+      if (f != 0) {
+        s->expected_seenwith.insert(
+            LawEnforcementScenario::PersonName(f));
+      }
+    }
+  }
+
+  // Ground truth: suspect(target, Y) iff seenwith(target, Y), Y lives near
+  // DC and Y works for ABC Corp.
+  for (const std::string& y : s->expected_seenwith) {
+    if (s->near_dc.count(y) && s->employees.count(y)) {
+      s->expected_suspects.insert(y);
+    }
+  }
+
+  // --- Mediator program ---------------------------------------------------
+  MMV_ASSIGN_OR_RETURN(s->mediator, parser::ParseProgram(kMediator));
+  return s;
+}
+
+}  // namespace workload
+}  // namespace mmv

@@ -1,0 +1,55 @@
+// The paper's running example (Section 2.2): the seenwith / swlndc /
+// suspect mediator over face-recognition, relational, and spatial domains,
+// with synthetic generated data (DESIGN.md Section 5 substitutions).
+
+#ifndef MMV_WORKLOAD_LAW_ENFORCEMENT_H_
+#define MMV_WORKLOAD_LAW_ENFORCEMENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/program.h"
+#include "domain/registry.h"
+
+namespace mmv {
+namespace workload {
+
+/// \brief Size knobs for the generated scenario.
+struct LawEnforcementOptions {
+  int num_people = 12;       ///< people with known faces (person 0 = target)
+  int num_photos = 8;        ///< surveillance photos
+  int faces_per_photo = 3;   ///< faces visible per photo (>= 2)
+  double near_dc_prob = 0.5; ///< chance a person lives within range
+  double employee_prob = 0.5;///< chance a person works for "abc_corp"
+  double range_miles = 100;  ///< the "within 100 miles of DC" radius
+  uint64_t seed = 42;
+};
+
+/// \brief A fully wired instance of the running example.
+struct LawEnforcementScenario {
+  std::unique_ptr<rel::Catalog> catalog;
+  std::unique_ptr<dom::DomainManager> domains;
+  dom::StandardDomains handles;
+  Program mediator;  ///< the three clauses (1), (2), (3)
+
+  std::string target;                       ///< "corleone"
+  std::vector<std::string> people;          ///< person i name
+  std::set<std::string> near_dc;            ///< people within range
+  std::set<std::string> employees;          ///< people at abc_corp
+  std::set<std::string> expected_seenwith;  ///< ground truth for target
+  std::set<std::string> expected_suspects;  ///< ground truth for target
+
+  /// \brief Name of person \p i ("corleone" for 0, "person<i>" otherwise).
+  static std::string PersonName(int i);
+};
+
+/// \brief Builds the scenario: synthetic people/faces/photos/addresses/
+/// employment and the mediator program, with ground truth recorded.
+Result<std::unique_ptr<LawEnforcementScenario>> MakeLawEnforcement(
+    const LawEnforcementOptions& options);
+
+}  // namespace workload
+}  // namespace mmv
+
+#endif  // MMV_WORKLOAD_LAW_ENFORCEMENT_H_

@@ -1,0 +1,154 @@
+// Unit tests for batched updates and the duplicate-freeness check.
+
+#include <gtest/gtest.h>
+
+#include "maintenance/batch.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::Instances;
+using testutil::MaterializeOrDie;
+using testutil::ParseOrDie;
+using testutil::ParseUpdate;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+TEST(BatchTest, MixedBatchAppliesInOrder) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("a(X) <- X = 1. b(X) <- a(X).");
+  View view = MaterializeOrDie(p, w.domains.get());
+
+  std::vector<maint::Update> updates;
+  updates.push_back(
+      maint::Update::Insert(ParseUpdate("a(X) <- X = 2.", &p)));
+  updates.push_back(
+      maint::Update::Delete(ParseUpdate("a(X) <- X = 1.", &p)));
+  updates.push_back(
+      maint::Update::Insert(ParseUpdate("a(X) <- X = 3.", &p)));
+
+  maint::BatchStats stats;
+  ASSERT_TRUE(maint::ApplyUpdates(p, &view, updates, w.domains.get(), {},
+                                  &stats)
+                  .ok());
+  EXPECT_EQ(Instances(view, w.domains.get()),
+            (std::set<std::string>{"a(2)", "a(3)", "b(2)", "b(3)"}));
+  EXPECT_EQ(stats.deletions_applied, 1u);
+  EXPECT_EQ(stats.insertions_applied, 2u);
+  EXPECT_GT(stats.atoms_added, 0u);
+}
+
+TEST(BatchTest, OrderMatters) {
+  // delete x then insert x  !=  insert x then delete x.
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("a(X) <- X = 1.");
+
+  View v1 = MaterializeOrDie(p, w.domains.get());
+  ASSERT_TRUE(maint::ApplyUpdates(
+                  p, &v1,
+                  {maint::Update::Delete(ParseUpdate("a(X) <- X = 1.", &p)),
+                   maint::Update::Insert(ParseUpdate("a(X) <- X = 1.", &p))},
+                  w.domains.get())
+                  .ok());
+  EXPECT_EQ(Instances(v1, w.domains.get()),
+            (std::set<std::string>{"a(1)"}));
+
+  View v2 = MaterializeOrDie(p, w.domains.get());
+  ASSERT_TRUE(maint::ApplyUpdates(
+                  p, &v2,
+                  {maint::Update::Insert(ParseUpdate("a(X) <- X = 1.", &p)),
+                   maint::Update::Delete(ParseUpdate("a(X) <- X = 1.", &p))},
+                  w.domains.get())
+                  .ok());
+  EXPECT_TRUE(Instances(v2, w.domains.get()).empty());
+}
+
+TEST(BatchTest, BatchMatchesSequentialSingles) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(4, 6);
+  View batch_view = MaterializeOrDie(p, w.domains.get());
+  View seq_view = batch_view;
+
+  std::vector<maint::Update> updates;
+  for (int k = 0; k < 3; ++k) {
+    updates.push_back(maint::Update::Delete(
+        ParseUpdate("p0(X) <- X = " + std::to_string(k) + ".", &p)));
+  }
+  ASSERT_TRUE(
+      maint::ApplyUpdates(p, &batch_view, updates, w.domains.get()).ok());
+  for (const maint::Update& u : updates) {
+    ASSERT_TRUE(
+        maint::DeleteStDel(p, &seq_view, u.atom, w.domains.get()).ok());
+  }
+  EXPECT_EQ(Instances(batch_view, w.domains.get()),
+            Instances(seq_view, w.domains.get()));
+}
+
+TEST(BatchTest, ExternalSupportCounterPersists) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("b(X) <- a(X).");
+  View view = MaterializeOrDie(p, w.domains.get());
+  int counter = 0;
+  ASSERT_TRUE(maint::ApplyUpdates(
+                  p, &view,
+                  {maint::Update::Insert(ParseUpdate("a(X) <- X = 1.", &p))},
+                  w.domains.get(), {}, nullptr, &counter)
+                  .ok());
+  ASSERT_TRUE(maint::ApplyUpdates(
+                  p, &view,
+                  {maint::Update::Insert(ParseUpdate("a(X) <- X = 2.", &p))},
+                  w.domains.get(), {}, nullptr, &counter)
+                  .ok());
+  // All external supports distinct.
+  std::set<std::string> supports;
+  for (const ViewAtom& a : view.atoms()) {
+    if (a.pred == "a") supports.insert(a.support.ToString());
+  }
+  EXPECT_EQ(supports.size(), 2u);
+}
+
+TEST(DuplicateFreeTest, ChainsAreDuplicateFree) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(3, 4);
+  View view = MaterializeOrDie(p, w.domains.get());
+  EXPECT_TRUE(Unwrap(maint::IsDuplicateFree(view, w.domains.get())));
+}
+
+TEST(DuplicateFreeTest, DiamondsAreNot) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeDiamond(1, 2);
+  View view = MaterializeOrDie(p, w.domains.get());
+  // Every m atom has two derivations denoting the same instance.
+  EXPECT_FALSE(Unwrap(maint::IsDuplicateFree(view, w.domains.get())));
+}
+
+TEST(DuplicateFreeTest, OverlappingIntervalsAreNot) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 5)).
+    a(X) <- in(X, arith:between(4, 9)).
+  )");
+  View view = MaterializeOrDie(p, w.domains.get());
+  EXPECT_FALSE(Unwrap(maint::IsDuplicateFree(view, w.domains.get())));
+}
+
+TEST(DuplicateFreeTest, DisjointIntervalsAre) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 5)).
+    a(X) <- in(X, arith:between(6, 9)).
+  )");
+  View view = MaterializeOrDie(p, w.domains.get());
+  EXPECT_TRUE(Unwrap(maint::IsDuplicateFree(view, w.domains.get())));
+}
+
+TEST(DuplicateFreeTest, EmptyViewIsDuplicateFree) {
+  TestWorld w = TestWorld::Make();
+  View empty;
+  EXPECT_TRUE(Unwrap(maint::IsDuplicateFree(empty, w.domains.get())));
+}
+
+}  // namespace
+}  // namespace mmv

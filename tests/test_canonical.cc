@@ -1,0 +1,89 @@
+// Unit tests for canonical atom strings.
+
+#include <gtest/gtest.h>
+
+#include "constraint/canonical.h"
+
+namespace mmv {
+namespace {
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(CanonicalTest, VariableRenamingInvariance) {
+  Constraint a;
+  a.Add(Primitive::Eq(V(10), C(1)));
+  Constraint b;
+  b.Add(Primitive::Eq(V(99), C(1)));
+  EXPECT_EQ(CanonicalAtomString("p", {V(10)}, a),
+            CanonicalAtomString("p", {V(99)}, b));
+}
+
+TEST(CanonicalTest, LiteralOrderInvariance) {
+  Constraint a;
+  a.Add(Primitive::Neq(V(0), C(1)));
+  a.Add(Primitive::Cmp(V(0), CmpOp::kLe, C(5)));
+  Constraint b;
+  b.Add(Primitive::Cmp(V(7), CmpOp::kLe, C(5)));
+  b.Add(Primitive::Neq(V(7), C(1)));
+  EXPECT_EQ(CanonicalAtomString("p", {V(0)}, a),
+            CanonicalAtomString("p", {V(7)}, b));
+}
+
+TEST(CanonicalTest, DistinguishesDifferentConstraints) {
+  Constraint a;
+  a.Add(Primitive::Neq(V(0), C(1)));
+  Constraint b;
+  b.Add(Primitive::Neq(V(0), C(2)));
+  EXPECT_NE(CanonicalAtomString("p", {V(0)}, a),
+            CanonicalAtomString("p", {V(0)}, b));
+}
+
+TEST(CanonicalTest, DistinguishesPredicates) {
+  Constraint c;
+  EXPECT_NE(CanonicalAtomString("p", {V(0)}, c),
+            CanonicalAtomString("q", {V(0)}, c));
+}
+
+TEST(CanonicalTest, SimplificationApplied) {
+  // X = Y & Y = 3 canonicalizes like the direct X = 3 head binding.
+  Constraint a;
+  a.Add(Primitive::Eq(V(0), V(1)));
+  a.Add(Primitive::Eq(V(1), C(3)));
+  Constraint b;
+  b.Add(Primitive::Eq(V(5), C(3)));
+  EXPECT_EQ(CanonicalAtomString("p", {V(0)}, a),
+            CanonicalAtomString("p", {V(5)}, b));
+}
+
+TEST(CanonicalTest, FalseConstraint) {
+  Constraint c;
+  c.Add(Primitive::Eq(C(1), C(2)));
+  EXPECT_EQ(CanonicalAtomString("p", {V(0)}, c), "p/false");
+}
+
+TEST(CanonicalTest, HeadVariableIdentityMatters) {
+  // p(X, X) differs from p(X, Y) even with the same (empty) constraint.
+  Constraint c;
+  EXPECT_NE(CanonicalAtomString("p", {V(0), V(0)}, c),
+            CanonicalAtomString("p", {V(0), V(1)}, c));
+}
+
+TEST(CanonicalTest, NotBlockOrderInvariance) {
+  Constraint a;
+  NotBlock b1;
+  b1.prims.push_back(Primitive::Eq(V(0), C(1)));
+  NotBlock b2;
+  b2.prims.push_back(Primitive::Eq(V(0), C(2)));
+  a.AddNot(b1);
+  a.AddNot(b2);
+
+  Constraint b;
+  b.AddNot(b2);
+  b.AddNot(b1);
+  EXPECT_EQ(CanonicalAtomString("p", {V(0)}, a),
+            CanonicalAtomString("p", {V(0)}, b));
+}
+
+}  // namespace
+}  // namespace mmv

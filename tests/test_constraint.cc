@@ -1,0 +1,150 @@
+// Unit tests for the constraint AST.
+
+#include <gtest/gtest.h>
+
+#include "constraint/constraint.h"
+
+namespace mmv {
+namespace {
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(PrimitiveTest, Factories) {
+  Primitive eq = Primitive::Eq(V(0), C(1));
+  EXPECT_EQ(eq.kind, PrimKind::kEq);
+  Primitive neq = Primitive::Neq(V(0), C(1));
+  EXPECT_EQ(neq.kind, PrimKind::kNeq);
+  Primitive cmp = Primitive::Cmp(V(0), CmpOp::kLe, C(3));
+  EXPECT_EQ(cmp.kind, PrimKind::kCmp);
+  EXPECT_EQ(cmp.op, CmpOp::kLe);
+
+  DomainCall call{"arith", "greater", {C(2)}};
+  Primitive in = Primitive::In(V(0), call);
+  EXPECT_EQ(in.kind, PrimKind::kIn);
+  EXPECT_EQ(in.call.domain, "arith");
+}
+
+TEST(PrimitiveTest, NegationIsInvolutive) {
+  std::vector<Primitive> prims = {
+      Primitive::Eq(V(0), C(1)),
+      Primitive::Neq(V(0), C(1)),
+      Primitive::Cmp(V(0), CmpOp::kLt, C(3)),
+      Primitive::Cmp(V(0), CmpOp::kGe, C(3)),
+      Primitive::In(V(0), DomainCall{"d", "f", {}}),
+      Primitive::NotInCall(V(0), DomainCall{"d", "f", {}}),
+  };
+  for (const Primitive& p : prims) {
+    EXPECT_EQ(p.Negated().Negated(), p) << p.ToString();
+    EXPECT_NE(p.Negated(), p) << p.ToString();
+  }
+}
+
+TEST(PrimitiveTest, CmpNegationFlipsCorrectly) {
+  EXPECT_EQ(NegateCmp(CmpOp::kLt), CmpOp::kGe);
+  EXPECT_EQ(NegateCmp(CmpOp::kLe), CmpOp::kGt);
+  EXPECT_EQ(NegateCmp(CmpOp::kGt), CmpOp::kLe);
+  EXPECT_EQ(NegateCmp(CmpOp::kGe), CmpOp::kLt);
+  EXPECT_EQ(SwapCmp(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(SwapCmp(CmpOp::kGe), CmpOp::kLe);
+}
+
+TEST(ConstraintTest, TrueAndFalse) {
+  EXPECT_TRUE(Constraint::True().is_true());
+  EXPECT_FALSE(Constraint::True().is_false());
+  EXPECT_TRUE(Constraint::False().is_false());
+  EXPECT_EQ(Constraint::False().ToString(), "false");
+  EXPECT_EQ(Constraint::True().ToString(), "true");
+}
+
+TEST(ConstraintTest, AndWithPropagatesFalse) {
+  Constraint a;
+  a.Add(Primitive::Eq(V(0), C(1)));
+  Constraint f = Constraint::False();
+  a.AndWith(f);
+  EXPECT_TRUE(a.is_false());
+
+  Constraint b;
+  b.Add(Primitive::Eq(V(0), C(1)));
+  Constraint c = Constraint::And(Constraint::False(), b);
+  EXPECT_TRUE(c.is_false());
+}
+
+TEST(ConstraintTest, EmptyNotBlockMakesFalse) {
+  Constraint c;
+  c.AddNot(NotBlock{});  // not(true) == false
+  EXPECT_TRUE(c.is_false());
+}
+
+TEST(ConstraintTest, NegateRoundTrip) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(1)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Neq(V(0), C(2)));
+  c.AddNot(inner);
+
+  NotBlock negated = Constraint::Negate(c);
+  EXPECT_EQ(negated.prims.size(), 1u);
+  EXPECT_EQ(negated.inner.size(), 1u);
+  EXPECT_EQ(negated.inner[0], inner);
+}
+
+TEST(ConstraintTest, VariablesCollectsNestedBlocks) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(3), C(1)));
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Neq(V(5), C(2)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Cmp(V(7), CmpOp::kLe, V(3)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+  EXPECT_EQ(c.Variables(), (std::vector<VarId>{3, 5, 7}));
+}
+
+TEST(ConstraintTest, LiteralCountIsRecursive) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(1)));
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Neq(V(0), C(2)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Eq(V(1), C(3)));
+  inner.prims.push_back(Primitive::Eq(V(2), C(4)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+  EXPECT_EQ(c.LiteralCount(), 4u);
+}
+
+TEST(ConstraintTest, HashAndEquality) {
+  Constraint a;
+  a.Add(Primitive::Eq(V(0), C(1)));
+  Constraint b;
+  b.Add(Primitive::Eq(V(0), C(1)));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Add(Primitive::Neq(V(0), C(2)));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ConstraintTest, ToStringRendersNestedNots) {
+  Constraint c;
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Eq(V(0), C(1)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Eq(V(0), C(2)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+  EXPECT_EQ(c.ToString(), "not(X0 = 1 & not(X0 = 2))");
+}
+
+TEST(DomainCallTest, EqualityAndToString) {
+  DomainCall a{"rel", "scan", {C(1)}};
+  DomainCall b{"rel", "scan", {C(1)}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.ToString(), "rel:scan(1)");
+  DomainCall c2{"rel", "scan", {C(2)}};
+  EXPECT_FALSE(a == c2);
+}
+
+}  // namespace
+}  // namespace mmv

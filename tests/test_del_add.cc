@@ -1,0 +1,156 @@
+// Unit tests for Del / Add construction and the instance-negation helpers.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mmv {
+namespace {
+
+using testutil::MaterializeOrDie;
+using testutil::ParseOrDie;
+using testutil::ParseUpdate;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+class DelAddTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = TestWorld::Make();
+    program_ = ParseOrDie(R"(
+      a(X) <- in(X, arith:between(0, 5)).
+      b(X) <- X = 7.
+    )");
+    view_ = MaterializeOrDie(program_, world_.domains.get());
+    solver_ = std::make_unique<Solver>(world_.domains.get());
+  }
+  TestWorld world_;
+  Program program_;
+  View view_;
+  std::unique_ptr<Solver> solver_;
+};
+
+TEST_F(DelAddTest, BuildDelFindsOverlaps) {
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X = 3.", &program_);
+  auto del = Unwrap(maint::BuildDel(view_, req, solver_.get()));
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(view_.atoms()[del[0].atom_index].pred, "a");
+  // The deleted part must pin X to 3.
+  SolveOutcome o = solver_->Solve(del[0].deleted_part);
+  EXPECT_TRUE(IsSolvable(o));
+}
+
+TEST_F(DelAddTest, BuildDelSkipsDisjointRequests) {
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X = 99.", &program_);
+  auto del = Unwrap(maint::BuildDel(view_, req, solver_.get()));
+  EXPECT_TRUE(del.empty());
+}
+
+TEST_F(DelAddTest, BuildDelRespectsPredicateAndArity) {
+  maint::UpdateAtom req = ParseUpdate("zzz(X) <- X = 3.", &program_);
+  EXPECT_TRUE(Unwrap(maint::BuildDel(view_, req, solver_.get())).empty());
+
+  maint::UpdateAtom req2 = ParseUpdate("a(X, Y) <- X = 3.", &program_);
+  EXPECT_TRUE(Unwrap(maint::BuildDel(view_, req2, solver_.get())).empty());
+}
+
+TEST_F(DelAddTest, BuildDelWholeAtomRequest) {
+  maint::UpdateAtom req = ParseUpdate("b(X) <- true.", &program_);
+  auto del = Unwrap(maint::BuildDel(view_, req, solver_.get()));
+  ASSERT_EQ(del.size(), 1u);
+}
+
+TEST_F(DelAddTest, BuildAddExcludesExistingInstances) {
+  // Insert a(X) <- 3 <= X <= 8: only 6, 7, 8 are new.
+  maint::UpdateAtom req =
+      ParseUpdate("a(X) <- in(X, arith:between(3, 8)).", &program_);
+  int ext = 0;
+  auto add = Unwrap(maint::BuildAdd(view_, req, solver_.get(), &ext));
+  ASSERT_EQ(add.size(), 1u);
+  EXPECT_EQ(add[0].pred, "a");
+  EXPECT_LT(add[0].support.clause(), 0);  // external support tag
+
+  query::InstanceSet inst =
+      Unwrap(query::EnumerateAtom(add[0], world_.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : inst.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"a(6)", "a(7)", "a(8)"}));
+}
+
+TEST_F(DelAddTest, BuildAddFullyCoveredIsEmpty) {
+  maint::UpdateAtom req =
+      ParseUpdate("a(X) <- in(X, arith:between(1, 4)).", &program_);
+  int ext = 0;
+  auto add = Unwrap(maint::BuildAdd(view_, req, solver_.get(), &ext));
+  EXPECT_TRUE(add.empty());
+}
+
+TEST_F(DelAddTest, ExternalSupportsAreUnique) {
+  maint::UpdateAtom r1 = ParseUpdate("c(X) <- X = 1.", &program_);
+  maint::UpdateAtom r2 = ParseUpdate("c(X) <- X = 2.", &program_);
+  int ext = 0;
+  auto a1 = Unwrap(maint::BuildAdd(view_, r1, solver_.get(), &ext));
+  auto a2 = Unwrap(maint::BuildAdd(view_, r2, solver_.get(), &ext));
+  ASSERT_EQ(a1.size(), 1u);
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_NE(a1[0].support, a2[0].support);
+}
+
+TEST_F(DelAddTest, NegatedInstanceBlockSubstitutesHeadVars) {
+  // Block for "target X0 is an instance of a(Y) <- Y = 3".
+  VarFactory f;
+  f.ReserveAbove(100);
+  Constraint src;
+  src.Add(Primitive::Eq(Term::Var(50), Term::Const(Value(3))));
+  NotBlock block = maint::NegatedInstanceBlock(
+      {Term::Var(0)}, {Term::Var(50)}, src, &f);
+  ASSERT_EQ(block.prims.size(), 1u);
+  EXPECT_EQ(block.prims[0].lhs, Term::Var(0));  // substituted, not bridged
+}
+
+TEST_F(DelAddTest, InstanceConstraintHandlesConstantsAndRepeats) {
+  VarFactory f;
+  f.ReserveAbove(100);
+  // src atom p(Y, Y, 7) with empty constraint against target (X0, X1, X2).
+  Constraint c = maint::InstanceConstraint(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Term::Var(50), Term::Var(50), Term::Const(Value(7))},
+      Constraint::True(), &f);
+  // Expect X1 = X0 (repeat) and X2 = 7 (constant position).
+  ASSERT_EQ(c.prims().size(), 2u);
+}
+
+TEST_F(DelAddTest, PruneUnsolvableDropsFalseAtoms) {
+  View v = view_;
+  ViewAtom dead;
+  dead.pred = "x";
+  dead.constraint = Constraint::False();
+  dead.support = Support(-5);
+  v.Add(dead);
+  ViewAtom unsat;
+  unsat.pred = "y";
+  unsat.args = {Term::Var(0)};
+  unsat.constraint.Add(Primitive::Eq(Term::Var(0), Term::Const(Value(1))));
+  unsat.constraint.Add(Primitive::Eq(Term::Var(0), Term::Const(Value(2))));
+  unsat.support = Support(-6);
+  v.Add(unsat);
+
+  size_t removed = maint::PruneUnsolvable(&v, solver_.get());
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(v.size(), view_.size());
+}
+
+TEST_F(DelAddTest, FreshFactoryIsAboveEverything) {
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X = 3.", &program_);
+  VarFactory f = maint::FreshFactory(program_, view_, &req);
+  VarId fresh = f.Fresh();
+  for (const ViewAtom& a : view_.atoms()) {
+    for (VarId v : a.constraint.Variables()) EXPECT_GT(fresh, v);
+  }
+  for (const Clause& c : program_.clauses()) {
+    for (VarId v : c.Variables()) EXPECT_GT(fresh, v);
+  }
+}
+
+}  // namespace
+}  // namespace mmv

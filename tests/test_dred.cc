@@ -1,0 +1,180 @@
+// Unit tests for the Extended DRed algorithm (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include "maintenance/dred_constrained.h"
+#include "maintenance/rewrite.h"
+#include "maintenance/stdel.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::Instances;
+using testutil::InstancesOf;
+using testutil::ParseOrDie;
+using testutil::ParseUpdate;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+FixpointOptions SetSemantics() {
+  FixpointOptions opts;
+  opts.semantics = DupSemantics::kSet;
+  return opts;
+}
+
+void ExpectDRedMatchesOracle(const Program& program,
+                             const maint::UpdateAtom& req, TestWorld& world,
+                             maint::DRedStats* stats = nullptr) {
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(program, world.domains.get(), opts));
+  View result = Unwrap(maint::DeleteDRed(program, view, req,
+                                         world.domains.get(), opts, stats));
+  View oracle = Unwrap(maint::RecomputeAfterDeletion(
+      program, req, world.domains.get(), opts));
+  EXPECT_EQ(Instances(result, world.domains.get()),
+            Instances(oracle, world.domains.get()));
+}
+
+TEST(DRedTest, NoOpWhenNothingMatches) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("a(X) <- X = 1. b(X) <- a(X).");
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(p, w.domains.get(), opts));
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X = 9.", &p);
+  maint::DRedStats stats;
+  View result = Unwrap(
+      maint::DeleteDRed(p, view, req, w.domains.get(), opts, &stats));
+  EXPECT_EQ(result.size(), view.size());
+  EXPECT_EQ(stats.del_elements, 0u);
+  EXPECT_EQ(stats.pout_atoms, 0u);
+}
+
+TEST(DRedTest, ChainDeletion) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(4, 3);
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 0);
+  maint::DRedStats stats;
+  ExpectDRedMatchesOracle(p, req, w, &stats);
+  // P_OUT covers one atom per level.
+  EXPECT_EQ(stats.pout_atoms, 5u);
+  EXPECT_GT(stats.rederive_derivations, 0);
+}
+
+TEST(DRedTest, DiamondRederivesAlternativeProof) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeDiamond(2, 2);
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(p, w.domains.get(), opts));
+
+  maint::UpdateAtom req = ParseUpdate("l(X) <- X = 0.", &p);
+  maint::DRedStats stats;
+  View result = Unwrap(
+      maint::DeleteDRed(p, view, req, w.domains.get(), opts, &stats));
+  // m(0) survives through r.
+  auto m = InstancesOf(result, "m", w.domains.get());
+  EXPECT_EQ(m.count("m(0)"), 1u);
+  EXPECT_EQ(InstancesOf(result, "l", w.domains.get()).count("l(0)"), 0u);
+
+  View oracle = Unwrap(maint::RecomputeAfterDeletion(
+      p, req, w.domains.get(), opts));
+  EXPECT_EQ(Instances(result, w.domains.get()),
+            Instances(oracle, w.domains.get()));
+}
+
+TEST(DRedTest, IntervalDeletion) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 9)).
+    b(X) <- a(X).
+  )");
+  maint::UpdateAtom req =
+      ParseUpdate("a(X) <- in(X, arith:between(2, 4)).", &p);
+  ExpectDRedMatchesOracle(p, req, w);
+}
+
+TEST(DRedTest, RecursiveTC) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeTransitiveClosure(workload::ChainEdges(4));
+  maint::UpdateAtom req = ParseUpdate("e(X, Y) <- X = 1 & Y = 2.", &p);
+  ExpectDRedMatchesOracle(p, req, w);
+}
+
+TEST(DRedTest, PrunesUnaffectedClauses) {
+  TestWorld w = TestWorld::Make();
+  // Two independent chains; deleting from one must not rerun the other.
+  Program p = ParseOrDie(R"(
+    a(X) <- X = 1.
+    a2(X) <- a(X).
+    z(X) <- X = 2.
+    z2(X) <- z(X).
+  )");
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(p, w.domains.get(), opts));
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X = 1.", &p);
+  maint::DRedStats stats;
+  View result = Unwrap(
+      maint::DeleteDRed(p, view, req, w.domains.get(), opts, &stats));
+  // The z clauses were pruned from P''.
+  EXPECT_EQ(stats.pruned_clauses, 2u);
+  EXPECT_EQ(InstancesOf(result, "z2", w.domains.get()).size(), 1u);
+  EXPECT_TRUE(InstancesOf(result, "a2", w.domains.get()).empty());
+}
+
+TEST(DRedTest, PhaseTimersPopulated) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(3, 3);
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(p, w.domains.get(), opts));
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 0);
+  maint::DRedStats stats;
+  (void)Unwrap(maint::DeleteDRed(p, view, req, w.domains.get(), opts,
+                                 &stats));
+  EXPECT_GE(stats.unfold_ms, 0.0);
+  EXPECT_GE(stats.overestimate_ms, 0.0);
+  EXPECT_GE(stats.rederive_ms, 0.0);
+  EXPECT_GT(stats.atoms_overestimated, 0u);
+}
+
+TEST(DRedTest, SequentialDeletions) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 5)).
+    b(X) <- a(X).
+  )");
+  FixpointOptions opts = SetSemantics();
+  View view = Unwrap(Materialize(p, w.domains.get(), opts));
+  for (int k = 0; k < 3; ++k) {
+    maint::UpdateAtom req = ParseUpdate(
+        "a(X) <- X = " + std::to_string(k) + ".", &p);
+    view = Unwrap(
+        maint::DeleteDRed(p, view, req, w.domains.get(), opts));
+    // A deletion changes the view definition: thread the rewritten program
+    // into subsequent updates so rederivation cannot resurrect instances
+    // (see DeleteDRed's doc comment).
+    p = maint::RewriteForDeletion(p, req);
+  }
+  EXPECT_EQ(InstancesOf(view, "b", w.domains.get()).size(), 3u);
+}
+
+TEST(DRedTest, AgreesWithStDelOnInstances) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(3, 4);
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 2);
+
+  FixpointOptions set_opts = SetSemantics();
+  View dred_in = Unwrap(Materialize(p, w.domains.get(), set_opts));
+  View dred_out = Unwrap(
+      maint::DeleteDRed(p, dred_in, req, w.domains.get(), set_opts));
+
+  View stdel_view = Unwrap(Materialize(p, w.domains.get(), {}));
+  ASSERT_TRUE(
+      maint::DeleteStDel(p, &stdel_view, req, w.domains.get()).ok());
+
+  EXPECT_EQ(Instances(dred_out, w.domains.get()),
+            Instances(stdel_view, w.domains.get()));
+}
+
+}  // namespace
+}  // namespace mmv

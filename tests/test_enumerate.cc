@@ -1,0 +1,191 @@
+// Unit tests for instance enumeration and pattern queries.
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "test_util.h"
+
+namespace mmv {
+namespace {
+
+using testutil::MaterializeOrDie;
+using testutil::ParseOrDie;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+ViewAtom MakeAtom(const std::string& pred, TermVec args, Constraint c) {
+  ViewAtom a;
+  a.pred = pred;
+  a.args = std::move(args);
+  a.constraint = std::move(c);
+  a.support = Support(1);
+  return a;
+}
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(EnumerateTest, GroundAtom) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(3)));
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  ASSERT_EQ(s.instances.size(), 1u);
+  EXPECT_EQ(s.instances.begin()->ToString(), "p(3)");
+  EXPECT_TRUE(s.complete);
+}
+
+TEST(EnumerateTest, ConstantHead) {
+  TestWorld w = TestWorld::Make();
+  query::InstanceSet s = Unwrap(query::EnumerateAtom(
+      MakeAtom("p", {Term::Const(Value("a"))}, Constraint::True()),
+      w.domains.get()));
+  EXPECT_EQ(s.instances.begin()->ToString(), "p(\"a\")");
+}
+
+TEST(EnumerateTest, IntegralInterval) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "between", {C(2), C(5)}}));
+  c.Add(Primitive::Neq(V(0), C(3)));
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : s.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"p(2)", "p(4)", "p(5)"}));
+}
+
+TEST(EnumerateTest, UnboundedIsIncomplete) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::Cmp(V(0), CmpOp::kGe, C(0)));  // real interval: infinite
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  EXPECT_FALSE(s.complete);
+  EXPECT_TRUE(s.instances.empty());
+}
+
+TEST(EnumerateTest, FalseAtomIsEmpty) {
+  TestWorld w = TestWorld::Make();
+  query::InstanceSet s = Unwrap(query::EnumerateAtom(
+      MakeAtom("p", {V(0)}, Constraint::False()), w.domains.get()));
+  EXPECT_TRUE(s.instances.empty());
+  EXPECT_TRUE(s.complete);
+}
+
+TEST(EnumerateTest, SharedVariableAcrossPositions) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "between", {C(1), C(2)}}));
+  query::InstanceSet s = Unwrap(query::EnumerateAtom(
+      MakeAtom("p", {V(0), V(0)}, c), w.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : s.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"p(1, 1)", "p(2, 2)"}));
+}
+
+TEST(EnumerateTest, NotBlockFiltersInstances) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "between", {C(0), C(4)}}));
+  NotBlock b;
+  b.prims.push_back(Primitive::Cmp(V(0), CmpOp::kGe, C(2)));
+  b.prims.push_back(Primitive::Cmp(V(0), CmpOp::kLe, C(3)));
+  c.AddNot(b);
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : s.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"p(0)", "p(1)", "p(4)"}));
+}
+
+TEST(EnumerateTest, SplitsOnChainedDomainCalls) {
+  // X from a table scan; Y = X's doubled value via arith:times.
+  TestWorld w = TestWorld::Make();
+  ASSERT_TRUE(w.catalog->CreateTable(rel::Schema{"nums", {"n"}}).ok());
+  ASSERT_TRUE(w.catalog->Insert("nums", {Value(2)}).ok());
+  ASSERT_TRUE(w.catalog->Insert("nums", {Value(5)}).ok());
+  Constraint c;
+  c.Add(Primitive::In(V(1), DomainCall{"rel", "project",
+                                       {Term::Const(Value("nums")),
+                                        Term::Const(Value("n"))}}));
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "times", {V(1), C(10)}}));
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : s.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"p(20)", "p(50)"}));
+  EXPECT_TRUE(s.complete);
+}
+
+TEST(EnumerateTest, MaxInstancesTruncates) {
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "between", {C(0), C(99)}}));
+  query::EnumerateOptions opts;
+  opts.max_instances = 10;
+  query::InstanceSet s = Unwrap(query::EnumerateAtom(
+      MakeAtom("p", {V(0)}, c), w.domains.get(), opts));
+  EXPECT_FALSE(s.complete);
+  EXPECT_LE(s.instances.size(), 10u);
+}
+
+TEST(EnumerateTest, ViewUnionDeduplicates) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 3)).
+    a(X) <- in(X, arith:between(2, 5)).
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+  query::InstanceSet s = Unwrap(query::EnumerateView(v, w.domains.get()));
+  EXPECT_EQ(s.instances.size(), 6u);  // {0..5}, overlap deduplicated
+}
+
+TEST(QueryTest, PatternWithConstants) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    e(X, Y) <- X = 1 & Y = 2.
+    e(X, Y) <- X = 1 & Y = 3.
+    e(X, Y) <- X = 2 & Y = 3.
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+  query::InstanceSet s = Unwrap(query::QueryPred(
+      v, "e", {Term::Const(Value(1)), Term::Var(0)}, w.domains.get()));
+  EXPECT_EQ(s.instances.size(), 2u);
+}
+
+TEST(QueryTest, RepeatedPatternVariable) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    e(X, Y) <- X = 1 & Y = 1.
+    e(X, Y) <- X = 1 & Y = 2.
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+  query::InstanceSet s = Unwrap(query::QueryPred(
+      v, "e", {Term::Var(0), Term::Var(0)}, w.domains.get()));
+  ASSERT_EQ(s.instances.size(), 1u);
+  EXPECT_EQ(s.instances.begin()->ToString(), "e(1, 1)");
+}
+
+TEST(QueryTest, Ask) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("e(X) <- X = 1.");
+  View v = MaterializeOrDie(p, w.domains.get());
+  EXPECT_TRUE(Unwrap(query::Ask(v, "e", {Value(1)}, w.domains.get())));
+  EXPECT_FALSE(Unwrap(query::Ask(v, "e", {Value(2)}, w.domains.get())));
+  EXPECT_FALSE(Unwrap(query::Ask(v, "zzz", {Value(1)}, w.domains.get())));
+}
+
+TEST(InstanceTest, OrderingAndToString) {
+  query::Instance a{"p", {Value(1)}};
+  query::Instance b{"p", {Value(2)}};
+  query::Instance c{"q", {Value(0)}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "p(1)");
+  EXPECT_EQ(a, (query::Instance{"p", {Value(1)}}));
+}
+
+}  // namespace
+}  // namespace mmv

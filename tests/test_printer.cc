@@ -1,0 +1,91 @@
+// Unit tests for pretty printing with symbolic variable names.
+
+#include <gtest/gtest.h>
+
+#include "constraint/printer.h"
+#include "test_util.h"
+
+namespace mmv {
+namespace {
+
+using testutil::ParseOrDie;
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(VarNamesTest, FallbackAndRegistered) {
+  VarNames names;
+  EXPECT_EQ(names.NameOf(7), "X7");
+  names.Set(7, "Person");
+  EXPECT_EQ(names.NameOf(7), "Person");
+  EXPECT_TRUE(VarNames().empty());
+  EXPECT_FALSE(names.empty());
+}
+
+TEST(PrintTermTest, WithAndWithoutNames) {
+  VarNames names;
+  names.Set(0, "Who");
+  EXPECT_EQ(PrintTerm(V(0), &names), "Who");
+  EXPECT_EQ(PrintTerm(V(0), nullptr), "X0");
+  EXPECT_EQ(PrintTerm(C(3), &names), "3");
+  EXPECT_EQ(PrintTerm(Term::Const(Value("s")), nullptr), "\"s\"");
+}
+
+TEST(PrintConstraintTest, AllPrimitiveKinds) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(1)));
+  c.Add(Primitive::Neq(V(0), C(2)));
+  c.Add(Primitive::Cmp(V(0), CmpOp::kLe, C(3)));
+  c.Add(Primitive::In(V(1), DomainCall{"d", "f", {V(0), C(4)}}));
+  c.Add(Primitive::NotInCall(V(1), DomainCall{"d", "g", {}}));
+  EXPECT_EQ(PrintConstraint(c, nullptr),
+            "X0 = 1 & X0 != 2 & X0 <= 3 & in(X1, d:f(X0, 4)) & "
+            "notin(X1, d:g())");
+}
+
+TEST(PrintConstraintTest, NestedBlocksAndSpecials) {
+  EXPECT_EQ(PrintConstraint(Constraint::True(), nullptr), "true");
+  EXPECT_EQ(PrintConstraint(Constraint::False(), nullptr), "false");
+
+  Constraint c;
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Eq(V(0), C(1)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Neq(V(0), C(2)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+  EXPECT_EQ(PrintConstraint(c, nullptr), "not(X0 = 1 & not(X0 != 2))");
+}
+
+TEST(PrintAtomTest, SuppressesTrueConstraint) {
+  EXPECT_EQ(PrintAtom("p", {V(0), C(2)}, Constraint::True(), nullptr),
+            "p(X0, 2)");
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(1)));
+  EXPECT_EQ(PrintAtom("p", {V(0)}, c, nullptr), "p(X0) <- X0 = 1");
+}
+
+TEST(PrintTest, ParserNamesFlowThrough) {
+  Program p = ParseOrDie("seen(Who, Whom) <- Who != Whom.");
+  std::string s = p.clauses()[0].ToString(p.names());
+  EXPECT_NE(s.find("seen(Who, Whom)"), std::string::npos);
+  EXPECT_NE(s.find("Who != Whom"), std::string::npos);
+}
+
+TEST(PrintTest, ProgramToStringNumbersClauses) {
+  Program p = ParseOrDie("a(X) <- X = 1. b(X) <- a(X).");
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("1. a(X)"), std::string::npos);
+  EXPECT_NE(s.find("2. b(X)"), std::string::npos);
+}
+
+TEST(PrintTest, ViewAtomIncludesSupport) {
+  ViewAtom a;
+  a.pred = "p";
+  a.args = {C(1)};
+  a.support = Support(4, {Support(2)});
+  EXPECT_NE(a.ToString().find("<4, <2>>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv

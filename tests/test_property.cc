@@ -1,0 +1,157 @@
+// Property-based tests: on randomly generated acyclic constrained programs,
+// every incremental maintenance algorithm must agree (at the instance
+// level) with the declarative from-scratch semantics (Theorems 1-3), and
+// W_P must agree with T_P at every time point (Corollary 1).
+
+#include <gtest/gtest.h>
+
+#include "maintenance/dred_constrained.h"
+#include "maintenance/insert.h"
+#include "maintenance/stdel.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::Instances;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+class RandomProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramProperty, StDelMatchesDeclarativeDeletion) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam());
+  workload::RandomProgramOptions opts;
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  View view = testutil::MaterializeOrDie(p, w.domains.get());
+  size_t fact_count = 0;
+  for (const Clause& c : p.clauses()) fact_count += c.IsFact() ? 1 : 0;
+  maint::UpdateAtom req = workload::DeleteFactRequest(
+      p, static_cast<size_t>(rng.Int(0, static_cast<int64_t>(fact_count))));
+
+  Status s = maint::DeleteStDel(p, &view, req, w.domains.get());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  View oracle =
+      Unwrap(maint::RecomputeAfterDeletion(p, req, w.domains.get()));
+  EXPECT_EQ(Instances(view, w.domains.get()),
+            Instances(oracle, w.domains.get()))
+      << "seed " << GetParam() << "\nprogram:\n"
+      << p.ToString() << "request: " << req.ToString(p.names());
+}
+
+TEST_P(RandomProgramProperty, DRedMatchesDeclarativeDeletion) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam() * 31 + 7);
+  workload::RandomProgramOptions opts;
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  FixpointOptions fp;
+  fp.semantics = DupSemantics::kSet;
+  View view = Unwrap(Materialize(p, w.domains.get(), fp));
+  size_t fact_count = 0;
+  for (const Clause& c : p.clauses()) fact_count += c.IsFact() ? 1 : 0;
+  maint::UpdateAtom req = workload::DeleteFactRequest(
+      p, static_cast<size_t>(rng.Int(0, static_cast<int64_t>(fact_count))));
+
+  View result =
+      Unwrap(maint::DeleteDRed(p, view, req, w.domains.get(), fp));
+  View oracle =
+      Unwrap(maint::RecomputeAfterDeletion(p, req, w.domains.get(), fp));
+  EXPECT_EQ(Instances(result, w.domains.get()),
+            Instances(oracle, w.domains.get()))
+      << "seed " << GetParam() << "\nprogram:\n"
+      << p.ToString() << "request: " << req.ToString(p.names());
+}
+
+TEST_P(RandomProgramProperty, InsertMatchesDeclarativeInsertion) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam() * 131 + 3);
+  workload::RandomProgramOptions opts;
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  View view = testutil::MaterializeOrDie(p, w.domains.get());
+  // Insert a random base atom (possibly overlapping existing instances).
+  maint::UpdateAtom req;
+  req.pred = "base" + std::to_string(rng.Int(0, opts.base_preds - 1));
+  VarId x = p.factory()->Fresh();
+  req.args = {Term::Var(x)};
+  int64_t lo = rng.Int(0, opts.const_pool);
+  req.constraint.Add(Primitive::In(
+      Term::Var(x),
+      DomainCall{"arith",
+                 "between",
+                 {Term::Const(Value(lo)), Term::Const(Value(lo + 2))}}));
+
+  int ext = 0;
+  Status s =
+      maint::InsertAtom(p, &view, req, w.domains.get(), {}, nullptr, &ext);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  View oracle =
+      Unwrap(maint::RecomputeAfterInsertion(p, req, w.domains.get()));
+  EXPECT_EQ(Instances(view, w.domains.get()),
+            Instances(oracle, w.domains.get()))
+      << "seed " << GetParam() << "\nprogram:\n"
+      << p.ToString() << "request: " << req.ToString(p.names());
+}
+
+TEST_P(RandomProgramProperty, SetAndDuplicateSemanticsAgreeOnInstances) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam() * 977 + 11);
+  workload::RandomProgramOptions opts;
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  View dup = testutil::MaterializeOrDie(p, w.domains.get());
+  FixpointOptions fp;
+  fp.semantics = DupSemantics::kSet;
+  View set = Unwrap(Materialize(p, w.domains.get(), fp));
+  EXPECT_EQ(Instances(dup, w.domains.get()), Instances(set, w.domains.get()))
+      << "seed " << GetParam();
+  EXPECT_LE(set.size(), dup.size());
+}
+
+TEST_P(RandomProgramProperty, WpAgreesWithTpOnInstances) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam() * 733 + 5);
+  workload::RandomProgramOptions opts;
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  View tp = testutil::MaterializeOrDie(p, w.domains.get());
+  FixpointOptions wp_opts;
+  wp_opts.op = OperatorKind::kWp;
+  View wp = Unwrap(Materialize(p, w.domains.get(), wp_opts));
+  // Corollary 1: [W_P view] == [T_P view] (evaluated at the same time).
+  EXPECT_EQ(Instances(wp, w.domains.get()), Instances(tp, w.domains.get()))
+      << "seed " << GetParam();
+  // The W_P view can only be (syntactically) larger.
+  EXPECT_GE(wp.size(), tp.size());
+}
+
+TEST_P(RandomProgramProperty, DeleteInsertRoundTrip) {
+  TestWorld w = TestWorld::Make();
+  Rng rng(GetParam() * 389 + 17);
+  workload::RandomProgramOptions opts;
+  opts.interval_fact_prob = 0;  // ground facts only for exact round trips
+  Program p = workload::MakeRandomProgram(&rng, opts);
+
+  View view = testutil::MaterializeOrDie(p, w.domains.get());
+  auto before = Instances(view, w.domains.get());
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 1);
+
+  ASSERT_TRUE(maint::DeleteStDel(p, &view, req, w.domains.get()).ok());
+  int ext = 0;
+  ASSERT_TRUE(
+      maint::InsertAtom(p, &view, req, w.domains.get(), {}, nullptr, &ext)
+          .ok());
+  EXPECT_EQ(Instances(view, w.domains.get()), before)
+      << "seed " << GetParam() << "\nprogram:\n"
+      << p.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace mmv

@@ -1,0 +1,151 @@
+// Unit tests for constraint simplification.
+
+#include <gtest/gtest.h>
+
+#include "constraint/simplify.h"
+
+namespace mmv {
+namespace {
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(SimplifyTest, DissolvesEqualities) {
+  // head a(X0), X0 = X1, X1 = 5  ==>  head a(5), true.
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), V(1)));
+  c.Add(Primitive::Eq(V(1), C(5)));
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  EXPECT_EQ(s.head, (TermVec{C(5)}));
+  EXPECT_TRUE(s.constraint.is_true());
+}
+
+TEST(SimplifyTest, DetectsConstantConflict) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(1)));
+  c.Add(Primitive::Eq(V(0), C(2)));
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  EXPECT_TRUE(s.constraint.is_false());
+}
+
+TEST(SimplifyTest, EvaluatesGroundPrimitives) {
+  Constraint c;
+  c.Add(Primitive::Cmp(C(2), CmpOp::kLe, C(3)));  // true: dropped
+  c.Add(Primitive::Neq(C(1), C(2)));              // true: dropped
+  SimplifiedAtom s = SimplifyAtom({}, c);
+  EXPECT_TRUE(s.constraint.is_true());
+
+  Constraint f;
+  f.Add(Primitive::Cmp(C(5), CmpOp::kLt, C(3)));  // false
+  EXPECT_TRUE(SimplifyAtom({}, f).constraint.is_false());
+}
+
+TEST(SimplifyTest, SelfComparisons) {
+  Constraint le;
+  le.Add(Primitive::Cmp(V(0), CmpOp::kLe, V(0)));  // X <= X: true
+  EXPECT_TRUE(SimplifyAtom({V(0)}, le).constraint.is_true());
+
+  Constraint lt;
+  lt.Add(Primitive::Cmp(V(0), CmpOp::kLt, V(0)));  // X < X: false
+  EXPECT_TRUE(SimplifyAtom({V(0)}, lt).constraint.is_false());
+
+  Constraint neq;
+  neq.Add(Primitive::Neq(V(0), V(0)));  // X != X: false
+  EXPECT_TRUE(SimplifyAtom({V(0)}, neq).constraint.is_false());
+}
+
+TEST(SimplifyTest, RewritesThroughEqualityIntoLiterals) {
+  // X0 = X1 & X1 != 3  ==>  X0 != 3 (single representative).
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), V(1)));
+  c.Add(Primitive::Neq(V(1), C(3)));
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  ASSERT_EQ(s.constraint.prims().size(), 1u);
+  EXPECT_EQ(s.constraint.prims()[0].kind, PrimKind::kNeq);
+  EXPECT_EQ(s.constraint.prims()[0].lhs, V(0));
+}
+
+TEST(SimplifyTest, DeduplicatesLiterals) {
+  Constraint c;
+  c.Add(Primitive::Neq(V(0), C(3)));
+  c.Add(Primitive::Neq(V(0), C(3)));
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  EXPECT_EQ(s.constraint.prims().size(), 1u);
+}
+
+TEST(SimplifyTest, TautologicalNotBlockDropped) {
+  // not(1 = 2) == true: the block disappears.
+  Constraint c;
+  c.Add(Primitive::Neq(V(0), C(9)));
+  NotBlock b;
+  b.prims.push_back(Primitive::Eq(C(1), C(2)));
+  c.AddNot(b);
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  EXPECT_TRUE(s.constraint.nots().empty());
+  EXPECT_EQ(s.constraint.prims().size(), 1u);
+}
+
+TEST(SimplifyTest, TrueBodyNotBlockMakesFalse) {
+  // not(1 = 1) == false: the whole constraint is false.
+  Constraint c;
+  NotBlock b;
+  b.prims.push_back(Primitive::Eq(C(1), C(1)));
+  c.AddNot(b);
+  EXPECT_TRUE(SimplifyAtom({}, c).constraint.is_false());
+}
+
+TEST(SimplifyTest, EqualityPropagatesIntoBlocks) {
+  // X0 = 5 & not(X0 = 5): block body becomes ground-true -> false.
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), C(5)));
+  NotBlock b;
+  b.prims.push_back(Primitive::Eq(V(0), C(5)));
+  c.AddNot(b);
+  EXPECT_TRUE(SimplifyAtom({V(0)}, c).constraint.is_false());
+
+  // X0 = 5 & not(X0 = 6): block body ground-false -> dropped (true).
+  Constraint c2;
+  c2.Add(Primitive::Eq(V(0), C(5)));
+  NotBlock b2;
+  b2.prims.push_back(Primitive::Eq(V(0), C(6)));
+  c2.AddNot(b2);
+  SimplifiedAtom s2 = SimplifyAtom({V(0)}, c2);
+  EXPECT_FALSE(s2.constraint.is_false());
+  EXPECT_TRUE(s2.constraint.nots().empty());
+}
+
+TEST(SimplifyTest, NestedBlocksSimplifyRecursively) {
+  // not(X0 != 9 & not(1 = 1)): inner not(true) == false makes the outer
+  // body false, so the outer block is a tautology and disappears.
+  Constraint c;
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Neq(V(0), C(9)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Eq(C(1), C(1)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  EXPECT_TRUE(s.constraint.is_true());
+}
+
+TEST(SimplifyTest, InCallArgumentsRewritten) {
+  Constraint c;
+  c.Add(Primitive::Eq(V(1), C(7)));
+  c.Add(Primitive::In(V(0), DomainCall{"d", "f", {V(1)}}));
+  SimplifiedAtom s = SimplifyAtom({V(0)}, c);
+  ASSERT_EQ(s.constraint.prims().size(), 1u);
+  EXPECT_EQ(s.constraint.prims()[0].call.args[0], C(7));
+}
+
+TEST(SimplifyTest, FalseInputStaysFalse) {
+  EXPECT_TRUE(SimplifyAtom({}, Constraint::False()).constraint.is_false());
+}
+
+TEST(SimplifyTest, SimplifyConstraintConvenience) {
+  Constraint c;
+  c.Add(Primitive::Eq(C(1), C(1)));
+  EXPECT_TRUE(SimplifyConstraint(c).is_true());
+}
+
+}  // namespace
+}  // namespace mmv

@@ -1,0 +1,95 @@
+// Unit tests for substitutions and renaming.
+
+#include <gtest/gtest.h>
+
+#include "constraint/substitution.h"
+
+namespace mmv {
+namespace {
+
+Term V(VarId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value(c)); }
+
+TEST(SubstitutionTest, LookupAndApply) {
+  Substitution s;
+  s.Bind(0, C(7));
+  s.Bind(1, V(5));
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_EQ(s.Apply(V(0)), C(7));
+  EXPECT_EQ(s.Apply(V(1)), V(5));
+  EXPECT_EQ(s.Apply(V(2)), V(2));   // unbound: identity
+  EXPECT_EQ(s.Apply(C(3)), C(3));   // constants untouched
+}
+
+TEST(SubstitutionTest, NoChasing) {
+  // Single-step application: X0 -> X1 even if X1 -> c.
+  Substitution s;
+  s.Bind(0, V(1));
+  s.Bind(1, C(9));
+  EXPECT_EQ(s.Apply(V(0)), V(1));
+}
+
+TEST(SubstitutionTest, ApplyToTermVec) {
+  Substitution s;
+  s.Bind(0, C(1));
+  TermVec ts = {V(0), V(2), C(5)};
+  TermVec out = s.Apply(ts);
+  EXPECT_EQ(out, (TermVec{C(1), V(2), C(5)}));
+}
+
+TEST(SubstitutionTest, ApplyToPrimitiveKinds) {
+  Substitution s;
+  s.Bind(0, C(4));
+  Primitive cmp = Primitive::Cmp(V(0), CmpOp::kLe, V(1));
+  Primitive out = s.Apply(cmp);
+  EXPECT_EQ(out.lhs, C(4));
+  EXPECT_EQ(out.rhs, V(1));
+
+  Primitive in = Primitive::In(V(0), DomainCall{"d", "f", {V(0), C(2)}});
+  Primitive in_out = s.Apply(in);
+  EXPECT_EQ(in_out.lhs, C(4));
+  EXPECT_EQ(in_out.call.args[0], C(4));
+  EXPECT_EQ(in_out.call.args[1], C(2));
+}
+
+TEST(SubstitutionTest, ApplyToConstraintWithNestedBlocks) {
+  Substitution s;
+  s.Bind(0, C(4));
+  Constraint c;
+  c.Add(Primitive::Eq(V(0), V(1)));
+  NotBlock outer;
+  outer.prims.push_back(Primitive::Neq(V(0), C(1)));
+  NotBlock inner;
+  inner.prims.push_back(Primitive::Eq(V(0), C(2)));
+  outer.inner.push_back(inner);
+  c.AddNot(outer);
+
+  Constraint out = s.Apply(c);
+  EXPECT_EQ(out.prims()[0].lhs, C(4));
+  EXPECT_EQ(out.nots()[0].prims[0].lhs, C(4));
+  EXPECT_EQ(out.nots()[0].inner[0].prims[0].lhs, C(4));
+}
+
+TEST(SubstitutionTest, ApplyToFalseStaysFalse) {
+  Substitution s;
+  s.Bind(0, C(4));
+  EXPECT_TRUE(s.Apply(Constraint::False()).is_false());
+}
+
+TEST(FreshRenamingTest, AllFreshAndDistinct) {
+  VarFactory f;
+  f.ReserveAbove(100);
+  Substitution r = FreshRenaming({1, 2, 1, 3}, &f);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_NE(r.Apply(V(1)), V(1));
+  // Fresh variables must be above the reserved mark.
+  EXPECT_GT(r.Apply(V(1)).var(), 100);
+  EXPECT_NE(r.Apply(V(1)), r.Apply(V(2)));
+  EXPECT_NE(r.Apply(V(2)), r.Apply(V(3)));
+  // Duplicated input var maps consistently.
+  EXPECT_EQ(r.Apply(V(1)), r.Apply(V(1)));
+}
+
+}  // namespace
+}  // namespace mmv

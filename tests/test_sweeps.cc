@@ -1,0 +1,185 @@
+// Parameterized structural sweeps: closed-form size/shape predictions for
+// the generated workloads, across a grid of parameters. These pin down the
+// fixpoint engine's combinatorics (atom counts, support shapes, instance
+// counts) far beyond the single-size unit tests.
+
+#include <gtest/gtest.h>
+
+#include "maintenance/stdel.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::Instances;
+using testutil::InstancesOf;
+using testutil::MaterializeOrDie;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+using DepthWidth = std::tuple<int, int>;
+
+class ChainSweep : public ::testing::TestWithParam<DepthWidth> {};
+
+TEST_P(ChainSweep, AtomAndInstanceCounts) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(depth, width);
+  FixpointStats stats;
+  View v = Unwrap(Materialize(p, w.domains.get(), {}, &stats));
+
+  // width atoms per level, depth+1 levels; single derivation each.
+  EXPECT_EQ(v.size(), static_cast<size_t>(width * (depth + 1)));
+  EXPECT_EQ(stats.duplicates_suppressed, 0);
+  EXPECT_EQ(Instances(v, w.domains.get()).size(),
+            static_cast<size_t>(width * (depth + 1)));
+  // Deepest support depth = chain depth + 1 (fact leaf).
+  size_t max_depth = 0;
+  for (const ViewAtom& a : v.atoms()) {
+    max_depth = std::max(max_depth, a.support.Depth());
+  }
+  EXPECT_EQ(max_depth, static_cast<size_t>(depth + 1));
+}
+
+TEST_P(ChainSweep, DeleteOneFactRemovesOneColumn) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(depth, width);
+  View v = MaterializeOrDie(p, w.domains.get());
+  maint::UpdateAtom req = workload::DeleteFactRequest(p, 0);
+  maint::StDelStats stats;
+  ASSERT_TRUE(
+      maint::DeleteStDel(p, &v, req, w.domains.get(), {}, &stats).ok());
+  // Exactly one atom per level is replaced and removed.
+  EXPECT_EQ(stats.replacements, static_cast<size_t>(depth + 1));
+  EXPECT_EQ(stats.removed_unsolvable, static_cast<size_t>(depth + 1));
+  EXPECT_EQ(v.size(), static_cast<size_t>((width - 1) * (depth + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChainSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 9),
+                       ::testing::Values(1, 3, 8)));
+
+class DiamondSweep : public ::testing::TestWithParam<DepthWidth> {};
+
+TEST_P(DiamondSweep, DuplicatesCountProofs) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeDiamond(depth, width);
+  View dup = MaterializeOrDie(p, w.domains.get());
+  FixpointOptions set_opts;
+  set_opts.semantics = DupSemantics::kSet;
+  View set = Unwrap(Materialize(p, w.domains.get(), set_opts));
+
+  // Duplicate semantics: b, l, r single-proof; m and every t-level have
+  // two proofs per element.
+  size_t dup_expected = static_cast<size_t>(
+      width * (3 + 2 * (1 + depth)));
+  EXPECT_EQ(dup.size(), dup_expected);
+  // Set semantics collapses the m/t duplicates.
+  size_t set_expected = static_cast<size_t>(width * (3 + (1 + depth)));
+  EXPECT_EQ(set.size(), set_expected);
+  // Same instances either way.
+  EXPECT_EQ(Instances(dup, w.domains.get()),
+            Instances(set, w.domains.get()));
+}
+
+TEST_P(DiamondSweep, DeleteOneBranchKeepsInstances) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeDiamond(depth, width);
+  View v = MaterializeOrDie(p, w.domains.get());
+  auto before_m = InstancesOf(v, "m", w.domains.get());
+
+  // Deleting all of l removes the l atoms and the l-proof duplicates of m
+  // and t, but every m/t instance survives through r.
+  Program* pp = &p;
+  maint::UpdateAtom req;
+  req.pred = "l";
+  VarId x = pp->factory()->Fresh();
+  req.args = {Term::Var(x)};
+  ASSERT_TRUE(maint::DeleteStDel(p, &v, req, w.domains.get()).ok());
+
+  EXPECT_TRUE(InstancesOf(v, "l", w.domains.get()).empty());
+  EXPECT_EQ(InstancesOf(v, "m", w.domains.get()), before_m);
+  // Exactly the l-derived atoms disappeared: width * (1 + 1 + depth).
+  size_t expected_removed = static_cast<size_t>(width * (2 + depth));
+  EXPECT_EQ(v.size(),
+            static_cast<size_t>(width * (3 + 2 * (1 + depth))) -
+                expected_removed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DiamondSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3, 6),
+                       ::testing::Values(1, 2, 5)));
+
+class TcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcSweep, PathCountsOnChains) {
+  int n = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeTransitiveClosure(workload::ChainEdges(n));
+  View v = MaterializeOrDie(p, w.domains.get());
+  // Paths on a chain of n nodes: n*(n-1)/2.
+  EXPECT_EQ(InstancesOf(v, "path", w.domains.get()).size(),
+            static_cast<size_t>(n * (n - 1) / 2));
+  // On a chain every path has exactly one derivation.
+  EXPECT_EQ(v.AtomsFor("path").size(),
+            static_cast<size_t>(n * (n - 1) / 2));
+}
+
+TEST_P(TcSweep, CutMiddleEdge) {
+  int n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeTransitiveClosure(workload::ChainEdges(n));
+  View v = MaterializeOrDie(p, w.domains.get());
+  int cut = n / 2;
+  maint::UpdateAtom req;
+  VarId x = p.factory()->Fresh(), y = p.factory()->Fresh();
+  req.pred = "e";
+  req.args = {Term::Var(x), Term::Var(y)};
+  req.constraint.Add(Primitive::Eq(
+      Term::Var(x), Term::Const(Value(static_cast<int64_t>(cut)))));
+  req.constraint.Add(Primitive::Eq(
+      Term::Var(y), Term::Const(Value(static_cast<int64_t>(cut + 1)))));
+  ASSERT_TRUE(maint::DeleteStDel(p, &v, req, w.domains.get()).ok());
+
+  // Remaining paths: within [0..cut] and within [cut+1..n-1].
+  int left = cut + 1, right = n - cut - 1;
+  size_t expected = static_cast<size_t>(left * (left - 1) / 2 +
+                                        right * (right - 1) / 2);
+  EXPECT_EQ(InstancesOf(v, "path", w.domains.get()).size(), expected);
+
+  View oracle = Unwrap(
+      maint::RecomputeAfterDeletion(p, req, w.domains.get()));
+  EXPECT_EQ(Instances(v, w.domains.get()),
+            Instances(oracle, w.domains.get()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcSweep, ::testing::Values(2, 4, 6, 9));
+
+class IntervalSweep : public ::testing::TestWithParam<DepthWidth> {};
+
+TEST_P(IntervalSweep, AtomCountIndependentOfSpan) {
+  auto [depth, span] = GetParam();
+  TestWorld w = TestWorld::Make();
+  const int width = 3;
+  Program p = workload::MakeIntervalChain(depth, width, span);
+  View v = MaterializeOrDie(p, w.domains.get());
+  EXPECT_EQ(v.size(), static_cast<size_t>(width * (depth + 1)));
+  // Instance count: each level knocks out one point of the first range
+  // (if within span), all ranges have span points.
+  auto insts = Instances(v, w.domains.get());
+  EXPECT_GE(insts.size(), static_cast<size_t>(width * span));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntervalSweep,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(5, 20)));
+
+}  // namespace
+}  // namespace mmv

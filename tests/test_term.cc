@@ -1,0 +1,74 @@
+// Unit tests for constraint/term.
+
+#include <gtest/gtest.h>
+
+#include "constraint/term.h"
+
+namespace mmv {
+namespace {
+
+TEST(TermTest, VarAndConst) {
+  Term v = Term::Var(3);
+  EXPECT_TRUE(v.is_var());
+  EXPECT_FALSE(v.is_const());
+  EXPECT_EQ(v.var(), 3);
+
+  Term c = Term::Const(Value(7));
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.constant(), Value(7));
+}
+
+TEST(TermTest, DefaultIsNullConstant) {
+  Term t;
+  EXPECT_TRUE(t.is_const());
+  EXPECT_TRUE(t.constant().is_null());
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Var(1), Term::Var(1));
+  EXPECT_NE(Term::Var(1), Term::Var(2));
+  EXPECT_EQ(Term::Const(Value("a")), Term::Const(Value("a")));
+  EXPECT_NE(Term::Const(Value("a")), Term::Const(Value("b")));
+  EXPECT_NE(Term::Var(1), Term::Const(Value(1)));
+}
+
+TEST(TermTest, HashDistinguishesVarFromConst) {
+  EXPECT_NE(Term::Var(1).Hash(), Term::Const(Value(1)).Hash());
+  EXPECT_EQ(Term::Var(5).Hash(), Term::Var(5).Hash());
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Var(2).ToString(), "X2");
+  EXPECT_EQ(Term::Const(Value("a")).ToString(), "\"a\"");
+  EXPECT_EQ(Term::Const(Value(5)).ToString(), "5");
+}
+
+TEST(VarFactoryTest, FreshIsMonotone) {
+  VarFactory f;
+  VarId a = f.Fresh();
+  VarId b = f.Fresh();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(f.issued(), 2);
+}
+
+TEST(VarFactoryTest, ReserveAbove) {
+  VarFactory f;
+  f.ReserveAbove(10);
+  EXPECT_GT(f.Fresh(), 10);
+  f.ReserveAbove(5);  // no-op: already above
+  EXPECT_GT(f.Fresh(), 11);
+}
+
+TEST(CollectVarsTest, FirstAppearanceOrderNoDuplicates) {
+  TermVec terms = {Term::Var(3), Term::Const(Value(1)), Term::Var(1),
+                   Term::Var(3)};
+  std::vector<VarId> vars;
+  CollectVars(terms, &vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{3, 1}));
+  // Appending preserves existing entries.
+  CollectVars({Term::Var(2), Term::Var(1)}, &vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{3, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mmv

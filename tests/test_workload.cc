@@ -1,0 +1,124 @@
+// Unit tests for the workload generators themselves (the benchmarks'
+// foundations must be trustworthy).
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/law_enforcement.h"
+
+namespace mmv {
+namespace {
+
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+TEST(GeneratorTest, ChainShape) {
+  Program p = workload::MakeChain(3, 5);
+  // 5 facts + 3 rules.
+  EXPECT_EQ(p.size(), 8u);
+  size_t facts = 0;
+  for (const Clause& c : p.clauses()) facts += c.IsFact() ? 1 : 0;
+  EXPECT_EQ(facts, 5u);
+  EXPECT_FALSE(p.IsRecursive());
+}
+
+TEST(GeneratorTest, MultiChainIsIndependent) {
+  Program p = workload::MakeMultiChain(3, 2, 2);
+  // Predicates of different chains never co-occur in one clause.
+  for (const Clause& c : p.clauses()) {
+    for (const BodyAtom& b : c.body) {
+      EXPECT_EQ(c.head_pred.substr(0, 2), b.pred.substr(0, 2));
+    }
+  }
+  EXPECT_EQ(p.size(), 3u * (2 + 2));
+}
+
+TEST(GeneratorTest, TcIsRecursive) {
+  Program p = workload::MakeTransitiveClosure(workload::ChainEdges(3));
+  EXPECT_TRUE(p.IsRecursive());
+}
+
+TEST(GeneratorTest, ChainEdges) {
+  EXPECT_TRUE(workload::ChainEdges(1).empty());
+  auto e = workload::ChainEdges(4);
+  EXPECT_EQ(e, (std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(GeneratorTest, RandomDagEdgesAreForwardAndUnique) {
+  Rng rng(5);
+  auto edges = workload::RandomDagEdges(&rng, 10, 20);
+  std::set<std::pair<int, int>> seen;
+  for (auto [a, b] : edges) {
+    EXPECT_LT(a, b);  // forward edges only: acyclic by construction
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate edge";
+  }
+  // The backbone chain is always included.
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_TRUE(seen.count({i, i + 1}));
+  }
+}
+
+TEST(GeneratorTest, DeleteFactRequestWraps) {
+  Program p = workload::MakeChain(2, 3);
+  maint::UpdateAtom r0 = workload::DeleteFactRequest(p, 0);
+  maint::UpdateAtom r3 = workload::DeleteFactRequest(p, 3);  // wraps to 0
+  EXPECT_EQ(r0.pred, "p0");
+  EXPECT_EQ(r0.constraint.ToString(), r3.constraint.ToString());
+}
+
+TEST(GeneratorTest, RandomProgramsAreAcyclicAndMaterializable) {
+  TestWorld w = TestWorld::Make();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    Program p = workload::MakeRandomProgram(&rng, {});
+    EXPECT_FALSE(p.IsRecursive()) << "seed " << seed;
+    EXPECT_TRUE(Materialize(p, w.domains.get()).ok()) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, IntervalChainInstanceMath) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeIntervalChain(/*depth=*/2, /*width=*/2,
+                                          /*span=*/10);
+  View v = testutil::MaterializeOrDie(p, w.domains.get());
+  // b0: 2 ranges x 10 instances; b1 knocks out point 0; b2 knocks out 1.
+  auto b0 = testutil::InstancesOf(v, "b0", w.domains.get());
+  auto b2 = testutil::InstancesOf(v, "b2", w.domains.get());
+  EXPECT_EQ(b0.size(), 20u);
+  EXPECT_EQ(b2.size(), 18u);  // 0 and 1 removed from the first range
+}
+
+TEST(LawEnforcementGenTest, OptionKnobsRespected) {
+  workload::LawEnforcementOptions opts;
+  opts.num_people = 5;
+  opts.num_photos = 2;
+  opts.faces_per_photo = 2;
+  opts.employee_prob = 1.0;  // everyone employed
+  opts.near_dc_prob = 0.0;   // nobody near DC
+  opts.seed = 1;
+  auto s = Unwrap(workload::MakeLawEnforcement(opts));
+  EXPECT_EQ(s->people.size(), 5u);
+  EXPECT_EQ(s->employees.size(), 5u);
+  EXPECT_TRUE(s->near_dc.empty());
+  // Nobody near DC -> no suspects regardless of photos.
+  EXPECT_TRUE(s->expected_suspects.empty());
+  // Each photo contains the target + 1 other: at most 2 distinct others.
+  EXPECT_LE(s->expected_seenwith.size(), 2u);
+}
+
+TEST(LawEnforcementGenTest, GroundTruthConsistency) {
+  workload::LawEnforcementOptions opts;
+  opts.seed = 33;
+  auto s = Unwrap(workload::MakeLawEnforcement(opts));
+  // suspects = seenwith  intersect near_dc intersect employees, by
+  // construction.
+  for (const std::string& name : s->expected_suspects) {
+    EXPECT_TRUE(s->expected_seenwith.count(name));
+    EXPECT_TRUE(s->near_dc.count(name));
+    EXPECT_TRUE(s->employees.count(name));
+  }
+}
+
+}  // namespace
+}  // namespace mmv
