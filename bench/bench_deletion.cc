@@ -58,6 +58,10 @@ void BM_Delete_StDel(benchmark::State& state) {
   state.counters["view_atoms"] = static_cast<double>(base.size());
   state.counters["replacements"] = static_cast<double>(stats.replacements);
   state.counters["rederivations"] = 0;  // StDel never rederives
+  View::IndexStats idx = base.index_stats();
+  state.counters["index_postings"] = static_cast<double>(idx.postings);
+  state.counters["index_child_entries"] =
+      static_cast<double>(idx.child_entries);
 }
 
 void BM_Delete_DRed(benchmark::State& state) {

@@ -43,6 +43,10 @@ void BM_Insert_Incremental(benchmark::State& state) {
   state.counters["atoms_added"] = static_cast<double>(stats.atoms_added);
   state.counters["unfold_derivs"] =
       static_cast<double>(stats.unfold_derivations);
+  View::IndexStats idx = base.index_stats();
+  state.counters["index_postings"] = static_cast<double>(idx.postings);
+  state.counters["index_support_entries"] =
+      static_cast<double>(idx.support_entries);
 }
 
 void BM_Insert_Recompute(benchmark::State& state) {

@@ -1,0 +1,42 @@
+#include "common/interner.h"
+
+#include <mutex>
+
+namespace mmv {
+
+Interner& Interner::Global() {
+  static Interner* instance = new Interner();
+  return *instance;
+}
+
+Interner::Interner() {
+  names_.emplace_back();  // id 0: the empty string
+  ids_.emplace(std::string_view(names_.back()), 0);
+}
+
+uint32_t Interner::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;  // raced with another writer
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+const std::string& Interner::NameOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace mmv

@@ -1,0 +1,99 @@
+// String interning: Symbol is a 32-bit handle into a process-wide table of
+// predicate / relation names. Equality and hashing are integer operations;
+// the name round-trips through name() for parsing and printing.
+//
+// Interned ids are dense and stable for the lifetime of the process, which
+// makes Symbol suitable as an index key across every layer (core ViewStore
+// posting lists, maintenance P_OUT matching, datalog relations).
+
+#ifndef MMV_COMMON_INTERNER_H_
+#define MMV_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mmv {
+
+/// \brief The process-wide symbol table. Thread-safe; names are never freed.
+class Interner {
+ public:
+  /// \brief The global table (id 0 is the empty string).
+  static Interner& Global();
+
+  /// \brief Returns the id of \p name, interning it on first sight.
+  uint32_t Intern(std::string_view name);
+
+  /// \brief The name of \p id. Ids come only from Intern, so this never
+  /// fails; the reference is stable for the process lifetime.
+  const std::string& NameOf(uint32_t id) const;
+
+  /// \brief Number of distinct symbols interned so far.
+  size_t size() const;
+
+ private:
+  Interner();
+
+  mutable std::shared_mutex mu_;
+  // Keys view into names_ entries; std::deque keeps addresses stable.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::deque<std::string> names_;
+};
+
+/// \brief An interned string. Copyable, trivially comparable, hashable.
+///
+/// The default-constructed Symbol is the empty string (id 0) and tests
+/// false via empty().
+class Symbol {
+ public:
+  Symbol() : id_(0) {}
+  Symbol(std::string_view name) : id_(Interner::Global().Intern(name)) {}
+  Symbol(const std::string& name) : Symbol(std::string_view(name)) {}
+  Symbol(const char* name) : Symbol(std::string_view(name)) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return Interner::Global().NameOf(id_); }
+  bool empty() const { return id_ == 0; }
+
+  bool operator==(Symbol other) const { return id_ == other.id_; }
+  bool operator!=(Symbol other) const { return id_ != other.id_; }
+  /// \brief Name order (deterministic across runs, unlike id order).
+  bool operator<(Symbol other) const {
+    return id_ != other.id_ && name() < other.name();
+  }
+
+ private:
+  uint32_t id_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Symbol s) {
+  return os << s.name();
+}
+
+inline std::string operator+(const std::string& lhs, Symbol rhs) {
+  return lhs + rhs.name();
+}
+inline std::string operator+(Symbol lhs, const std::string& rhs) {
+  return lhs.name() + rhs;
+}
+
+/// \brief gtest value printer (keeps EXPECT_EQ failure output readable).
+inline void PrintTo(Symbol s, std::ostream* os) {
+  *os << '"' << s.name() << '"';
+}
+
+}  // namespace mmv
+
+namespace std {
+template <>
+struct hash<mmv::Symbol> {
+  size_t operator()(mmv::Symbol s) const noexcept { return s.id(); }
+};
+}  // namespace std
+
+#endif  // MMV_COMMON_INTERNER_H_

@@ -105,7 +105,7 @@ class Renamer {
 
 }  // namespace
 
-std::string CanonicalAtomString(const std::string& pred, const TermVec& args,
+std::string CanonicalAtomString(Symbol pred, const TermVec& args,
                                 const Constraint& c) {
   SimplifiedAtom s = SimplifyAtom(args, c);
   if (s.constraint.is_false()) {

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "common/interner.h"
 #include "constraint/constraint.h"
 
 namespace mmv {
@@ -20,7 +21,7 @@ namespace mmv {
 ///
 /// Simplifies the constraint, orders literals by a variable-insensitive key,
 /// then renames variables by first appearance.
-std::string CanonicalAtomString(const std::string& pred, const TermVec& args,
+std::string CanonicalAtomString(Symbol pred, const TermVec& args,
                                 const Constraint& c);
 
 }  // namespace mmv

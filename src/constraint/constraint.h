@@ -73,6 +73,7 @@ struct Primitive {
   Primitive Negated() const;
 
   bool operator==(const Primitive& other) const;
+  bool operator!=(const Primitive& other) const { return !(*this == other); }
   size_t Hash() const;
   std::string ToString() const;
 

@@ -89,8 +89,8 @@ std::string PrintConstraint(const Constraint& c, const VarNames* names) {
   return os.str();
 }
 
-std::string PrintAtom(const std::string& pred, const TermVec& args,
-                      const Constraint& c, const VarNames* names) {
+std::string PrintAtom(Symbol pred, const TermVec& args, const Constraint& c,
+                      const VarNames* names) {
   std::ostringstream os;
   os << pred << "(";
   for (size_t i = 0; i < args.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/interner.h"
 #include "constraint/constraint.h"
 
 namespace mmv {
@@ -33,8 +34,8 @@ std::string PrintTerm(const Term& t, const VarNames* names);
 std::string PrintConstraint(const Constraint& c, const VarNames* names);
 
 /// \brief Renders pred(args) <- constraint.
-std::string PrintAtom(const std::string& pred, const TermVec& args,
-                      const Constraint& c, const VarNames* names);
+std::string PrintAtom(Symbol pred, const TermVec& args, const Constraint& c,
+                      const VarNames* names);
 
 }  // namespace mmv
 

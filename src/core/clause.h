@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "constraint/constraint.h"
 #include "constraint/printer.h"
 #include "constraint/substitution.h"
@@ -19,7 +20,7 @@ namespace mmv {
 
 /// \brief An ordinary (non-constraint) body atom Ai(ti).
 struct BodyAtom {
-  std::string pred;
+  Symbol pred;
   TermVec args;
 
   bool operator==(const BodyAtom& other) const {
@@ -31,7 +32,7 @@ struct BodyAtom {
 /// \brief One mediator rule.
 struct Clause {
   int number = -1;  ///< Cn(C): assigned by Program::AddClause
-  std::string head_pred;
+  Symbol head_pred;
   TermVec head_args;
   Constraint constraint;        ///< D1 ^ ... ^ Dm (possibly with not-blocks)
   std::vector<BodyAtom> body;   ///< A1, ..., An (empty for constrained facts)

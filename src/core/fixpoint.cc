@@ -1,7 +1,6 @@
 #include "core/fixpoint.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "constraint/canonical.h"
@@ -24,9 +23,21 @@ class Engine {
 
   Result<View> Run(View initial, size_t delta_begin) {
     // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
-    for (ViewAtom& a : initial.atoms()) {
-      ReserveVars(a);
-      AddAtom(std::move(a));
+    // Under duplicate semantics the view moves in wholesale — its indexes
+    // (by-predicate postings, support hash) arrive ready-built, and seed
+    // supports are unique identities already (Lemma 1). Set semantics has
+    // no such guarantee (maintenance can collapse distinct atoms onto one
+    // canonical form), so seeds are re-added one by one to suppress
+    // canonical duplicates, exactly like derived atoms.
+    factory_.ReserveAbove(initial.MaxVarId());
+    if (options_.semantics == DupSemantics::kSet) {
+      VarId seed_bound = initial.MaxVarId();
+      std::vector<ViewAtom> seeds = initial.TakeAtoms();
+      for (ViewAtom& a : seeds) AddAtom(std::move(a));
+      view_.NoteExternalVars(seed_bound);  // TakeAtoms reset initial's mark
+    } else {
+      stats_->atoms_created += initial.size();
+      view_ = std::move(initial);
     }
     delta_begin = std::min(delta_begin, view_.size());
 
@@ -75,13 +86,6 @@ class Engine {
     return std::move(view_);
   }
 
-  void ReserveVars(const ViewAtom& a) {
-    std::vector<VarId> vars;
-    CollectVars(a.args, &vars);
-    for (VarId v : a.constraint.Variables()) factory_.ReserveAbove(v);
-    for (VarId v : vars) factory_.ReserveAbove(v);
-  }
-
   // Enumerates body-atom combinations for clause c with the standard
   // seminaive pivot trick: position `pivot` ranges over the newest delta,
   // earlier positions over strictly older atoms, later positions over
@@ -91,9 +95,9 @@ class Engine {
     size_t n = c.body.size();
     std::vector<const std::vector<size_t>*> lists(n);
     for (size_t i = 0; i < n; ++i) {
-      auto it = by_pred_.find(c.body[i].pred);
-      if (it == by_pred_.end()) return Status::OK();  // no candidates at all
-      lists[i] = &it->second;
+      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
+      if (list.empty()) return Status::OK();  // no candidates at all
+      lists[i] = &list;
     }
     std::vector<size_t> chosen(n);
     for (size_t pivot = 0; pivot < n; ++pivot) {
@@ -155,7 +159,7 @@ class Engine {
       const TermVec& pattern = renamed.body[i].args;
       if (inst.args.size() != pattern.size()) {
         return Status::InvalidArgument(
-            "arity mismatch joining " + inst.pred + "/" +
+            "arity mismatch joining " + inst.pred.name() + "/" +
             std::to_string(inst.args.size()) + " against clause " +
             std::to_string(c.number));
       }
@@ -209,18 +213,15 @@ class Engine {
     return Status::OK();
   }
 
-  // Appends the atom unless it is a duplicate; maintains indexes.
+  // Appends the atom unless it is a duplicate. The view's own indexes
+  // (by-predicate postings, support hash) are maintained by View::Add;
+  // duplicate detection probes them directly.
   bool AddAtom(ViewAtom atom) {
     if (options_.semantics == DupSemantics::kDuplicate) {
-      size_t h = atom.support.Hash();
-      auto [lo, hi] = support_index_.equal_range(h);
-      for (auto it = lo; it != hi; ++it) {
-        if (view_.atoms()[it->second].support == atom.support) {
-          stats_->duplicates_suppressed++;
-          return false;
-        }
+      if (view_.HasSupport(atom.support)) {
+        stats_->duplicates_suppressed++;
+        return false;
       }
-      support_index_.emplace(h, view_.size());
     } else {
       std::string key =
           CanonicalAtomString(atom.pred, atom.args, atom.constraint);
@@ -229,7 +230,6 @@ class Engine {
         return false;
       }
     }
-    by_pred_[atom.pred].push_back(view_.size());
     stats_->atoms_created++;
     view_.Add(std::move(atom));
     return true;
@@ -242,8 +242,6 @@ class Engine {
   VarFactory factory_;
 
   View view_;
-  std::unordered_map<std::string, std::vector<size_t>> by_pred_;
-  std::unordered_multimap<size_t, size_t> support_index_;
   std::unordered_set<std::string> canonical_seen_;
 };
 

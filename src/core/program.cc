@@ -22,7 +22,7 @@ const Clause* Program::ClauseByNumber(int number) const {
   return &clauses_[static_cast<size_t>(number - 1)];
 }
 
-const std::vector<size_t>& Program::ClausesFor(const std::string& pred) const {
+const std::vector<size_t>& Program::ClausesFor(Symbol pred) const {
   if (by_pred_.empty()) {
     for (size_t i = 0; i < clauses_.size(); ++i) {
       by_pred_[clauses_[i].head_pred].push_back(i);
@@ -33,35 +33,34 @@ const std::vector<size_t>& Program::ClausesFor(const std::string& pred) const {
   return it == by_pred_.end() ? kEmpty : it->second;
 }
 
-std::vector<std::string> Program::HeadPredicates() const {
-  std::set<std::string> preds;
+std::vector<Symbol> Program::HeadPredicates() const {
+  std::set<Symbol> preds;
   for (const Clause& c : clauses_) preds.insert(c.head_pred);
   return {preds.begin(), preds.end()};
 }
 
 bool Program::IsRecursive() const {
   // Build the predicate dependency graph and look for a cycle.
-  std::set<std::string> preds;
+  std::set<Symbol> preds;
   for (const Clause& c : clauses_) preds.insert(c.head_pred);
-  std::unordered_map<std::string, std::set<std::string>> deps;
+  std::unordered_map<Symbol, std::set<Symbol>> deps;
   for (const Clause& c : clauses_) {
     for (const BodyAtom& a : c.body) {
       if (preds.count(a.pred)) deps[c.head_pred].insert(a.pred);
     }
   }
   // DFS cycle detection.
-  std::unordered_map<std::string, int> color;  // 0 white, 1 gray, 2 black
-  std::function<bool(const std::string&)> dfs =
-      [&](const std::string& p) -> bool {
+  std::unordered_map<Symbol, int> color;  // 0 white, 1 gray, 2 black
+  std::function<bool(Symbol)> dfs = [&](Symbol p) -> bool {
     color[p] = 1;
-    for (const std::string& q : deps[p]) {
+    for (Symbol q : deps[p]) {
       if (color[q] == 1) return true;
       if (color[q] == 0 && dfs(q)) return true;
     }
     color[p] = 2;
     return false;
   };
-  for (const std::string& p : preds) {
+  for (Symbol p : preds) {
     if (color[p] == 0 && dfs(p)) return true;
   }
   return false;

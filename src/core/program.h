@@ -29,10 +29,10 @@ class Program {
   const Clause* ClauseByNumber(int number) const;
 
   /// \brief Indices of clauses whose head predicate is \p pred.
-  const std::vector<size_t>& ClausesFor(const std::string& pred) const;
+  const std::vector<size_t>& ClausesFor(Symbol pred) const;
 
-  /// \brief Every predicate appearing in a head.
-  std::vector<std::string> HeadPredicates() const;
+  /// \brief Every predicate appearing in a head (name order).
+  std::vector<Symbol> HeadPredicates() const;
 
   /// \brief True if any clause with head \p pred has a nonempty body that
   /// (transitively) can reach \p pred again.
@@ -52,7 +52,7 @@ class Program {
 
  private:
   std::vector<Clause> clauses_;
-  mutable std::unordered_map<std::string, std::vector<size_t>> by_pred_;
+  mutable std::unordered_map<Symbol, std::vector<size_t>> by_pred_;
   VarFactory factory_;
   VarNames names_;
 };

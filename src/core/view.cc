@@ -1,33 +1,105 @@
 #include "core/view.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mmv {
 
-void View::Add(ViewAtom atom) { atoms_.push_back(std::move(atom)); }
+namespace {
 
-std::vector<size_t> View::AtomsFor(const std::string& pred) const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < atoms_.size(); ++i) {
-    if (atoms_[i].pred == pred) out.push_back(i);
+VarId MaxVarOf(const ViewAtom& a) {
+  VarId max_id = -1;
+  std::vector<VarId> vars;
+  CollectVars(a.args, &vars);
+  for (VarId v : vars) max_id = std::max(max_id, v);
+  for (VarId v : a.constraint.Variables()) max_id = std::max(max_id, v);
+  return max_id;
+}
+
+}  // namespace
+
+void View::IndexAtom(size_t i) {
+  const ViewAtom& a = atoms_[i];
+  by_pred_[a.pred].push_back(i);
+  by_support_.emplace(a.support.Hash(), i);
+  for (size_t k = 0; k < a.support.children().size(); ++k) {
+    child_index_.emplace(a.support.children()[k].Hash(),
+                         std::make_pair(i, k));
   }
+}
+
+void View::RebuildIndexes() {
+  by_pred_.clear();
+  by_support_.clear();
+  child_index_.clear();
+  for (size_t i = 0; i < atoms_.size(); ++i) IndexAtom(i);
+}
+
+void View::Add(ViewAtom atom) {
+  max_var_ = std::max(max_var_, MaxVarOf(atom));
+  atoms_.push_back(std::move(atom));
+  IndexAtom(atoms_.size() - 1);
+}
+
+std::vector<ViewAtom> View::TakeAtoms() {
+  std::vector<ViewAtom> out = std::move(atoms_);
+  atoms_.clear();
+  by_pred_.clear();
+  by_support_.clear();
+  child_index_.clear();
+  max_var_ = -1;
   return out;
 }
 
+const std::vector<size_t>& View::AtomsFor(Symbol pred) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = by_pred_.find(pred);
+  return it == by_pred_.end() ? kEmpty : it->second;
+}
+
 bool View::HasSupport(const Support& s) const {
-  for (const ViewAtom& a : atoms_) {
-    if (a.support == s) return true;
+  return IndexOfSupport(s) >= 0;
+}
+
+int64_t View::IndexOfSupport(const Support& s) const {
+  auto [lo, hi] = by_support_.equal_range(s.Hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (atoms_[it->second].support == s) {
+      return static_cast<int64_t>(it->second);
+    }
   }
-  return false;
+  return -1;
+}
+
+std::vector<std::pair<size_t, size_t>> View::ParentsOfChildSupport(
+    const Support& s) const {
+  std::vector<std::pair<size_t, size_t>> out;
+  ForEachParentOfChild(
+      s, [&](size_t parent, size_t slot) { out.emplace_back(parent, slot); });
+  return out;
 }
 
 void View::MarkAll(bool value) {
   for (ViewAtom& a : atoms_) a.marked = value;
 }
 
+View::IndexStats View::index_stats() const {
+  IndexStats st;
+  st.predicates = by_pred_.size();
+  for (const auto& [_, list] : by_pred_) st.postings += list.size();
+  st.support_entries = by_support_.size();
+  st.child_entries = child_index_.size();
+  return st;
+}
+
 size_t View::ApproxBytes() const {
   size_t bytes = sizeof(View);
   for (const ViewAtom& a : atoms_) bytes += a.ApproxBytes();
+  bytes += by_pred_.size() * sizeof(std::vector<size_t>);
+  IndexStats st = index_stats();
+  bytes += st.postings * sizeof(size_t);
+  bytes += st.support_entries * 2 * sizeof(size_t);
+  bytes += st.child_entries * 3 * sizeof(size_t);
   return bytes;
 }
 

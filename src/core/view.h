@@ -1,38 +1,84 @@
-// View: a materialized mediated view — an ordered collection of constrained
+// View: a materialized mediated view — an indexed store of constrained
 // atoms with supports.
+//
+// The store incrementally maintains three indexes so that every layer
+// (fixpoint materialization, StDel/DRed maintenance, query evaluation)
+// shares one access path instead of rebuilding private side-tables:
+//   - a by-predicate posting list (AtomsFor),
+//   - a support hash index (HasSupport / IndexOfSupport, Lemma 1), and
+//   - a child-support index (ParentsOfChildSupport — StDel step 3).
+// Add updates all three in O(|support|); RemoveIf recompacts them in the
+// same pass that compacts the atom vector.
 
 #ifndef MMV_CORE_VIEW_H_
 #define MMV_CORE_VIEW_H_
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "core/view_atom.h"
 
 namespace mmv {
 
 /// \brief A materialized mediated view M.
 ///
-/// Maintenance algorithms mutate atoms in place (replace constraints, set
-/// marks) and remove atoms; the by-predicate index is rebuilt lazily.
+/// Maintenance algorithms mutate atoms in place through MutableAtom
+/// (replace constraints, set marks) and remove atoms via RemoveIf; the
+/// indexes key on pred and support, which in-place mutation never touches.
 class View {
  public:
   View() = default;
 
-  /// \brief Appends an atom.
+  /// \brief Appends an atom, updating all indexes.
   void Add(ViewAtom atom);
 
-  std::vector<ViewAtom>& atoms() { return atoms_; }
   const std::vector<ViewAtom>& atoms() const { return atoms_; }
 
-  /// \brief Indices of atoms with predicate \p pred.
-  std::vector<size_t> AtomsFor(const std::string& pred) const;
+  /// \brief Mutable access for in-place constraint replacement / marking.
+  ///
+  /// pred and support are index keys: callers must not change them (use
+  /// RemoveIf + Add to re-key an atom).
+  ViewAtom& MutableAtom(size_t i) { return atoms_[i]; }
 
-  /// \brief True iff some atom has exactly this support.
+  /// \brief Moves the atoms out (indexes reset); the view becomes empty.
+  std::vector<ViewAtom> TakeAtoms();
+
+  /// \brief Indices of atoms with predicate \p pred (ascending). O(1).
+  const std::vector<size_t>& AtomsFor(Symbol pred) const;
+
+  /// \brief True iff some atom has exactly this support. O(1) expected.
   bool HasSupport(const Support& s) const;
 
-  /// \brief Removes atoms flagged by \p pred (erase-remove).
+  /// \brief Index of the atom with exactly this support, or -1.
+  /// Supports are unique identities under duplicate semantics (Lemma 1).
+  int64_t IndexOfSupport(const Support& s) const;
+
+  /// \brief Atoms whose support has \p s as a direct child, as
+  /// (atom index, child slot) pairs — the StDel step-3 probe. O(k) in the
+  /// number of matches.
+  std::vector<std::pair<size_t, size_t>> ParentsOfChildSupport(
+      const Support& s) const;
+
+  /// \brief Allocation-free variant of ParentsOfChildSupport: calls
+  /// \p visit(atom index, child slot) per match. The visitor may mutate
+  /// atom constraints/marks but must not Add/RemoveIf.
+  template <typename Visitor>
+  void ForEachParentOfChild(const Support& s, Visitor visit) const {
+    auto [lo, hi] = child_index_.equal_range(s.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      auto [parent, slot] = it->second;
+      if (atoms_[parent].support.children()[slot] == s) {
+        visit(parent, slot);
+      }
+    }
+  }
+
+  /// \brief Removes atoms flagged by \p pred; indexes are recompacted in
+  /// the same pass. Returns the number removed.
   template <typename Pred>
   size_t RemoveIf(Pred pred) {
     size_t before = atoms_.size();
@@ -42,6 +88,8 @@ class View {
       if (!pred(a)) kept.push_back(std::move(a));
     }
     atoms_ = std::move(kept);
+    if (atoms_.size() == before) return 0;  // indexes still valid
+    RebuildIndexes();
     return before - atoms_.size();
   }
 
@@ -50,6 +98,27 @@ class View {
 
   size_t size() const { return atoms_.size(); }
   bool empty() const { return atoms_.empty(); }
+
+  /// \brief High-water mark of variable ids mentioned by any atom ever
+  /// added (monotone; removals do not lower it). -1 for no variables.
+  VarId MaxVarId() const { return max_var_; }
+
+  /// \brief Raises the variable high-water mark to at least \p bound.
+  ///
+  /// Maintenance algorithms that inject freshly-issued variables into atom
+  /// constraints through MutableAtom must report their factory's issuance
+  /// bound here, so later updates standardize apart against the true
+  /// maximum and never capture those variables.
+  void NoteExternalVars(VarId bound) { max_var_ = std::max(max_var_, bound); }
+
+  /// \brief Sizes of the maintained indexes, for observability.
+  struct IndexStats {
+    size_t predicates = 0;       ///< distinct predicate posting lists
+    size_t postings = 0;         ///< total posting-list entries
+    size_t support_entries = 0;  ///< support hash index entries
+    size_t child_entries = 0;    ///< child-support index entries
+  };
+  IndexStats index_stats() const;
 
   /// \brief Total approximate bytes (atoms + supports), for E6.
   size_t ApproxBytes() const;
@@ -61,7 +130,15 @@ class View {
   std::string ToString(const VarNames* names = nullptr) const;
 
  private:
+  void IndexAtom(size_t i);
+  void RebuildIndexes();
+
   std::vector<ViewAtom> atoms_;
+  std::unordered_map<Symbol, std::vector<size_t>> by_pred_;
+  std::unordered_multimap<size_t, size_t> by_support_;  // hash -> atom idx
+  // child support hash -> (parent atom idx, child slot)
+  std::unordered_multimap<size_t, std::pair<size_t, size_t>> child_index_;
+  VarId max_var_ = -1;
 };
 
 }  // namespace mmv

@@ -13,7 +13,6 @@ std::string ViewAtom::ToString(const VarNames* names) const {
 
 size_t ViewAtom::ApproxBytes() const {
   size_t bytes = sizeof(ViewAtom);
-  bytes += pred.size();
   bytes += args.size() * sizeof(Term);
   bytes += constraint.LiteralCount() * sizeof(Primitive);
   bytes += support.NodeCount() * (sizeof(int) + sizeof(std::vector<Support>));

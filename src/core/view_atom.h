@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/interner.h"
 #include "constraint/constraint.h"
 #include "constraint/printer.h"
 #include "core/support.h"
@@ -14,7 +15,7 @@ namespace mmv {
 
 /// \brief A constrained atom of the materialized view.
 struct ViewAtom {
-  std::string pred;       ///< predicate symbol
+  Symbol pred;            ///< predicate symbol (interned)
   TermVec args;           ///< head argument terms
   Constraint constraint;  ///< the atom's constraint (true for ground facts)
   Support support;        ///< derivation index (unique per duplicate atom)

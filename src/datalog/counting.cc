@@ -17,7 +17,7 @@ Result<CountingView> CountingView::Build(const GProgram& program) {
   }
 
   // Non-recursive: one pass per predicate in dependency order suffices.
-  for (const std::string& pred : view.topo_) {
+  for (Symbol pred : view.topo_) {
     for (const GRule& rule : program.rules()) {
       if (rule.head.pred != pred) continue;
       MatchRule(rule, view.db_, nullptr, -1, [&](const Bindings& b) {
@@ -39,7 +39,7 @@ Result<CountingView> CountingView::Build(const GProgram& program) {
   return view;
 }
 
-int64_t CountingView::CountOf(const std::string& pred, const Tuple& t) const {
+int64_t CountingView::CountOf(Symbol pred, const Tuple& t) const {
   auto it = counts_.find(pred);
   if (it == counts_.end()) return 0;
   auto jt = it->second.find(t);
@@ -55,8 +55,7 @@ Status CountingView::DeleteFacts(const std::vector<GroundFact>& facts,
   auto t0 = Clock::now();
 
   // delta[pred][tuple] = number of derivations lost.
-  std::unordered_map<std::string,
-                     std::unordered_map<Tuple, int64_t, TupleHash>>
+  std::unordered_map<Symbol, std::unordered_map<Tuple, int64_t, TupleHash>>
       delta;
   for (const GroundFact& f : facts) {
     int64_t c = CountOf(f.pred, f.args);
@@ -68,20 +67,20 @@ Status CountingView::DeleteFacts(const std::vector<GroundFact>& facts,
   //   prod_{i<j} new_i * delta_j * prod_{i>j} old_i
   // summed over pivots j — the standard telescoping of old-prod minus
   // new-prod.
-  auto old_count = [&](const std::string& p, const Tuple& t) {
+  auto old_count = [&](Symbol p, const Tuple& t) {
     return CountOf(p, t);
   };
-  auto delta_of = [&](const std::string& p, const Tuple& t) -> int64_t {
+  auto delta_of = [&](Symbol p, const Tuple& t) -> int64_t {
     auto it = delta.find(p);
     if (it == delta.end()) return 0;
     auto jt = it->second.find(t);
     return jt == it->second.end() ? 0 : jt->second;
   };
-  auto new_count = [&](const std::string& p, const Tuple& t) {
+  auto new_count = [&](Symbol p, const Tuple& t) {
     return old_count(p, t) - delta_of(p, t);
   };
 
-  for (const std::string& pred : topo_) {
+  for (Symbol pred : topo_) {
     for (const GRule& rule : *(&program_->rules())) {
       if (rule.head.pred != pred) continue;
       size_t n = rule.body.size();

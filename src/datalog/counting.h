@@ -39,16 +39,15 @@ class CountingView {
   const Database& db() const { return db_; }
 
   /// \brief The derivation count of a tuple (0 when absent).
-  int64_t CountOf(const std::string& pred, const Tuple& t) const;
+  int64_t CountOf(Symbol pred, const Tuple& t) const;
 
  private:
   explicit CountingView(const GProgram* program) : program_(program) {}
 
   const GProgram* program_;
-  std::vector<std::string> topo_;  ///< IDB predicates in dependency order
+  std::vector<Symbol> topo_;  ///< IDB predicates in dependency order
   Database db_;
-  std::unordered_map<std::string,
-                     std::unordered_map<Tuple, int64_t, TupleHash>>
+  std::unordered_map<Symbol, std::unordered_map<Tuple, int64_t, TupleHash>>
       counts_;
 };
 

@@ -17,7 +17,6 @@ void DeleteFactsDRed(const GProgram& program, Database* db,
   // ---- Overdelete ------------------------------------------------------
   Database over;   // everything possibly gone
   Database layer;  // newest overdeleted layer
-  std::unordered_set<std::string> base_deleted_preds;
   for (const GroundFact& f : facts) {
     if (db->Contains(f.pred, f.args) && over.Insert(f.pred, f.args)) {
       layer.Insert(f.pred, f.args);
@@ -42,7 +41,7 @@ void DeleteFactsDRed(const GProgram& program, Database* db,
     layer = std::move(next);
   }
   // Apply the overdeletion.
-  for (const std::string& pred : over.Predicates()) {
+  for (Symbol pred : over.Predicates()) {
     for (const Tuple& t : over.Rel(pred)) db->Remove(pred, t);
     stats->overdeleted += over.Rel(pred).size();
   }

@@ -5,23 +5,22 @@
 namespace mmv {
 namespace datalog {
 
-bool Database::Insert(const std::string& pred, Tuple t) {
+bool Database::Insert(Symbol pred, Tuple t) {
   return rels_[pred].insert(std::move(t)).second;
 }
 
-bool Database::Remove(const std::string& pred, const Tuple& t) {
+bool Database::Remove(Symbol pred, const Tuple& t) {
   auto it = rels_.find(pred);
   if (it == rels_.end()) return false;
   return it->second.erase(t) > 0;
 }
 
-bool Database::Contains(const std::string& pred, const Tuple& t) const {
+bool Database::Contains(Symbol pred, const Tuple& t) const {
   auto it = rels_.find(pred);
   return it != rels_.end() && it->second.count(t) > 0;
 }
 
-const std::unordered_set<Tuple, TupleHash>& Database::Rel(
-    const std::string& pred) const {
+const std::unordered_set<Tuple, TupleHash>& Database::Rel(Symbol pred) const {
   static const std::unordered_set<Tuple, TupleHash> kEmpty;
   auto it = rels_.find(pred);
   return it == rels_.end() ? kEmpty : it->second;
@@ -33,8 +32,8 @@ size_t Database::size() const {
   return n;
 }
 
-std::vector<std::string> Database::Predicates() const {
-  std::vector<std::string> out;
+std::vector<Symbol> Database::Predicates() const {
+  std::vector<Symbol> out;
   out.reserve(rels_.size());
   for (const auto& [p, _] : rels_) out.push_back(p);
   return out;
@@ -139,7 +138,7 @@ Database Evaluate(const GProgram& program, EvalStats* stats) {
                   });
       }
     }
-    for (const std::string& pred : next_delta.Predicates()) {
+    for (Symbol pred : next_delta.Predicates()) {
       for (const Tuple& t : next_delta.Rel(pred)) {
         db.Insert(pred, t);
       }

@@ -10,29 +10,28 @@
 namespace mmv {
 namespace datalog {
 
-/// \brief Relations: predicate -> set of tuples.
+/// \brief Relations: predicate -> set of tuples (interned-symbol keyed).
 class Database {
  public:
   /// \brief Inserts; returns true if the tuple was new.
-  bool Insert(const std::string& pred, Tuple t);
+  bool Insert(Symbol pred, Tuple t);
 
   /// \brief Removes; returns true if present.
-  bool Remove(const std::string& pred, const Tuple& t);
+  bool Remove(Symbol pred, const Tuple& t);
 
-  bool Contains(const std::string& pred, const Tuple& t) const;
+  bool Contains(Symbol pred, const Tuple& t) const;
 
-  const std::unordered_set<Tuple, TupleHash>& Rel(
-      const std::string& pred) const;
+  const std::unordered_set<Tuple, TupleHash>& Rel(Symbol pred) const;
 
   /// \brief Total tuples across all relations.
   size_t size() const;
 
-  std::vector<std::string> Predicates() const;
+  std::vector<Symbol> Predicates() const;
 
   bool operator==(const Database& other) const { return rels_ == other.rels_; }
 
  private:
-  std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>> rels_;
+  std::unordered_map<Symbol, std::unordered_set<Tuple, TupleHash>> rels_;
 };
 
 /// \brief Evaluation counters.

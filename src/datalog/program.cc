@@ -30,21 +30,20 @@ bool GProgram::IsRecursive() const {
   return !Stratify().ok();
 }
 
-Result<std::vector<std::string>> GProgram::Stratify() const {
-  std::set<std::string> idb;
+Result<std::vector<Symbol>> GProgram::Stratify() const {
+  std::set<Symbol> idb;
   for (const GRule& r : rules_) idb.insert(r.head.pred);
-  std::unordered_map<std::string, std::set<std::string>> deps;
+  std::unordered_map<Symbol, std::set<Symbol>> deps;
   for (const GRule& r : rules_) {
     for (const GAtomPat& a : r.body) {
       if (idb.count(a.pred)) deps[r.head.pred].insert(a.pred);
     }
   }
-  std::vector<std::string> order;
-  std::unordered_map<std::string, int> color;  // 0 white 1 gray 2 black
-  std::function<bool(const std::string&)> dfs =
-      [&](const std::string& p) -> bool {
+  std::vector<Symbol> order;
+  std::unordered_map<Symbol, int> color;  // 0 white 1 gray 2 black
+  std::function<bool(Symbol)> dfs = [&](Symbol p) -> bool {
     color[p] = 1;
-    for (const std::string& q : deps[p]) {
+    for (Symbol q : deps[p]) {
       if (color[q] == 1) return false;  // cycle
       if (color[q] == 0 && !dfs(q)) return false;
     }
@@ -52,10 +51,10 @@ Result<std::vector<std::string>> GProgram::Stratify() const {
     order.push_back(p);
     return true;
   };
-  for (const std::string& p : idb) {
+  for (Symbol p : idb) {
     if (color[p] == 0 && !dfs(p)) {
       return Status::InvalidArgument("program is recursive: cycle through " +
-                                     p);
+                                     p.name());
     }
   }
   return order;

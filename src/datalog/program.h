@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "common/value.h"
 
@@ -46,7 +47,7 @@ struct GTerm {
 
 /// \brief An atom pattern pred(t1, ..., tk).
 struct GAtomPat {
-  std::string pred;
+  Symbol pred;
   std::vector<GTerm> args;
 };
 
@@ -58,7 +59,7 @@ struct GRule {
 
 /// \brief A ground fact pred(values).
 struct GroundFact {
-  std::string pred;
+  Symbol pred;
   Tuple args;
 
   bool operator==(const GroundFact& other) const {
@@ -81,7 +82,7 @@ class GProgram {
 
   /// \brief IDB predicates in a topological order of dependencies;
   /// fails when the program is recursive.
-  Result<std::vector<std::string>> Stratify() const;
+  Result<std::vector<Symbol>> Stratify() const;
 
  private:
   std::vector<GroundFact> facts_;

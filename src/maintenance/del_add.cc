@@ -43,9 +43,7 @@ Constraint RebindHead(const TermVec& orig_head, const SimplifiedAtom& s) {
 VarFactory FreshFactory(const Program& program, const View& view,
                         const UpdateAtom* request) {
   VarFactory f = program.factory();
-  for (const ViewAtom& a : view.atoms()) {
-    f.ReserveAbove(MaxVar(a.args, a.constraint));
-  }
+  f.ReserveAbove(view.MaxVarId());
   if (request) {
     f.ReserveAbove(MaxVar(request->args, request->constraint));
   }
@@ -54,18 +52,18 @@ VarFactory FreshFactory(const Program& program, const View& view,
 
 Result<std::vector<DelElement>> BuildDel(const View& view,
                                          const UpdateAtom& request,
-                                         Solver* solver) {
+                                         Solver* solver,
+                                         VarFactory* factory_in) {
   std::vector<DelElement> del;
   // A fresh factory for standardizing the request apart from each atom.
-  VarFactory factory;
-  for (const ViewAtom& a : view.atoms()) {
-    factory.ReserveAbove(MaxVar(a.args, a.constraint));
-  }
+  VarFactory local;
+  VarFactory& factory = factory_in ? *factory_in : local;
+  factory.ReserveAbove(view.MaxVarId());
   factory.ReserveAbove(MaxVar(request.args, request.constraint));
 
-  for (size_t i = 0; i < view.atoms().size(); ++i) {
+  for (size_t i : view.AtomsFor(request.pred)) {
     const ViewAtom& atom = view.atoms()[i];
-    if (atom.pred != request.pred || atom.args.size() != request.args.size()) {
+    if (atom.args.size() != request.args.size()) {
       continue;
     }
     // Standardize the request apart from the atom.
@@ -139,14 +137,13 @@ Result<std::vector<ViewAtom>> BuildAdd(const View& view,
                                        const UpdateAtom& request,
                                        Solver* solver, int* ext_support) {
   VarFactory factory;
-  for (const ViewAtom& a : view.atoms()) {
-    factory.ReserveAbove(MaxVar(a.args, a.constraint));
-  }
+  factory.ReserveAbove(view.MaxVarId());
   factory.ReserveAbove(MaxVar(request.args, request.constraint));
 
   Constraint add_constraint = request.constraint;
-  for (const ViewAtom& atom : view.atoms()) {
-    if (atom.pred != request.pred || atom.args.size() != request.args.size()) {
+  for (size_t i : view.AtomsFor(request.pred)) {
+    const ViewAtom& atom = view.atoms()[i];
+    if (atom.args.size() != request.args.size()) {
       continue;
     }
     if (atom.constraint.is_false()) continue;

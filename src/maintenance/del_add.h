@@ -17,7 +17,7 @@ namespace maint {
 /// \brief An update request: the constrained atom A(args) <- constraint
 /// whose instances are to be deleted from / inserted into the view.
 struct UpdateAtom {
-  std::string pred;
+  Symbol pred;
   TermVec args;
   Constraint constraint;  ///< true means "all instances of pred(args)"
 
@@ -36,9 +36,16 @@ struct DelElement {
 ///
 /// The overlap constraint is simplified but re-expressed over the original
 /// atom's head variables so it can be negated against the atom later.
+///
+/// \p factory (when given) issues the renamings that standardize the
+/// request apart; callers that keep using their factory afterwards should
+/// pass it so all fresh variables of one maintenance run come from a
+/// single stream. Defaults to a local factory seeded fresh w.r.t. the
+/// view and request.
 Result<std::vector<DelElement>> BuildDel(const View& view,
                                          const UpdateAtom& request,
-                                         Solver* solver);
+                                         Solver* solver,
+                                         VarFactory* factory = nullptr);
 
 /// \brief Builds the Add set (Section 3.2): constrained atoms covering the
 /// requested instances minus everything already in the view —

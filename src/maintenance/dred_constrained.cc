@@ -24,7 +24,7 @@ double MsSince(Clock::time_point t0) {
 
 // A P_OUT element: a constrained atom that *may* need deletion.
 struct PoutAtom {
-  std::string pred;
+  Symbol pred;
   TermVec args;
   Constraint constraint;
 };
@@ -42,7 +42,7 @@ Result<View> DeleteDRed(const Program& program, const View& view,
 
   // ---- Input: Del ----------------------------------------------------
   MMV_ASSIGN_OR_RETURN(std::vector<DelElement> del,
-                       BuildDel(view, request, &solver));
+                       BuildDel(view, request, &solver, &factory));
   stats->del_elements = del.size();
   if (del.empty()) {
     stats->solver = solver.stats();
@@ -64,12 +64,8 @@ Result<View> DeleteDRed(const Program& program, const View& view,
     add_pout(PoutAtom{atom.pred, atom.args, e.deleted_part});
   }
 
-  // By-predicate index over the (immutable) original view.
-  std::unordered_map<std::string, std::vector<size_t>> view_by_pred;
-  for (size_t i = 0; i < view.atoms().size(); ++i) {
-    view_by_pred[view.atoms()[i].pred].push_back(i);
-  }
-
+  // Non-pivot body positions range over the (immutable) original view via
+  // its maintained by-predicate index.
   size_t layer_begin = 0;
   int rounds = 0;
   while (layer_begin < pout.size()) {
@@ -98,12 +94,12 @@ Result<View> DeleteDRed(const Program& program, const View& view,
         std::vector<const std::vector<size_t>*> other_lists(n, nullptr);
         for (size_t i = 0; i < n && feasible; ++i) {
           if (i == j) continue;
-          auto it = view_by_pred.find(c.body[i].pred);
-          if (it == view_by_pred.end()) {
+          const std::vector<size_t>& list = view.AtomsFor(c.body[i].pred);
+          if (list.empty()) {
             feasible = false;
             break;
           }
-          other_lists[i] = &it->second;
+          other_lists[i] = &list;
         }
         if (!feasible) continue;
 
@@ -173,7 +169,8 @@ Result<View> DeleteDRed(const Program& program, const View& view,
   // ---- Step 2: overestimate M' ---------------------------------------
   t0 = Clock::now();
   View mprime = view;
-  for (ViewAtom& atom : mprime.atoms()) {
+  for (size_t ai = 0; ai < mprime.size(); ++ai) {
+    ViewAtom& atom = mprime.MutableAtom(ai);
     for (const PoutAtom& p : pout) {
       if (p.pred != atom.pred || p.args.size() != atom.args.size()) continue;
       Constraint instance =
@@ -192,7 +189,7 @@ Result<View> DeleteDRed(const Program& program, const View& view,
 
   // ---- Step 3: rederive over P'' ---------------------------------------
   t0 = Clock::now();
-  std::set<std::string> affected;
+  std::set<Symbol> affected;
   for (const PoutAtom& p : pout) affected.insert(p.pred);
 
   Program p2;
@@ -225,6 +222,10 @@ Result<View> DeleteDRed(const Program& program, const View& view,
   stats->rederive_derivations = fstats.derivations_attempted;
 
   stats->removed_unsolvable = PruneUnsolvable(&result, &solver);
+  // Step 2 wrote factory-fresh variables into the seeded constraints,
+  // which MaterializeFrom carried over without re-adding; raise the
+  // result's high-water mark past everything this run issued.
+  result.NoteExternalVars(factory.issued());
   stats->rederive_ms = MsSince(t0);
   stats->solver = solver.stats();
   return result;

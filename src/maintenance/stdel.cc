@@ -1,7 +1,6 @@
 #include "maintenance/stdel.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "constraint/simplify.h"
 
@@ -12,7 +11,7 @@ namespace {
 
 // A P_OUT pair: the deleted part of an atom plus the atom's support.
 struct Pair {
-  std::string pred;
+  Symbol pred;
   TermVec args;
   Constraint deleted;  ///< over the atom's head variables (positive form)
   Support spt;
@@ -44,9 +43,10 @@ Status DeleteStDel(const Program& program, View* view,
   // Step 1: mark every constraint atom in M.
   view->MarkAll(true);
 
-  // Input: the Del set.
+  // Input: the Del set. Sharing the run's factory keeps every fresh
+  // variable of this deletion in one issuance stream.
   MMV_ASSIGN_OR_RETURN(std::vector<DelElement> del,
-                       BuildDel(*view, request, &solver));
+                       BuildDel(*view, request, &solver, &factory));
   stats->del_elements = del.size();
   if (del.empty()) {
     stats->solver = solver.stats();
@@ -66,32 +66,15 @@ Status DeleteStDel(const Program& program, View* view,
     original_constraints.push_back(a.constraint);
   }
 
-  // Support lookup structures over the (stable) atom vector:
-  //  - by_support: support -> atom index (supports are unique, Lemma 1)
-  //  - child_index: child-support hash -> (parent atom index, child slot)
-  std::unordered_multimap<size_t, size_t> by_support;
-  std::unordered_multimap<size_t, std::pair<size_t, size_t>> child_index;
-  for (size_t i = 0; i < view->atoms().size(); ++i) {
-    const Support& s = view->atoms()[i].support;
-    by_support.emplace(s.Hash(), i);
-    for (size_t k = 0; k < s.children().size(); ++k) {
-      child_index.emplace(s.children()[k].Hash(), std::make_pair(i, k));
-    }
-  }
-  auto atom_by_support = [&](const Support& s) -> int64_t {
-    auto [lo, hi] = by_support.equal_range(s.Hash());
-    for (auto it = lo; it != hi; ++it) {
-      if (view->atoms()[it->second].support == s) {
-        return static_cast<int64_t>(it->second);
-      }
-    }
-    return -1;
-  };
+  // Support lookups go through the view's incrementally-maintained indexes
+  // (supports are unique identities, Lemma 1); nothing is rebuilt here.
+  // Step 3 only replaces constraints in place, which leaves both the
+  // support hash index and the child-support index valid throughout.
 
   // Step 2: subtract the Del overlaps and seed P_OUT.
   std::vector<Pair> pout;
   for (const DelElement& e : del) {
-    ViewAtom& atom = view->atoms()[e.atom_index];
+    ViewAtom& atom = view->MutableAtom(e.atom_index);
     if (!SubtractDeletedPart(atom.args, e.deleted_part, evaluator,
                              &atom.constraint)) {
       continue;  // the overlap denotes no instances at the current state
@@ -101,14 +84,16 @@ Status DeleteStDel(const Program& program, View* view,
   }
 
   // Step 3: propagate along supports until no replacement happens.
+  std::vector<std::pair<size_t, size_t>> parents;  // scratch, reused
   for (size_t qi = 0; qi < pout.size(); ++qi) {
     Pair pair = pout[qi];  // copy: the vector grows as we iterate
-    auto [lo, hi] = child_index.equal_range(pair.spt.Hash());
-    for (auto it = lo; it != hi; ++it) {
-      auto [parent_idx, child_slot] = it->second;
-      ViewAtom& parent = view->atoms()[parent_idx];
+    parents.clear();
+    view->ForEachParentOfChild(pair.spt, [&](size_t p, size_t k) {
+      parents.emplace_back(p, k);
+    });
+    for (auto [parent_idx, child_slot] : parents) {
+      ViewAtom& parent = view->MutableAtom(parent_idx);
       if (!parent.marked) continue;
-      if (!(parent.support.children()[child_slot] == pair.spt)) continue;
 
       const Clause* clause = program.ClauseByNumber(parent.support.clause());
       if (clause == nullptr) continue;  // externally inserted: no clause
@@ -127,7 +112,7 @@ Status DeleteStDel(const Program& program, View* view,
           inst_args = &pair.args;
           inst_c = &pair.deleted;
         } else {
-          int64_t sib = atom_by_support(parent.support.children()[i]);
+          int64_t sib = view->IndexOfSupport(parent.support.children()[i]);
           if (sib < 0) {
             siblings_ok = false;  // condition (b) fails
             break;
@@ -174,6 +159,10 @@ Status DeleteStDel(const Program& program, View* view,
 
   // Step 4: drop atoms whose constraints became unsolvable.
   stats->removed_unsolvable = PruneUnsolvable(view, &solver);
+  // Steps 2/3 wrote factory-fresh variables into surviving constraints;
+  // raise the view's high-water mark so later updates stay standardized
+  // apart from them.
+  view->NoteExternalVars(factory.issued());
   stats->solver = solver.stats();
   return Status::OK();
 }

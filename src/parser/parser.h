@@ -33,7 +33,7 @@ namespace parser {
 /// \brief A parsed constrained atom `pred(args) <- constraint`, used for
 /// update requests (deletions / insertions, paper Section 3).
 struct ParsedAtom {
-  std::string pred;
+  Symbol pred;
   TermVec args;
   Constraint constraint;
 };

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "constraint/solver.h"
 #include "core/view.h"
 
@@ -17,7 +18,7 @@ namespace query {
 
 /// \brief One ground instance pred(v1, ..., vk).
 struct Instance {
-  std::string pred;
+  Symbol pred;
   std::vector<Value> values;
 
   bool operator==(const Instance& other) const {

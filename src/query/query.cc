@@ -5,13 +5,14 @@
 namespace mmv {
 namespace query {
 
-Result<InstanceSet> QueryPred(const View& view, const std::string& pred,
+Result<InstanceSet> QueryPred(const View& view, Symbol pred,
                               const TermVec& pattern,
                               DcaEvaluator* evaluator,
                               const EnumerateOptions& options) {
   InstanceSet out;
-  for (const ViewAtom& atom : view.atoms()) {
-    if (atom.pred != pred || atom.args.size() != pattern.size()) continue;
+  for (size_t i : view.AtomsFor(pred)) {
+    const ViewAtom& atom = view.atoms()[i];
+    if (atom.args.size() != pattern.size()) continue;
     // Restrict the atom by the pattern.
     ViewAtom restricted = atom;
     std::unordered_map<VarId, size_t> first_pos;
@@ -40,7 +41,7 @@ Result<InstanceSet> QueryPred(const View& view, const std::string& pred,
   return out;
 }
 
-Result<bool> Ask(const View& view, const std::string& pred,
+Result<bool> Ask(const View& view, Symbol pred,
                  const std::vector<Value>& values, DcaEvaluator* evaluator,
                  const EnumerateOptions& options) {
   TermVec pattern;

@@ -14,13 +14,13 @@ namespace query {
 /// wildcards (a repeated pattern variable forces equal values). Evaluation
 /// uses the evaluator's current time — so a W_P view answers with
 /// up-to-date external data with no maintenance having run (Corollary 1).
-Result<InstanceSet> QueryPred(const View& view, const std::string& pred,
+Result<InstanceSet> QueryPred(const View& view, Symbol pred,
                               const TermVec& pattern,
                               DcaEvaluator* evaluator,
                               const EnumerateOptions& options = {});
 
 /// \brief True iff pred(values) is an instance of the view.
-Result<bool> Ask(const View& view, const std::string& pred,
+Result<bool> Ask(const View& view, Symbol pred,
                  const std::vector<Value>& values, DcaEvaluator* evaluator,
                  const EnumerateOptions& options = {});
 

@@ -5,6 +5,25 @@
 namespace mmv {
 namespace rel {
 
+void Table::IndexInsertedSlot(size_t slot) {
+  for (auto& [col, idx] : indexes_) {
+    idx.emplace(slots_[slot].row[static_cast<size_t>(col)].Hash(), slot);
+  }
+}
+
+void Table::IndexDeletedSlot(size_t slot) {
+  for (auto& [col, idx] : indexes_) {
+    size_t h = slots_[slot].row[static_cast<size_t>(col)].Hash();
+    auto [lo, hi] = idx.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == slot) {
+        idx.erase(it);
+        break;
+      }
+    }
+  }
+}
+
 Status Table::Insert(Row row, int64_t tick) {
   if (row.size() != schema_.arity()) {
     return Status::InvalidArgument("row arity mismatch for table " +
@@ -13,17 +32,18 @@ Status Table::Insert(Row row, int64_t tick) {
   log_.push_back(LogEntry{tick, true, row});
   slots_.push_back(Slot{std::move(row), false});
   live_count_++;
-  InvalidateIndexes();
+  IndexInsertedSlot(slots_.size() - 1);
   return Status::OK();
 }
 
 Status Table::Delete(const Row& row, int64_t tick) {
-  for (Slot& s : slots_) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
     if (!s.dead && s.row == row) {
       s.dead = true;
       live_count_--;
       log_.push_back(LogEntry{tick, false, row});
-      InvalidateIndexes();
+      IndexDeletedSlot(i);
       return Status::OK();
     }
   }
@@ -39,15 +59,16 @@ Result<int64_t> Table::DeleteWhere(const std::string& column,
                             schema_.table_name);
   }
   int64_t removed = 0;
-  for (Slot& s : slots_) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
     if (!s.dead && s.row[static_cast<size_t>(col)] == value) {
       s.dead = true;
       live_count_--;
       log_.push_back(LogEntry{tick, false, s.row});
+      IndexDeletedSlot(i);
       removed++;
     }
   }
-  if (removed > 0) InvalidateIndexes();
   return removed;
 }
 

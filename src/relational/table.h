@@ -32,7 +32,12 @@ struct LogEntry {
   Row row;
 };
 
-/// \brief Append-log versioned table with lazy per-column hash indexes.
+/// \brief Append-log versioned table with per-column hash indexes.
+///
+/// An index is built lazily on the first SelectEq over its column and then
+/// maintained incrementally: Insert appends one entry per materialized
+/// index, Delete/DeleteWhere erase the dead slot's entries. Mutations never
+/// drop the indexes wholesale.
 class Table {
  public:
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
@@ -80,7 +85,8 @@ class Table {
     bool dead = false;
   };
 
-  void InvalidateIndexes() { indexes_.clear(); }
+  void IndexInsertedSlot(size_t slot);
+  void IndexDeletedSlot(size_t slot);
   const std::unordered_multimap<size_t, size_t>& IndexFor(int col) const;
 
   Schema schema_;

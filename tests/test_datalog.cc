@@ -65,7 +65,7 @@ TEST(GroundEngineTest, StratifyAndRecursionDetection) {
   GProgram chain = workload::MakeGroundChain(3, 1);
   EXPECT_FALSE(chain.IsRecursive());
   auto order = Unwrap(chain.Stratify());
-  EXPECT_EQ(order, (std::vector<std::string>{"p1", "p2", "p3"}));
+  EXPECT_EQ(order, (std::vector<Symbol>{"p1", "p2", "p3"}));
 }
 
 TEST(GroundDRedTest, ChainDeletionPropagates) {
@@ -183,7 +183,7 @@ TEST(CountingTest, MatchesRecomputation) {
   }
   for (const GRule& r : p2.rules()) p3.AddRule(r);
   Database oracle = Evaluate(p3);
-  for (const std::string& pred : oracle.Predicates()) {
+  for (Symbol pred : oracle.Predicates()) {
     EXPECT_EQ(view.db().Rel(pred), oracle.Rel(pred)) << pred;
   }
 }

@@ -28,7 +28,7 @@ TEST(ProgramTest, ClausesForIndex) {
 
 TEST(ProgramTest, HeadPredicates) {
   Program p = ParseOrDie("a(X) <- X = 1. b(X) <- a(X). a(X) <- b(X).");
-  EXPECT_EQ(p.HeadPredicates(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(p.HeadPredicates(), (std::vector<Symbol>{"a", "b"}));
 }
 
 TEST(ProgramTest, RecursionDetection) {

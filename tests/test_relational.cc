@@ -31,6 +31,38 @@ TEST_F(TableTest, InsertSelectScan) {
   EXPECT_EQ(table_->Scan().size(), 2u);
 }
 
+TEST_F(TableTest, IndexStaysCorrectAcrossMutations) {
+  // Force index materialization first, then mutate: the incremental index
+  // maintenance (no wholesale invalidation) must keep SelectEq exact.
+  ASSERT_TRUE(table_->Insert({Value("ann"), Value(30), Value("dc")}, 1).ok());
+  ASSERT_TRUE(table_->SelectEq("name", Value("ann")).ok());
+
+  ASSERT_TRUE(table_->Insert({Value("bob"), Value(40), Value("ny")}, 2).ok());
+  ASSERT_TRUE(table_->Insert({Value("ann"), Value(51), Value("la")}, 3).ok());
+  auto rows = table_->SelectEq("name", Value("ann"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+
+  ASSERT_TRUE(table_->Delete({Value("ann"), Value(30), Value("dc")}, 4).ok());
+  rows = table_->SelectEq("name", Value("ann"));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value(51));
+
+  // A second index materialized after the deletes sees the same state.
+  auto cities = table_->SelectEq("city", Value("dc"));
+  ASSERT_TRUE(cities.ok());
+  EXPECT_TRUE(cities->empty());
+
+  auto removed = table_->DeleteWhere("name", Value("ann"), 5);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  rows = table_->SelectEq("name", Value("ann"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(table_->SelectEq("name", Value("bob"))->size(), 1u);
+}
+
 TEST_F(TableTest, ArityMismatchRejected) {
   EXPECT_EQ(table_->Insert({Value("ann")}, 1).code(),
             StatusCode::kInvalidArgument);

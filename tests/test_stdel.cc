@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "maintenance/stdel.h"
+#include "query/query.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -28,6 +29,53 @@ void ExpectStDelMatchesOracle(Program& program, const maint::UpdateAtom& req,
       maint::RecomputeAfterDeletion(program, req, world.domains.get()));
   EXPECT_EQ(Instances(view, world.domains.get()),
             Instances(oracle, world.domains.get()));
+}
+
+// Largest variable id actually occurring in the view's atoms.
+VarId ScanMaxVar(const View& view) {
+  VarId max_id = -1;
+  for (const ViewAtom& a : view.atoms()) {
+    std::vector<VarId> vars;
+    CollectVars(a.args, &vars);
+    for (VarId v : vars) max_id = std::max(max_id, v);
+    for (VarId v : a.constraint.Variables()) max_id = std::max(max_id, v);
+  }
+  return max_id;
+}
+
+TEST(StDelTest, HighWaterMarkCoversInjectedVariables) {
+  // Deletion subtraction writes freshly-issued variables into surviving
+  // constraints (symbolic not-blocks). The view's MaxVarId must stay above
+  // every variable actually present, or the next update's standardize-apart
+  // renaming could capture them.
+  TestWorld w = TestWorld::Make();
+  // Interval-only constraints: not finitely enumerable, so subtraction
+  // takes the symbolic path that injects renamed request variables.
+  Program p = ParseOrDie(
+      "a(X) <- X >= 0 & X <= 100. b(X) <- a(X). c(X) <- b(X).");
+  View view = MaterializeOrDie(p, w.domains.get());
+  maint::UpdateAtom req = ParseUpdate("a(X) <- X >= 10 & X <= 90.", &p);
+  ASSERT_TRUE(maint::DeleteStDel(p, &view, req, w.domains.get()).ok());
+  EXPECT_GE(view.MaxVarId(), ScanMaxVar(view));
+
+  // A second deletion over the mutated view must also hold the invariant
+  // (this is the sequential-capture scenario).
+  maint::UpdateAtom req2 = ParseUpdate("b(X) <- X >= 20 & X <= 80.", &p);
+  ASSERT_TRUE(maint::DeleteStDel(p, &view, req2, w.domains.get()).ok());
+  EXPECT_GE(view.MaxVarId(), ScanMaxVar(view));
+
+  // Point probes of the maintained view (intervals are not enumerable, but
+  // ground membership is decidable).
+  auto ask = [&](const char* pred, int64_t v) {
+    return Unwrap(query::Ask(view, pred, {Value(v)}, w.domains.get()));
+  };
+  EXPECT_TRUE(ask("a", 5));
+  EXPECT_FALSE(ask("a", 50));  // first deletion
+  EXPECT_TRUE(ask("b", 5));
+  EXPECT_FALSE(ask("b", 50));  // removed by both deletions
+  EXPECT_TRUE(ask("b", 95));
+  EXPECT_TRUE(ask("c", 95));
+  EXPECT_FALSE(ask("c", 30));  // second deletion propagated to c
 }
 
 TEST(StDelTest, NoOpWhenNothingMatches) {

@@ -28,7 +28,7 @@ TEST(GeneratorTest, MultiChainIsIndependent) {
   // Predicates of different chains never co-occur in one clause.
   for (const Clause& c : p.clauses()) {
     for (const BodyAtom& b : c.body) {
-      EXPECT_EQ(c.head_pred.substr(0, 2), b.pred.substr(0, 2));
+      EXPECT_EQ(c.head_pred.name().substr(0, 2), b.pred.name().substr(0, 2));
     }
   }
   EXPECT_EQ(p.size(), 3u * (2 + 2));
