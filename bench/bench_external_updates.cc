@@ -71,7 +71,10 @@ size_t RunQueries(const maint::MaintainedView& mv, dom::DomainManager* dm,
   return total;
 }
 
-// One round = one external update + `queries` queries, under policy.
+// One round = a burst of `state.range(2)` external updates, ONE maintenance
+// notification, then `queries` queries, under policy. Batching external
+// changes before notifying amortizes T_P's recompute the same way
+// ApplyBatch amortizes view-update bursts.
 void BM_External(benchmark::State& state, maint::MaintenancePolicy policy) {
   Setup s = Setup::Make(static_cast<int>(state.range(0)));
   Result<maint::MaintainedView> mv_r = maint::MaintainedView::Create(
@@ -82,11 +85,12 @@ void BM_External(benchmark::State& state, maint::MaintenancePolicy policy) {
   }
   maint::MaintainedView mv = std::move(*mv_r);
   int queries = static_cast<int>(state.range(1));
+  int burst = static_cast<int>(state.range(2));
 
   size_t checksum = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    s.Mutate();
+    for (int b = 0; b < burst; ++b) s.Mutate();
     state.ResumeTiming();
     Status st = mv.OnExternalChange();
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
@@ -106,13 +110,15 @@ void BM_External_Wp(benchmark::State& state) {
 }
 
 void ExternalArgs(benchmark::internal::Benchmark* b) {
-  // {table rows, queries per update}
-  b->Args({50, 0})
-      ->Args({50, 1})
-      ->Args({50, 10})
-      ->Args({200, 0})
-      ->Args({200, 1})
-      ->Args({200, 10})
+  // {table rows, queries per round, external updates per round}
+  b->Args({50, 0, 1})
+      ->Args({50, 1, 1})
+      ->Args({50, 10, 1})
+      ->Args({50, 1, 16})
+      ->Args({200, 0, 1})
+      ->Args({200, 1, 1})
+      ->Args({200, 10, 1})
+      ->Args({200, 1, 16})
       ->Unit(benchmark::kMillisecond);
 }
 

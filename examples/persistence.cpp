@@ -60,7 +60,7 @@ int main() {
     return maint::UpdateAtom{a.pred, a.args, a.constraint};
   };
   maint::BatchStats stats;
-  Status s = maint::ApplyUpdates(
+  Status s = maint::ApplyBatch(
       program, &view,
       {maint::Update::Insert(atom("flagged(D) <- D = \"memo2\".")),
        maint::Update::Delete(atom("flagged(D) <- D = \"memo1\"."))},
@@ -90,7 +90,7 @@ int main() {
   }
   Show("reloaded view", *loaded, &domains);
 
-  s = maint::ApplyUpdates(
+  s = maint::ApplyBatch(
       program, &*loaded,
       {maint::Update::Delete(atom("mentions_suspect(D) <- D = \"memo3\"."))},
       &domains);

@@ -262,4 +262,17 @@ Result<View> Materialize(const Program& program, DcaEvaluator* evaluator,
   return MaterializeFrom(program, View(), evaluator, options, stats);
 }
 
+Status ContinueFixpoint(const Program& program, View* view,
+                        DcaEvaluator* evaluator,
+                        const FixpointOptions& options, FixpointStats* stats,
+                        size_t delta_begin) {
+  FixpointOptions continuation = options;
+  continuation.derive_facts = false;
+  MMV_ASSIGN_OR_RETURN(
+      View result, MaterializeFrom(program, std::move(*view), evaluator,
+                                   continuation, stats, delta_begin));
+  *view = std::move(result);
+  return Status::OK();
+}
+
 }  // namespace mmv

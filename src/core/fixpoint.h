@@ -94,6 +94,25 @@ Result<View> Materialize(const Program& program, DcaEvaluator* evaluator,
                          const FixpointOptions& options = {},
                          FixpointStats* stats = nullptr);
 
+/// \brief In-place seminaive continuation: closes \p view under \p program,
+/// treating the atoms from \p delta_begin onward as the seed delta.
+///
+/// This is the batched-insertion engine (Algorithm 3 generalized to a set
+/// of roots): callers append any number of delta atoms to the view, then
+/// run ONE continuation instead of one fixpoint per atom. Facts are not
+/// re-derived (options.derive_facts is forced off) — the view's facts were
+/// derived at materialization time, and re-deriving them would resurrect
+/// fact atoms deleted by earlier maintenance.
+///
+/// On error the view is consumed: it is left valid but unspecified
+/// (typically empty), because the failed engine run owns the atoms.
+/// Callers that must survive evaluator/solver failures should keep a copy
+/// or rematerialize.
+Status ContinueFixpoint(const Program& program, View* view,
+                        DcaEvaluator* evaluator,
+                        const FixpointOptions& options, FixpointStats* stats,
+                        size_t delta_begin);
+
 }  // namespace mmv
 
 #endif  // MMV_CORE_FIXPOINT_H_

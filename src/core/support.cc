@@ -16,6 +16,12 @@ size_t Support::Depth() const {
   return d + 1;
 }
 
+int Support::MinClause() const {
+  int m = clause_;
+  for (const Support& c : children_) m = std::min(m, c.MinClause());
+  return m;
+}
+
 bool Support::operator==(const Support& other) const {
   if (clause_ != other.clause_) return false;
   if (children_.size() != other.children_.size()) return false;

@@ -44,6 +44,16 @@ class Support {
   /// \brief Depth of the tree (a leaf has depth 1).
   size_t Depth() const;
 
+  /// \brief Smallest clause number anywhere in the tree. Externally inserted
+  /// facts carry negative clause numbers at their leaves, so batch
+  /// maintenance seeds its external-support counter below MinClause() — the
+  /// root alone misses external leaves buried inside derived supports.
+  int MinClause() const;
+
+  /// \brief True iff this is an external-fact support: a leaf whose clause
+  /// number is negative (no deriving program clause).
+  bool IsExternal() const { return clause_ < 0 && children_.empty(); }
+
   bool operator==(const Support& other) const;
   bool operator!=(const Support& other) const { return !(*this == other); }
 

@@ -28,11 +28,33 @@ void View::IndexAtom(size_t i) {
   }
 }
 
-void View::RebuildIndexes() {
-  by_pred_.clear();
-  by_support_.clear();
-  child_index_.clear();
-  for (size_t i = 0; i < atoms_.size(); ++i) IndexAtom(i);
+void View::CompactIndexes(const std::vector<int64_t>& remap) {
+  for (auto it = by_pred_.begin(); it != by_pred_.end();) {
+    std::vector<size_t>& list = it->second;
+    size_t out = 0;
+    for (size_t idx : list) {
+      if (remap[idx] >= 0) list[out++] = static_cast<size_t>(remap[idx]);
+    }
+    list.resize(out);
+    // Compaction preserves relative order, so the list stays ascending.
+    it = list.empty() ? by_pred_.erase(it) : std::next(it);
+  }
+  for (auto it = by_support_.begin(); it != by_support_.end();) {
+    if (remap[it->second] < 0) {
+      it = by_support_.erase(it);
+    } else {
+      it->second = static_cast<size_t>(remap[it->second]);
+      ++it;
+    }
+  }
+  for (auto it = child_index_.begin(); it != child_index_.end();) {
+    if (remap[it->second.first] < 0) {
+      it = child_index_.erase(it);
+    } else {
+      it->second.first = static_cast<size_t>(remap[it->second.first]);
+      ++it;
+    }
+  }
 }
 
 void View::Add(ViewAtom atom) {

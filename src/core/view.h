@@ -79,17 +79,28 @@ class View {
 
   /// \brief Removes atoms flagged by \p pred; indexes are recompacted in
   /// the same pass. Returns the number removed.
+  ///
+  /// Index entries of removed atoms are erased and surviving entries are
+  /// renumbered through one old-index -> new-index remap, so support trees
+  /// are never re-hashed — a batch deleting k atoms from an N-atom view
+  /// costs one O(N) sweep regardless of k.
   template <typename Pred>
   size_t RemoveIf(Pred pred) {
     size_t before = atoms_.size();
+    std::vector<int64_t> remap(before);
     std::vector<ViewAtom> kept;
-    kept.reserve(atoms_.size());
-    for (ViewAtom& a : atoms_) {
-      if (!pred(a)) kept.push_back(std::move(a));
+    kept.reserve(before);
+    for (size_t i = 0; i < before; ++i) {
+      if (pred(atoms_[i])) {
+        remap[i] = -1;
+      } else {
+        remap[i] = static_cast<int64_t>(kept.size());
+        kept.push_back(std::move(atoms_[i]));
+      }
     }
     atoms_ = std::move(kept);
     if (atoms_.size() == before) return 0;  // indexes still valid
-    RebuildIndexes();
+    CompactIndexes(remap);
     return before - atoms_.size();
   }
 
@@ -131,7 +142,9 @@ class View {
 
  private:
   void IndexAtom(size_t i);
-  void RebuildIndexes();
+  /// Applies an old-index -> new-index (-1 = removed) remap to all three
+  /// indexes in place, without recomputing any support hash.
+  void CompactIndexes(const std::vector<int64_t>& remap);
 
   std::vector<ViewAtom> atoms_;
   std::unordered_map<Symbol, std::vector<size_t>> by_pred_;

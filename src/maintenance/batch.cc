@@ -1,21 +1,191 @@
 #include "maintenance/batch.h"
 
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "constraint/canonical.h"
+
 namespace mmv {
 namespace maint {
 
-Status ApplyUpdates(const Program& program, View* view,
-                    const std::vector<Update>& updates,
-                    DcaEvaluator* evaluator, const FixpointOptions& options,
-                    BatchStats* stats, int* ext_support_counter) {
+namespace {
+
+// Seeds a fresh external-support counter below every clause number found
+// anywhere in the view's support trees. Scanning roots alone would miss
+// external leaves buried inside derived supports and hand out a colliding
+// number.
+int SeedExtCounter(const View& view) {
+  int counter = 0;
+  for (const ViewAtom& a : view.atoms()) {
+    counter = std::min(counter, a.support.MinClause());
+  }
+  return counter;
+}
+
+// Predicates participating in any non-fact clause, as head or body atom.
+// Delete+re-insert cancellation is only sound OUTSIDE this set: a derived
+// head swaps derived coverage for an independent external support, and a
+// body predicate's re-insert re-derives descendants (resurrecting derived
+// atoms deleted earlier — in this burst or in the view's whole history).
+std::unordered_set<Symbol> RuleParticipants(const Program& program) {
+  std::unordered_set<Symbol> preds;
+  for (const Clause& c : program.clauses()) {
+    if (c.IsFact()) continue;
+    preds.insert(c.head_pred);
+    for (const BodyAtom& b : c.body) preds.insert(b.pred);
+  }
+  return preds;
+}
+
+}  // namespace
+
+BatchPlan PlanBatch(const Program& program,
+                    const std::vector<Update>& updates) {
+  BatchPlan plan;
+  plan.input_updates = updates.size();
+  std::unordered_set<Symbol> rule_preds = RuleParticipants(program);
+
+  struct Emitted {
+    bool dead = false;
+    // Running totals taken right AFTER this op was emitted; comparing them
+    // against the current totals tells whether any insert/delete was kept
+    // in between.
+    size_t inserts_any = 0;
+    size_t deletes_any = 0;
+  };
+  std::vector<Emitted> emitted(updates.size());
+  std::vector<size_t> kept;  // indices into `updates` / `emitted`
+  kept.reserve(updates.size());
+  // Latest surviving op per canonical atom key.
+  std::unordered_map<std::string, size_t> last_by_key;
+  size_t inserts_any = 0, deletes_any = 0;
+
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Update& u = updates[i];
+    std::string key = CanonicalAtomString(u.atom.pred, u.atom.args,
+                                          u.atom.constraint);
+    auto it = last_by_key.find(key);
+    size_t prev = it == last_by_key.end() ? i : it->second;
+    bool has_prev = it != last_by_key.end() && !emitted[prev].dead;
+    bool prev_is_insert =
+        has_prev && updates[prev].kind == Update::Kind::kInsert;
+
+    if (u.kind == Update::Kind::kInsert) {
+      if (has_prev && prev_is_insert &&
+          deletes_any == emitted[prev].deletes_any) {
+        // Duplicate insert: still covered, its Add set would be empty.
+        continue;
+      }
+      if (has_prev && !prev_is_insert &&
+          deletes_any == emitted[prev].deletes_any &&
+          rule_preds.count(u.atom.pred) == 0) {
+        // Delete k ... insert k with only inserts in between, k not
+        // touching any rule: deleting and re-asserting a purely leaf-level
+        // atom nets to asserting it. For a rule participant the pair is
+        // kept — a derived k would swap derived coverage for an
+        // independent external support (observable by later ancestor
+        // deletions), and a body-predicate k's re-insert re-derives its
+        // descendants (resurrecting derived atoms deleted beforehand).
+        emitted[prev].dead = true;
+      }
+    } else {
+      if (has_prev && !prev_is_insert &&
+          inserts_any == emitted[prev].inserts_any) {
+        // Duplicate delete: nothing could have re-added the instances.
+        continue;
+      }
+      if (has_prev && prev_is_insert &&
+          inserts_any == emitted[prev].inserts_any) {
+        // Insert k ... delete k with no insert in between: the delete wipes
+        // the inserted instances and their consequences anyway.
+        emitted[prev].dead = true;
+      }
+    }
+
+    if (u.kind == Update::Kind::kInsert) {
+      ++inserts_any;
+    } else {
+      ++deletes_any;
+    }
+    emitted[i].inserts_any = inserts_any;
+    emitted[i].deletes_any = deletes_any;
+    kept.push_back(i);
+    last_by_key[std::move(key)] = i;
+  }
+
+  plan.ops.reserve(kept.size());
+  for (size_t i : kept) {
+    if (!emitted[i].dead) plan.ops.push_back(updates[i]);
+  }
+  plan.coalesced_away = plan.input_updates - plan.ops.size();
+  return plan;
+}
+
+Status ApplyBatch(const Program& program, View* view,
+                  const std::vector<Update>& updates, DcaEvaluator* evaluator,
+                  const FixpointOptions& options, BatchStats* stats,
+                  int* ext_support_counter) {
   BatchStats local_stats;
   if (!stats) stats = &local_stats;
   *stats = BatchStats();
   int local_counter = 0;
   if (!ext_support_counter) {
-    // Seed below any external support already present in the view.
-    for (const ViewAtom& a : view->atoms()) {
-      local_counter = std::min(local_counter, a.support.clause());
+    local_counter = SeedExtCounter(*view);
+    ext_support_counter = &local_counter;
+  }
+
+  BatchPlan plan = PlanBatch(program, updates);
+  stats->input_updates = plan.input_updates;
+  stats->coalesced_away = plan.coalesced_away;
+
+  // Execute maximal same-kind runs: one multi-atom StDel pass per delete
+  // run, one Add pass + seminaive continuation per insert run.
+  size_t i = 0;
+  while (i < plan.ops.size()) {
+    size_t j = i;
+    while (j < plan.ops.size() && plan.ops[j].kind == plan.ops[i].kind) ++j;
+    std::vector<UpdateAtom> requests;
+    requests.reserve(j - i);
+    for (size_t k = i; k < j; ++k) requests.push_back(plan.ops[k].atom);
+
+    if (plan.ops[i].kind == Update::Kind::kDelete) {
+      StDelStats s;
+      MMV_RETURN_NOT_OK(DeleteStDelBatch(program, view, requests, evaluator,
+                                         options.solver, &s));
+      stats->delete_passes++;
+      stats->deletions_applied += requests.size();
+      stats->del_elements += s.del_elements;
+      stats->replacements += s.replacements;
+      stats->step3_replacements += s.step3_replacements();
+      stats->removed_unsolvable += s.removed_unsolvable;
+    } else {
+      InsertStats s;
+      MMV_RETURN_NOT_OK(InsertBatch(program, view, requests, evaluator,
+                                    options, &s, ext_support_counter));
+      stats->insert_passes++;
+      stats->insertions_applied += requests.size();
+      stats->add_atoms += s.add_atoms;
+      stats->insertion_pass_atoms += s.atoms_added;
     }
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status ApplyUpdatesSequential(const Program& program, View* view,
+                              const std::vector<Update>& updates,
+                              DcaEvaluator* evaluator,
+                              const FixpointOptions& options,
+                              BatchStats* stats, int* ext_support_counter) {
+  BatchStats local_stats;
+  if (!stats) stats = &local_stats;
+  *stats = BatchStats();
+  stats->input_updates = updates.size();
+  int local_counter = 0;
+  if (!ext_support_counter) {
+    local_counter = SeedExtCounter(*view);
     ext_support_counter = &local_counter;
   }
 
@@ -24,15 +194,20 @@ Status ApplyUpdates(const Program& program, View* view,
       StDelStats s;
       MMV_RETURN_NOT_OK(DeleteStDel(program, view, u.atom, evaluator,
                                     options.solver, &s));
+      stats->delete_passes++;
       stats->deletions_applied++;
+      stats->del_elements += s.del_elements;
       stats->replacements += s.replacements;
+      stats->step3_replacements += s.step3_replacements();
       stats->removed_unsolvable += s.removed_unsolvable;
     } else {
       InsertStats s;
       MMV_RETURN_NOT_OK(InsertAtom(program, view, u.atom, evaluator, options,
                                    &s, ext_support_counter));
+      stats->insert_passes++;
       stats->insertions_applied++;
-      stats->atoms_added += s.atoms_added;
+      stats->add_atoms += s.add_atoms;
+      stats->insertion_pass_atoms += s.atoms_added;
     }
   }
   return Status::OK();

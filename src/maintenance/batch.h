@@ -1,7 +1,23 @@
-// Batched view updates: apply a sequence of constrained-atom deletions and
-// insertions in order (the paper treats single updates; real mediators
-// receive bursts). Deletions use StDel — which, unlike DRed, needs no
-// program threading between updates — and insertions use Algorithm 3.
+// Batched view maintenance: a burst of constrained-atom deletions and
+// insertions is applied as a PIPELINE instead of an in-order replay (the
+// paper treats single updates; real mediators receive bursts).
+//
+//   1. A coalescing planner normalizes the burst: duplicate inserts and
+//      duplicate deletes collapse, a delete followed by a re-insert of the
+//      same canonical atom drops the delete, and an insert followed by a
+//      delete of the same canonical atom drops the insert. Every rule
+//      preserves in-order instance semantics (see PlanBatch).
+//   2. The surviving updates are grouped into maximal same-kind runs.
+//      Each delete run becomes ONE multi-atom StDel pass (one marking, one
+//      Del set spanning every request, one step-2/3 sweep, one prune) and
+//      each insert run becomes ONE seminaive continuation seeded with all
+//      surviving externals.
+//
+// A K-update burst therefore costs one propagation per run, not K.
+// Coalescing and delete-grouping are sound because supports are unique
+// derivation identities (Lemma 1): subtracting several deleted parts and
+// lifting them along supports commutes, so a combined pass removes exactly
+// the instances the sequential passes would.
 
 #ifndef MMV_MAINTENANCE_BATCH_H_
 #define MMV_MAINTENANCE_BATCH_H_
@@ -26,24 +42,93 @@ struct Update {
   }
 };
 
-/// \brief Aggregated counters across a batch.
-struct BatchStats {
-  size_t deletions_applied = 0;
-  size_t insertions_applied = 0;
-  size_t replacements = 0;       ///< total StDel constraint replacements
-  size_t atoms_added = 0;        ///< total inserted atoms + consequences
-  size_t removed_unsolvable = 0;
+/// \brief The coalescing planner's output: the surviving updates in their
+/// original relative order.
+struct BatchPlan {
+  std::vector<Update> ops;
+  size_t input_updates = 0;
+  size_t coalesced_away = 0;  ///< updates removed by the planner
 };
 
-/// \brief Applies \p updates to \p view in order (duplicate-semantics view,
-/// as required by StDel). \p ext_support_counter persists external-fact
-/// support numbering across batches on the same view.
-Status ApplyUpdates(const Program& program, View* view,
-                    const std::vector<Update>& updates,
-                    DcaEvaluator* evaluator,
-                    const FixpointOptions& options = {},
-                    BatchStats* stats = nullptr,
-                    int* ext_support_counter = nullptr);
+/// \brief Normalizes a burst without changing its in-order semantics.
+/// Updates are keyed by canonical constrained-atom string
+/// (variable-renaming-insensitive); the rules are deliberately conservative
+/// — an update is only dropped when the surrounding updates provably cannot
+/// observe the difference:
+///
+///   - a duplicate INSERT is dropped when no delete (of any predicate) was
+///     kept in between: its instances are still covered, so its Add set is
+///     empty and dropping it is exact. (A delete of any predicate can strip
+///     derived coverage the first insert relied on.)
+///   - a duplicate DELETE is dropped when no insert (of any predicate) was
+///     kept in between: there is nothing left to delete. (An insert of any
+///     predicate can re-derive the deleted instances as consequences.)
+///   - DELETE k ... INSERT k: the delete is dropped when only inserts were
+///     kept in between AND k's predicate participates in no non-fact
+///     clause of \p program (neither as head nor as body atom) — deleting
+///     and re-asserting a purely leaf-level atom nets to asserting it.
+///     For a rule participant the pair is kept: a derived k sequentially
+///     swaps derived coverage for an independent external support (a later
+///     ancestor deletion observes the difference), and a body-predicate
+///     k's re-insert re-derives its descendants, resurrecting derived
+///     atoms deleted earlier (in this burst or in any previous
+///     maintenance of the view).
+///   - INSERT k ... DELETE k: the insert is dropped when no insert was kept
+///     in between — the delete wipes the inserted instances and all their
+///     consequences anyway. (An intervening insert's Add set could have
+///     been emptied by coverage the dropped insert provided.)
+BatchPlan PlanBatch(const Program& program,
+                    const std::vector<Update>& updates);
+
+/// \brief Per-phase counters of one batch application.
+struct BatchStats {
+  // Planner.
+  size_t input_updates = 0;
+  size_t coalesced_away = 0;
+  // Pipeline shape.
+  size_t delete_passes = 0;  ///< multi-atom StDel sweeps run
+  size_t insert_passes = 0;  ///< seminaive continuations run
+  size_t deletions_applied = 0;   ///< delete requests reaching StDel
+  size_t insertions_applied = 0;  ///< insert requests reaching the Add pass
+  // Deletion phase.
+  size_t del_elements = 0;        ///< Del-set overlaps found
+  size_t replacements = 0;        ///< constraint replacements (step 2 + 3)
+  size_t step3_replacements = 0;  ///< support-propagated replacements only
+  size_t removed_unsolvable = 0;
+  // Insertion phase.
+  size_t add_atoms = 0;             ///< externals appended by Add passes
+  size_t insertion_pass_atoms = 0;  ///< externals + derived consequences
+};
+
+/// \brief Applies \p updates to \p view through the coalescing pipeline
+/// (duplicate-semantics view, as required by StDel). Instance-equivalent to
+/// ApplyUpdatesSequential on the same burst.
+///
+/// On error the view is left valid but partially maintained — and possibly
+/// emptied, if an insertion continuation failed mid-run (see
+/// ContinueFixpoint). Callers needing failure atomicity should apply the
+/// batch to a copy.
+///
+/// \p ext_support_counter persists external-fact support numbering across
+/// batches on the same view; when null, a fresh counter is seeded below the
+/// smallest clause number found anywhere in the view's support trees
+/// (external leaves included), so supports stay collision-free.
+Status ApplyBatch(const Program& program, View* view,
+                  const std::vector<Update>& updates, DcaEvaluator* evaluator,
+                  const FixpointOptions& options = {},
+                  BatchStats* stats = nullptr,
+                  int* ext_support_counter = nullptr);
+
+/// \brief Replays \p updates one at a time in order (no coalescing, one
+/// StDel or insertion fixpoint per update). This is the paper's
+/// single-update regime — kept as the differential-testing oracle and the
+/// benchmark baseline for ApplyBatch.
+Status ApplyUpdatesSequential(const Program& program, View* view,
+                              const std::vector<Update>& updates,
+                              DcaEvaluator* evaluator,
+                              const FixpointOptions& options = {},
+                              BatchStats* stats = nullptr,
+                              int* ext_support_counter = nullptr);
 
 /// \brief The duplicate-freeness condition of Algorithm 1 (Section 3.1):
 /// for all distinct atoms A(X1) <- phi1, A(X2) <- phi2 of the same

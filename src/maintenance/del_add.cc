@@ -50,6 +50,15 @@ VarFactory FreshFactory(const Program& program, const View& view,
   return f;
 }
 
+VarFactory FreshFactory(const Program& program, const View& view,
+                        const std::vector<UpdateAtom>& requests) {
+  VarFactory f = FreshFactory(program, view);
+  for (const UpdateAtom& r : requests) {
+    f.ReserveAbove(MaxVar(r.args, r.constraint));
+  }
+  return f;
+}
+
 Result<std::vector<DelElement>> BuildDel(const View& view,
                                          const UpdateAtom& request,
                                          Solver* solver,

@@ -111,6 +111,10 @@ bool SubtractDeletedPart(const TermVec& args, const Constraint& delta,
 VarFactory FreshFactory(const Program& program, const View& view,
                         const UpdateAtom* request = nullptr);
 
+/// \brief As above, but fresh w.r.t. every request of a batch.
+VarFactory FreshFactory(const Program& program, const View& view,
+                        const std::vector<UpdateAtom>& requests);
+
 /// \brief Removes every atom whose constraint is unsatisfiable (StDel
 /// step 4 and the final DRed cleanup). Returns the number removed.
 size_t PruneUnsolvable(View* view, Solver* solver);

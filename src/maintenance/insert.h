@@ -36,6 +36,19 @@ Status InsertAtom(const Program& program, View* view,
                   const FixpointOptions& options, InsertStats* stats,
                   int* ext_support_counter);
 
+/// \brief Inserts ALL requests' instances in one pass: the Add sets are
+/// built request by request (each seeing the externals appended before it,
+/// so duplicate requests collapse to nothing), then ONE seminaive
+/// continuation closes the view over all surviving externals at once.
+///
+/// Instance-equivalent to one-at-a-time insertion — the continuation
+/// derives exactly the consequences the per-request fixpoints would — but a
+/// K-request burst costs one propagation instead of K.
+Status InsertBatch(const Program& program, View* view,
+                   const std::vector<UpdateAtom>& requests,
+                   DcaEvaluator* evaluator, const FixpointOptions& options,
+                   InsertStats* stats, int* ext_support_counter);
+
 }  // namespace maint
 }  // namespace mmv
 

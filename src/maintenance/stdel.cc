@@ -1,6 +1,7 @@
 #include "maintenance/stdel.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "constraint/simplify.h"
 
@@ -34,19 +35,37 @@ Constraint RebindHead(const TermVec& orig_head, const SimplifiedAtom& s) {
 Status DeleteStDel(const Program& program, View* view,
                    const UpdateAtom& request, DcaEvaluator* evaluator,
                    const SolverOptions& solver_options, StDelStats* stats) {
+  return DeleteStDelBatch(program, view, {request}, evaluator, solver_options,
+                          stats);
+}
+
+Status DeleteStDelBatch(const Program& program, View* view,
+                        const std::vector<UpdateAtom>& requests,
+                        DcaEvaluator* evaluator,
+                        const SolverOptions& solver_options,
+                        StDelStats* stats) {
   StDelStats local;
   if (!stats) stats = &local;
   *stats = StDelStats();
   Solver solver(evaluator, solver_options);
-  VarFactory factory = FreshFactory(program, *view, &request);
+  VarFactory factory = FreshFactory(program, *view, requests);
 
-  // Step 1: mark every constraint atom in M.
+  // Step 1: mark every constraint atom in M — once for the whole batch.
   view->MarkAll(true);
 
-  // Input: the Del set. Sharing the run's factory keeps every fresh
-  // variable of this deletion in one issuance stream.
-  MMV_ASSIGN_OR_RETURN(std::vector<DelElement> del,
-                       BuildDel(*view, request, &solver, &factory));
+  // Input: the union of the requests' Del sets, every overlap computed
+  // against the PRE-deletion constraints. Overlapping requests may both
+  // record a deleted part of the same atom; subtraction is idempotent at
+  // the instance level, so the union propagates exactly what sequential
+  // single-request runs would. Sharing the run's factory keeps every fresh
+  // variable of this batch in one issuance stream.
+  std::vector<DelElement> del;
+  for (const UpdateAtom& request : requests) {
+    MMV_ASSIGN_OR_RETURN(std::vector<DelElement> part,
+                         BuildDel(*view, request, &solver, &factory));
+    del.insert(del.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
   stats->del_elements = del.size();
   if (del.empty()) {
     stats->solver = solver.stats();
@@ -80,6 +99,7 @@ Status DeleteStDel(const Program& program, View* view,
       continue;  // the overlap denotes no instances at the current state
     }
     stats->replacements++;
+    stats->step2_replacements++;
     pout.push_back(Pair{atom.pred, atom.args, e.deleted_part, atom.support});
   }
 

@@ -87,6 +87,44 @@ Result<Support> ParseSupport(std::string_view text) {
   return SupportParser(Trim(text)).Parse();
 }
 
+Result<std::vector<ParsedUpdate>> ParseBurst(std::string_view text,
+                                             Program* program) {
+  std::vector<ParsedUpdate> updates;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '%') continue;
+
+    bool is_delete;
+    if (line.rfind("del ", 0) == 0) {
+      is_delete = true;
+    } else if (line.rfind("ins ", 0) == 0) {
+      is_delete = false;
+    } else {
+      return Status::ParseError(
+          "burst line must start with 'del ' or 'ins ': " +
+          std::string(line));
+    }
+    MMV_ASSIGN_OR_RETURN(ParsedAtom atom,
+                         ParseConstrainedAtom(line.substr(4), program));
+    updates.push_back(ParsedUpdate{is_delete, std::move(atom)});
+  }
+  return updates;
+}
+
+std::string SerializeBurst(const std::vector<ParsedUpdate>& updates,
+                           const VarNames* names) {
+  std::ostringstream os;
+  for (const ParsedUpdate& u : updates) {
+    os << (u.is_delete ? "del " : "ins ")
+       << PrintAtom(u.atom.pred, u.atom.args, u.atom.constraint, names);
+    if (u.atom.constraint.is_true()) {
+      os << " <- true";  // keep the "<-" anchor for the reader
+    }
+    os << ".\n";
+  }
+  return os.str();
+}
+
 Result<View> DeserializeView(std::string_view text, Program* program) {
   View view;
   for (const std::string& raw : Split(text, '\n')) {

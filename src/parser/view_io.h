@@ -9,16 +9,25 @@
 // Variables print as X<id>; deserialization re-scopes them per atom (the
 // ids are local to each constrained atom anyway). Supports use the paper's
 // angle-bracket notation <Cn, <...>, ...>.
+//
+// The same module reads and writes BURST files — recorded update workloads
+// replayed by the batch-maintenance tests and benchmarks. One update per
+// line, '%' comments and blank lines ignored:
+//
+//   del pred(arg1, ..., argk) <- constraint.
+//   ins pred(arg1, ..., argk) <- constraint.
 
 #ifndef MMV_PARSER_VIEW_IO_H_
 #define MMV_PARSER_VIEW_IO_H_
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "core/program.h"
 #include "core/view.h"
+#include "parser/parser.h"
 
 namespace mmv {
 namespace parser {
@@ -32,6 +41,22 @@ Result<View> DeserializeView(std::string_view text, Program* program);
 
 /// \brief Parses a support in the paper notation, e.g. "<4, <2, <3>>>".
 Result<Support> ParseSupport(std::string_view text);
+
+/// \brief One line of a burst file: a deletion or insertion request.
+struct ParsedUpdate {
+  bool is_delete = false;
+  ParsedAtom atom;
+};
+
+/// \brief Parses a burst-workload file (format above). Variable ids are
+/// drawn from \p program's factory, standardizing each update apart.
+Result<std::vector<ParsedUpdate>> ParseBurst(std::string_view text,
+                                             Program* program);
+
+/// \brief Serializes updates into the burst line format (inverse of
+/// ParseBurst up to variable naming).
+std::string SerializeBurst(const std::vector<ParsedUpdate>& updates,
+                           const VarNames* names = nullptr);
 
 }  // namespace parser
 }  // namespace mmv

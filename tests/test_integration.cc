@@ -74,12 +74,12 @@ TEST(IntegrationTest, BatchAfterReloadMatchesBatchBeforeSerialize) {
 
   View direct = original;
   ASSERT_TRUE(
-      maint::ApplyUpdates(p, &direct, updates, w.domains.get()).ok());
+      maint::ApplyBatch(p, &direct, updates, w.domains.get()).ok());
 
   View reloaded = Unwrap(
       parser::DeserializeView(parser::SerializeView(original), &p));
   ASSERT_TRUE(
-      maint::ApplyUpdates(p, &reloaded, updates, w.domains.get()).ok());
+      maint::ApplyBatch(p, &reloaded, updates, w.domains.get()).ok());
 
   EXPECT_EQ(Instances(direct, w.domains.get()),
             Instances(reloaded, w.domains.get()));

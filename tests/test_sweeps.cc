@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "maintenance/batch.h"
+#include "maintenance/recompute.h"
 #include "maintenance/stdel.h"
+#include "parser/view_io.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -15,6 +18,7 @@ namespace {
 using testutil::Instances;
 using testutil::InstancesOf;
 using testutil::MaterializeOrDie;
+using testutil::ParseOrDie;
 using testutil::TestWorld;
 using testutil::Unwrap;
 
@@ -180,6 +184,155 @@ TEST_P(IntervalSweep, AtomCountIndependentOfSpan) {
 INSTANTIATE_TEST_SUITE_P(
     Grid, IntervalSweep,
     ::testing::Combine(::testing::Values(1, 3), ::testing::Values(5, 20)));
+
+// ---------------------------------------------------------------------------
+// Mixed delete/insert burst sweeps: on every parameter point the pipeline,
+// the sequential replay and the declarative fold (program rewrites +
+// recompute, testutil::FoldRecompute) must agree at the instance level.
+
+void ExpectThreeWayAgreement(const Program& p, const View& initial,
+                             const std::vector<maint::Update>& burst,
+                             DcaEvaluator* eval) {
+  View batch = initial;
+  maint::BatchStats stats;
+  ASSERT_TRUE(maint::ApplyBatch(p, &batch, burst, eval, {}, &stats).ok());
+  View seq = initial;
+  ASSERT_TRUE(maint::ApplyUpdatesSequential(p, &seq, burst, eval).ok());
+  View oracle = testutil::FoldRecompute(p, burst, eval);
+  EXPECT_EQ(Instances(batch, eval), Instances(seq, eval));
+  EXPECT_EQ(Instances(batch, eval), Instances(oracle, eval));
+}
+
+class BurstSweep : public ::testing::TestWithParam<DepthWidth> {};
+
+TEST_P(BurstSweep, ArithChainMixedBurst) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(depth, width);
+  View v = MaterializeOrDie(p, w.domains.get());
+
+  std::vector<maint::Update> burst;
+  // Delete the lower half of the facts, insert fresh ones, sprinkle
+  // duplicates so the planner has something to coalesce.
+  for (int k = 0; k < width / 2 + 1; ++k) {
+    burst.push_back(maint::Update::Delete(
+        testutil::ParseUpdate("p0(X) <- X = " + std::to_string(k) + ".", &p)));
+  }
+  burst.push_back(maint::Update::Insert(testutil::ParseUpdate(
+      "p0(X) <- X = " + std::to_string(width + 1) + ".", &p)));
+  burst.push_back(maint::Update::Insert(testutil::ParseUpdate(
+      "p0(X) <- X = " + std::to_string(width + 1) + ".", &p)));  // dup
+  burst.push_back(maint::Update::Delete(
+      testutil::ParseUpdate("p0(X) <- X = 0.", &p)));  // re-delete
+  ExpectThreeWayAgreement(p, v, burst, w.domains.get());
+}
+
+TEST_P(BurstSweep, ArithIntervalMixedBurst) {
+  auto [depth, span] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeIntervalChain(depth, /*width=*/2, span);
+  View v = MaterializeOrDie(p, w.domains.get());
+
+  std::vector<maint::Update> burst = {
+      maint::Update::Delete(testutil::ParseUpdate("b0(X) <- X = 1.", &p)),
+      maint::Update::Insert(testutil::ParseUpdate(
+          "b0(X) <- in(X, arith:between(200, 202)).", &p)),
+      maint::Update::Delete(testutil::ParseUpdate("b0(X) <- X = 2.", &p)),
+  };
+  ExpectThreeWayAgreement(p, v, burst, w.domains.get());
+}
+
+TEST_P(BurstSweep, FullyCancelingBurstLeavesViewByteIdentical) {
+  auto [depth, width] = GetParam();
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeChain(depth, width);
+  // Side predicate touched by no rule: delete+re-insert pairs of its
+  // PRESENT facts may legally cancel in the planner (for rule participants
+  // like p0 the pair must execute — see the resurrection regression in
+  // test_batch.cc).
+  for (int c = 0; c < 2; ++c) {
+    p.AddClause(Unwrap(parser::ParseClause(
+        "side(X) <- X = " + std::to_string(c) + ".", &p)));
+  }
+  View v = MaterializeOrDie(p, w.domains.get());
+  std::string before = parser::SerializeView(v);
+
+  // delete+re-insert of present side facts and insert+delete of absent
+  // chain facts: the planner reduces every pair to a single no-op update.
+  std::vector<maint::Update> burst;
+  for (int c = 0; c < 2; ++c) {
+    burst.push_back(maint::Update::Delete(testutil::ParseUpdate(
+        "side(X) <- X = " + std::to_string(c) + ".", &p)));
+    burst.push_back(maint::Update::Insert(testutil::ParseUpdate(
+        "side(X) <- X = " + std::to_string(c) + ".", &p)));
+  }
+  burst.push_back(maint::Update::Insert(testutil::ParseUpdate(
+      "p0(X) <- X = " + std::to_string(width + 7) + ".", &p)));
+  burst.push_back(maint::Update::Delete(testutil::ParseUpdate(
+      "p0(X) <- X = " + std::to_string(width + 7) + ".", &p)));
+
+  maint::BatchStats stats;
+  ASSERT_TRUE(
+      maint::ApplyBatch(p, &v, burst, w.domains.get(), {}, &stats).ok());
+  EXPECT_EQ(parser::SerializeView(v), before);
+  // Half of the burst was coalesced away, the rest were provable no-ops.
+  EXPECT_EQ(stats.coalesced_away, burst.size() / 2);
+  EXPECT_EQ(stats.replacements, 0u);
+  EXPECT_EQ(stats.add_atoms, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BurstSweep,
+    ::testing::Combine(::testing::Values(1, 3, 6), ::testing::Values(2, 5)));
+
+TEST(DomainBurstTest, RelDomainMixedBurst) {
+  TestWorld w = TestWorld::Make();
+  ASSERT_TRUE(
+      w.catalog->CreateTable(rel::Schema{"orders", {"id", "region"}}).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(w.catalog
+                    ->Insert("orders", {Value(i), Value(i % 2 ? "east"
+                                                             : "west")})
+                    .ok());
+  }
+  Program p = ParseOrDie(R"(
+    east(I) <- in(R, rel:select_eq("orders", "region", "east")) &
+               in(I, tuple:get(R, 0)).
+    flagged(I) <- east(I).
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+
+  std::vector<maint::Update> burst = {
+      maint::Update::Delete(testutil::ParseUpdate("east(I) <- I = 1.", &p)),
+      maint::Update::Insert(testutil::ParseUpdate("east(I) <- I = 99.", &p)),
+      maint::Update::Delete(testutil::ParseUpdate("east(I) <- I = 1.", &p)),
+      maint::Update::Delete(
+          testutil::ParseUpdate("flagged(I) <- I = 3.", &p)),
+  };
+  ExpectThreeWayAgreement(p, v, burst, w.domains.get());
+}
+
+TEST(DomainBurstTest, TextDomainMixedBurst) {
+  TestWorld w = TestWorld::Make();
+  ASSERT_TRUE(w.handles.text->AddDocument("d1", "alpha beta").ok());
+  ASSERT_TRUE(w.handles.text->AddDocument("d2", "beta gamma").ok());
+  ASSERT_TRUE(w.handles.text->AddDocument("d3", "beta delta").ok());
+  Program p = ParseOrDie(R"(
+    has_beta(D) <- in(D, text:match("beta")).
+    pair(D, E) <- has_beta(D) & has_beta(E) & D != E.
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+
+  std::vector<maint::Update> burst = {
+      maint::Update::Delete(
+          testutil::ParseUpdate("has_beta(D) <- D = \"d1\".", &p)),
+      maint::Update::Insert(
+          testutil::ParseUpdate("has_beta(D) <- D = \"d9\".", &p)),
+      maint::Update::Insert(
+          testutil::ParseUpdate("has_beta(D) <- D = \"d9\".", &p)),  // dup
+  };
+  ExpectThreeWayAgreement(p, v, burst, w.domains.get());
+}
 
 }  // namespace
 }  // namespace mmv

@@ -10,7 +10,9 @@
 
 #include "core/fixpoint.h"
 #include "domain/registry.h"
+#include "maintenance/batch.h"
 #include "maintenance/recompute.h"
+#include "maintenance/rewrite.h"
 #include "parser/parser.h"
 #include "query/enumerate.h"
 
@@ -67,6 +69,25 @@ inline std::set<std::string> Instances(const View& view,
   std::set<std::string> out;
   for (const query::Instance& i : set.instances) out.insert(i.ToString());
   return out;
+}
+
+/// \brief The declarative oracle for an update burst: folds the burst into
+/// the paper's Section 3 program transforms (deletion guards every head of
+/// the requested predicate with not(psi); insertion appends the request as
+/// a constrained fact) and rematerializes from scratch.
+inline View FoldRecompute(const Program& program,
+                          const std::vector<maint::Update>& burst,
+                          DcaEvaluator* evaluator,
+                          const FixpointOptions& options = {}) {
+  Program rewritten = program;
+  for (const maint::Update& u : burst) {
+    if (u.kind == maint::Update::Kind::kDelete) {
+      rewritten = maint::RewriteForDeletion(rewritten, u.atom, evaluator);
+    } else {
+      rewritten = maint::AppendFact(rewritten, u.atom);
+    }
+  }
+  return Unwrap(maint::Recompute(rewritten, evaluator, options));
 }
 
 /// \brief Instance strings of one predicate only.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "constraint/canonical.h"
 #include "maintenance/stdel.h"
 #include "parser/view_io.h"
 #include "test_util.h"
@@ -153,6 +154,49 @@ TEST(ParserNestedNotTest, ParsesNestedBlocks) {
   ASSERT_EQ(c.nots().size(), 1u);
   ASSERT_EQ(c.nots()[0].inner.size(), 1u);
   ASSERT_EQ(c.nots()[0].inner[0].inner.size(), 1u);
+}
+
+TEST(BurstIoTest, ParsesKindsCommentsAndBlanks) {
+  Program p;
+  auto burst = Unwrap(parser::ParseBurst(R"(
+    % recorded burst
+    del a(X) <- X = 1.
+
+    ins a(X) <- X = 2.
+    ins b(X, Y) <- X = 1 & Y != 2.
+  )",
+                                         &p));
+  ASSERT_EQ(burst.size(), 3u);
+  EXPECT_TRUE(burst[0].is_delete);
+  EXPECT_FALSE(burst[1].is_delete);
+  EXPECT_EQ(burst[0].atom.pred, "a");
+  EXPECT_EQ(burst[2].atom.pred, "b");
+  EXPECT_EQ(burst[2].atom.args.size(), 2u);
+}
+
+TEST(BurstIoTest, RejectsUnknownDirective) {
+  Program p;
+  EXPECT_FALSE(parser::ParseBurst("upsert a(X) <- X = 1.\n", &p).ok());
+}
+
+TEST(BurstIoTest, SerializeParseRoundTrip) {
+  Program p;
+  auto original = Unwrap(parser::ParseBurst(
+      "del a(X) <- X = 1.\nins a(X) <- in(X, arith:between(0, 4)).\n"
+      "ins c(X) <- true.\n",
+      &p));
+  std::string text = parser::SerializeBurst(original, p.names());
+  auto reparsed = Unwrap(parser::ParseBurst(text, &p));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].is_delete, original[i].is_delete);
+    EXPECT_EQ(reparsed[i].atom.pred, original[i].atom.pred);
+    EXPECT_EQ(CanonicalAtomString(original[i].atom.pred, original[i].atom.args,
+                                  original[i].atom.constraint),
+              CanonicalAtomString(reparsed[i].atom.pred,
+                                  reparsed[i].atom.args,
+                                  reparsed[i].atom.constraint));
+  }
 }
 
 }  // namespace
