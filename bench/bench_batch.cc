@@ -75,9 +75,11 @@ std::string CancellingBurstText(int k, int width) {
 }
 
 void RunBurst(benchmark::State& state, const std::string& burst_text,
-              Program p, bool pipelined) {
+              Program p, bool pipelined,
+              const FixpointOptions* options = nullptr) {
   World w = World::Make();
-  View base = MustMaterialize(p, w.domains.get());
+  FixpointOptions opts = options ? *options : DefaultOptions();
+  View base = MustMaterialize(p, w.domains.get(), opts);
   std::vector<maint::Update> burst = ParseBurstOrAbort(burst_text, &p);
 
   maint::BatchStats stats;
@@ -86,10 +88,10 @@ void RunBurst(benchmark::State& state, const std::string& burst_text,
     View v = base;
     state.ResumeTiming();
     Status s = pipelined
-                   ? maint::ApplyBatch(p, &v, burst, w.domains.get(), {},
+                   ? maint::ApplyBatch(p, &v, burst, w.domains.get(), opts,
                                        &stats)
                    : maint::ApplyUpdatesSequential(p, &v, burst,
-                                                   w.domains.get(), {},
+                                                   w.domains.get(), opts,
                                                    &stats);
     if (!s.ok()) state.SkipWithError(s.ToString().c_str());
     benchmark::DoNotOptimize(v.size());
@@ -132,6 +134,30 @@ void BM_MixedBurst_Sequential(benchmark::State& state) {
            /*pipelined=*/false);
 }
 
+// Bulk load: a K-insert burst into an EMPTY guarded multi-chain view (8
+// chains, round-robin requests, every level re-joining its chain's base
+// relation), through the full batch pipeline. With no existing facts the
+// BuildAdd diffing is near-free and the one seminaive insertion
+// continuation — the join — dominates, so this is the bench_batch case the
+// join-mode comparison is scored on. {depth, K, mode}.
+std::string BulkLoadBurstText(int k) {
+  std::ostringstream os;
+  for (int i = 0; i < k; ++i) {
+    os << "ins c" << (i % 8) << "_p0(X) <- X = " << (i / 8) << ".\n";
+  }
+  return os.str();
+}
+
+void BM_BulkLoadBurst_Batch(benchmark::State& state) {
+  int k = static_cast<int>(state.range(1));
+  FixpointOptions opts = DefaultOptions();
+  opts.join_mode = ModeArg(state.range(2));
+  RunBurst(state, BulkLoadBurstText(k),
+           workload::MakeGuardedMultiChain(
+               8, static_cast<int>(state.range(0)), /*width=*/0),
+           /*pipelined=*/true, &opts);
+}
+
 void BM_CancellingBurst_Batch(benchmark::State& state) {
   int k = static_cast<int>(state.range(1));
   RunBurst(state, CancellingBurstText(k, k + 32),
@@ -153,12 +179,21 @@ void BurstArgs(benchmark::internal::Benchmark* b) {
       ->Unit(benchmark::kMillisecond);
 }
 
+void BulkLoadArgs(benchmark::internal::Benchmark* b) {
+  // {chain depth, burst size K, join mode (0 = naive, 1 = indexed)}
+  for (int64_t mode : {0, 1}) {
+    b->Args({8, 16, mode})->Args({16, 64, mode})->Args({32, 64, mode});
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_DeletionBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_DeletionBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_MixedBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_MixedBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Sequential)->Apply(BurstArgs);
+BENCHMARK(BM_BulkLoadBurst_Batch)->Apply(BulkLoadArgs);
 
 }  // namespace
 }  // namespace bench

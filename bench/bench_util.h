@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "domain/registry.h"
 #include "maintenance/dred_constrained.h"
@@ -38,6 +40,30 @@ struct World {
   }
 };
 
+/// \brief Join mode selected by $MMV_JOIN_MODE ("naive" forces the oracle
+/// join; anything else — including unset — keeps the default kIndexed).
+/// Lets CI run a whole bench binary under each mode and diff the derived
+/// atom counters.
+inline JoinMode EnvJoinMode() {
+  const char* mode = std::getenv("MMV_JOIN_MODE");
+  return (mode && std::string_view(mode) == "naive") ? JoinMode::kNaive
+                                                     : JoinMode::kIndexed;
+}
+
+/// \brief Baseline options for benchmarks: default fixpoint knobs with the
+/// join mode taken from the environment.
+inline FixpointOptions DefaultOptions() {
+  FixpointOptions o;
+  o.join_mode = EnvJoinMode();
+  return o;
+}
+
+/// \brief Join mode from a benchmark range arg (0 = naive, 1 = indexed),
+/// for cases that pin the mode per-case instead of per-process.
+inline JoinMode ModeArg(int64_t arg) {
+  return arg == 0 ? JoinMode::kNaive : JoinMode::kIndexed;
+}
+
 /// \brief Materializes or aborts (benchmark setup only).
 inline View MustMaterialize(const Program& p, DcaEvaluator* eval,
                             const FixpointOptions& opts = {}) {
@@ -47,9 +73,21 @@ inline View MustMaterialize(const Program& p, DcaEvaluator* eval,
 }
 
 inline FixpointOptions SetSemantics() {
-  FixpointOptions o;
+  FixpointOptions o = DefaultOptions();
   o.semantics = DupSemantics::kSet;
   return o;
+}
+
+/// \brief Exports the join-pipeline counters of a fixpoint run.
+inline void ExportJoinCounters(benchmark::State& state,
+                               const FixpointStats& stats) {
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["ground_rejects"] =
+      static_cast<double>(stats.ground_rejects);
+  state.counters["rename_skipped"] =
+      static_cast<double>(stats.rename_skipped);
+  state.counters["solver_cache_hits"] =
+      static_cast<double>(stats.solver.cache_hits);
 }
 
 }  // namespace bench

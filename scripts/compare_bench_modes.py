@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diffs the derived-atom counters of two bench JSON sidecars.
+
+Usage: compare_bench_modes.py NAIVE.json INDEXED.json
+
+Each input is the JSONL sidecar a bench binary writes (one object per case:
+name, real_ms, counters). The indexed join pipeline must derive EXACTLY the
+atom counts the naive oracle derives, so for every case present in both
+files the work-product counters must match bit-for-bit. Timing fields are
+ignored. Exits non-zero on any mismatch, and when nothing comparable was
+found (a silently empty comparison would defeat the check).
+"""
+
+import json
+import sys
+
+# Counters that describe the derived work product (not the strategy).
+# Strategy-dependent counters (probes, rejects, derivation attempts) are
+# deliberately excluded: the indexed join legitimately attempts fewer
+# derivations than the oracle.
+COMPARED = (
+    "atoms_added",
+    "added",
+    "view_atoms",
+    "updates",
+    "coalesced",
+    "insertions",
+)
+
+
+def load(path):
+    cases = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            cases[obj["name"]] = obj.get("counters", {})
+    return cases
+
+
+def diff(failures, label, a, b):
+    compared = 0
+    for key in COMPARED:
+        if key in a and key in b:
+            compared += 1
+            if a[key] != b[key]:
+                failures.append(f"{label}: {key} {a[key]} != {b[key]}")
+    return compared
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    naive = load(sys.argv[1])
+    indexed = load(sys.argv[2])
+    compared = 0
+    failures = []
+    # Env-driven cases: same name across the two runs.
+    for name in sorted(set(naive) & set(indexed)):
+        compared += diff(failures, name, naive[name], indexed[name])
+    # Mode-paired cases pin the join via their trailing arg and ignore
+    # MMV_JOIN_MODE, so the cross-file diff above compares them against
+    # themselves; compare .../0 (naive) against .../1 (indexed) WITHIN
+    # each file instead.
+    for cases in (naive, indexed):
+        for name in sorted(cases):
+            if not name.endswith("/0"):
+                continue
+            twin = name[:-2] + "/1"
+            if twin in cases:
+                compared += diff(
+                    failures, f"{name} vs {twin}", cases[name], cases[twin]
+                )
+    if failures:
+        print("join-mode counter mismatches:")
+        print("\n".join(failures))
+        sys.exit(1)
+    if compared == 0:
+        print("no comparable counters found — check the bench filters")
+        sys.exit(1)
+    print(f"OK: {compared} counters identical across join modes")
+
+
+if __name__ == "__main__":
+    main()

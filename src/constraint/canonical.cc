@@ -1,7 +1,7 @@
 #include "constraint/canonical.h"
 
 #include <algorithm>
-#include <sstream>
+#include <cstring>
 #include <unordered_map>
 
 #include "constraint/simplify.h"
@@ -103,23 +103,33 @@ class Renamer {
   std::unordered_map<VarId, VarId> map_;
 };
 
-}  // namespace
-
-std::string CanonicalAtomString(Symbol pred, const TermVec& args,
-                                const Constraint& c) {
-  SimplifiedAtom s = SimplifyAtom(args, c);
-  if (s.constraint.is_false()) {
-    return pred + "/false";
+// Renders the full canonical form (sorted literals, renamed variables) of
+// pred(args) <- c into *out. The shared implementation behind both the
+// string and the hashed-key entry points.
+void RenderCanonicalAtom(Symbol pred, const TermVec& args, const Constraint& c,
+                         bool assume_simplified, std::string* out) {
+  const TermVec* head = &args;
+  const Constraint* constraint = &c;
+  SimplifiedAtom s;
+  if (!assume_simplified) {
+    s = SimplifyAtom(args, c);
+    head = &s.head;
+    constraint = &s.constraint;
+  }
+  if (constraint->is_false()) {
+    *out += pred.name();
+    *out += "/false";
+    return;
   }
 
   // Order literals deterministically by variable-blind key (stable, so
   // literals with equal keys keep their relative order).
-  std::vector<Primitive> prims = s.constraint.prims();
+  std::vector<Primitive> prims = constraint->prims();
   std::stable_sort(prims.begin(), prims.end(),
                    [](const Primitive& a, const Primitive& b) {
                      return VarBlindKey(a) < VarBlindKey(b);
                    });
-  std::vector<NotBlock> nots = s.constraint.nots();
+  std::vector<NotBlock> nots = constraint->nots();
   for (NotBlock& b : nots) {
     std::stable_sort(b.prims.begin(), b.prims.end(),
                      [](const Primitive& a, const Primitive& b2) {
@@ -133,26 +143,205 @@ std::string CanonicalAtomString(Symbol pred, const TermVec& args,
 
   // Rename variables by first appearance: head first, then ordered literals.
   Renamer renamer;
-  std::ostringstream os;
-  os << pred << '(';
-  for (size_t i = 0; i < s.head.size(); ++i) {
-    if (i) os << ',';
-    os << renamer.Rename(s.head[i]).ToString();
+  *out += pred.name();
+  *out += '(';
+  for (size_t i = 0; i < head->size(); ++i) {
+    if (i) *out += ',';
+    *out += renamer.Rename((*head)[i]).ToString();
   }
-  os << ") <- ";
+  *out += ") <- ";
   bool first = true;
   for (const Primitive& p : prims) {
-    if (!first) os << " & ";
-    os << renamer.Rename(p).ToString();
+    if (!first) *out += " & ";
+    *out += renamer.Rename(p).ToString();
     first = false;
   }
   for (const NotBlock& b : nots) {
-    if (!first) os << " & ";
-    os << renamer.RenderBlock(b);
+    if (!first) *out += " & ";
+    *out += renamer.RenderBlock(b);
     first = false;
   }
-  if (first) os << "true";
-  return os.str();
+  if (first) *out += "true";
+}
+
+// Cheap in-order renderer for the solver memo key: appends straight into
+// the scratch buffer (no literal copies, no ostringstream) with variables
+// renamed by first appearance. The encoding is injective — distinct
+// constraints render distinctly (doubles print as raw bits, strings are
+// length-prefixed) — because two constraints colliding on one key would
+// share a cached satisfiability verdict.
+class KeyRenderer {
+ public:
+  explicit KeyRenderer(std::string* out) : out_(out) {}
+
+  void Append(const Constraint& c) {
+    for (const Primitive& p : c.prims()) {
+      Append(p);
+      out_->push_back('&');
+    }
+    for (const NotBlock& b : c.nots()) {
+      Append(b);
+      out_->push_back('&');
+    }
+  }
+
+ private:
+  void Append(const Primitive& p) {
+    switch (p.kind) {
+      case PrimKind::kEq:
+        out_->push_back('=');
+        Append(p.lhs);
+        Append(p.rhs);
+        break;
+      case PrimKind::kNeq:
+        out_->push_back('!');
+        Append(p.lhs);
+        Append(p.rhs);
+        break;
+      case PrimKind::kCmp:
+        out_->push_back('c');
+        out_->push_back(static_cast<char>('0' + static_cast<int>(p.op)));
+        Append(p.lhs);
+        Append(p.rhs);
+        break;
+      case PrimKind::kIn:
+      case PrimKind::kNotIn:
+        out_->push_back(p.kind == PrimKind::kIn ? 'I' : 'O');
+        Append(p.lhs);
+        AppendRaw(p.call.domain);
+        AppendRaw(p.call.function);
+        for (const Term& t : p.call.args) Append(t);
+        break;
+    }
+  }
+
+  void Append(const NotBlock& b) {
+    out_->push_back('N');
+    out_->push_back('(');
+    for (const Primitive& p : b.prims) {
+      Append(p);
+      out_->push_back('&');
+    }
+    for (const NotBlock& i : b.inner) {
+      Append(i);
+      out_->push_back('&');
+    }
+    out_->push_back(')');
+  }
+
+  void Append(const Term& t) {
+    if (t.is_var()) {
+      out_->push_back('v');
+      VarId v = t.var();
+      auto it = var_map_.find(v);
+      if (it == var_map_.end()) {
+        it = var_map_.emplace(v, static_cast<VarId>(var_map_.size())).first;
+      }
+      AppendInt(static_cast<uint64_t>(it->second));
+      return;
+    }
+    Append(t.constant());
+  }
+
+  void Append(const Value& v) {
+    switch (v.kind()) {
+      case ValueKind::kNull:
+        out_->push_back('n');
+        break;
+      case ValueKind::kBool:
+        out_->push_back(v.as_bool() ? 'T' : 'F');
+        break;
+      case ValueKind::kInt:
+        out_->push_back('i');
+        AppendInt(static_cast<uint64_t>(v.as_int()));
+        break;
+      case ValueKind::kDouble: {
+        // Raw bits: exact, unlike any decimal rendering.
+        out_->push_back('d');
+        double d = v.as_double();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d), "");
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendInt(bits);
+        break;
+      }
+      case ValueKind::kString:
+        out_->push_back('s');
+        AppendRaw(v.as_string());
+        break;
+      case ValueKind::kList:
+        out_->push_back('[');
+        for (const Value& e : v.as_list()) Append(e);
+        out_->push_back(']');
+        break;
+    }
+  }
+
+  // Length-prefixed so adjacent strings cannot merge ambiguously.
+  void AppendRaw(const std::string& s) {
+    AppendInt(s.size());
+    out_->push_back(':');
+    out_->append(s);
+  }
+
+  void AppendInt(uint64_t u) {
+    char buf[20];
+    char* p = buf + sizeof(buf);
+    do {
+      *--p = static_cast<char>('0' + (u % 10));
+      u /= 10;
+    } while (u != 0);
+    out_->append(p, static_cast<size_t>(buf + sizeof(buf) - p));
+    out_->push_back(';');
+  }
+
+  std::string* out_;
+  std::unordered_map<VarId, VarId> var_map_;
+};
+
+// Two independent FNV-1a streams over the rendering.
+uint64_t Fnv1a64(const std::string& s, uint64_t h) {
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+CanonicalKey FingerprintOf(const std::string& rendering) {
+  CanonicalKey key;
+  key.lo = Fnv1a64(rendering, 14695981039346656037ULL);
+  key.hi = Fnv1a64(rendering, 0x9ae16a3b2f90404fULL);
+  return key;
+}
+
+}  // namespace
+
+CanonicalKey CanonicalAtomKey(Symbol pred, const TermVec& args,
+                              const Constraint& c, bool assume_simplified,
+                              std::string* scratch) {
+  scratch->clear();
+  RenderCanonicalAtom(pred, args, c, assume_simplified, scratch);
+  return FingerprintOf(*scratch);
+}
+
+CanonicalKey CanonicalConstraintKey(const Constraint& c,
+                                    std::string* scratch) {
+  scratch->clear();
+  if (c.is_false()) {
+    *scratch += "false";
+    return FingerprintOf(*scratch);
+  }
+  KeyRenderer renderer(scratch);
+  renderer.Append(c);
+  return FingerprintOf(*scratch);
+}
+
+std::string CanonicalAtomString(Symbol pred, const TermVec& args,
+                                const Constraint& c) {
+  std::string out;
+  RenderCanonicalAtom(pred, args, c, /*assume_simplified=*/false, &out);
+  return out;
 }
 
 }  // namespace mmv

@@ -229,6 +229,22 @@ void NotBlock::CollectVariables(std::vector<VarId>* out) const {
   for (const NotBlock& b : inner) b.CollectVariables(out);
 }
 
+void Primitive::CollectVariables(VarSet* out) const {
+  out->AddTerm(lhs);
+  if (kind == PrimKind::kEq || kind == PrimKind::kNeq ||
+      kind == PrimKind::kCmp) {
+    out->AddTerm(rhs);
+  }
+  if (kind == PrimKind::kIn || kind == PrimKind::kNotIn) {
+    out->AddTerms(call.args);
+  }
+}
+
+void NotBlock::CollectVariables(VarSet* out) const {
+  for (const Primitive& p : prims) p.CollectVariables(out);
+  for (const NotBlock& b : inner) b.CollectVariables(out);
+}
+
 void Constraint::AddNot(NotBlock b) {
   if (b.BodyEmpty()) {
     // not(true) == false.
@@ -247,6 +263,11 @@ void Constraint::AndWith(const Constraint& other) {
   }
   prims_.insert(prims_.end(), other.prims_.begin(), other.prims_.end());
   nots_.insert(nots_.end(), other.nots_.begin(), other.nots_.end());
+}
+
+void Constraint::CollectVariables(VarSet* out) const {
+  for (const Primitive& p : prims_) p.CollectVariables(out);
+  for (const NotBlock& b : nots_) b.CollectVariables(out);
 }
 
 Constraint Constraint::And(const Constraint& a, const Constraint& b) {

@@ -80,6 +80,9 @@ struct Primitive {
   /// \brief Appends all variables occurring in this primitive to \p out
   /// (first appearance order, deduplicated against existing content).
   void CollectVariables(std::vector<VarId>* out) const;
+
+  /// \brief VarSet variant (O(1) expected membership on large sets).
+  void CollectVariables(VarSet* out) const;
 };
 
 /// \brief A negated constraint not(c1 ^ ... ^ ck ^ not(B1) ^ ... ^ not(Bm)).
@@ -103,6 +106,9 @@ struct NotBlock {
 
   /// \brief All variables in the block (appended to \p out, deduplicated).
   void CollectVariables(std::vector<VarId>* out) const;
+
+  /// \brief VarSet variant (O(1) expected membership on large sets).
+  void CollectVariables(VarSet* out) const;
 };
 
 /// \brief A constraint: conjunction of primitives and negated blocks.
@@ -158,6 +164,10 @@ class Constraint {
   /// \brief All variables occurring anywhere in the constraint
   /// (first-appearance order).
   std::vector<VarId> Variables() const;
+
+  /// \brief Appends all variables to \p out (first-appearance order,
+  /// deduplicated) without the quadratic membership scans of Variables().
+  void CollectVariables(VarSet* out) const;
 
   /// \brief Total number of literals (primitives + primitives inside nots).
   size_t LiteralCount() const;

@@ -1,5 +1,8 @@
 #include "constraint/solver.h"
 
+#include "constraint/canonical.h"
+#include "constraint/solve_cache.h"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -663,6 +666,20 @@ SolveOutcome Solver::SolveConjunctionWithSplits(
 SolveOutcome Solver::Solve(const Constraint& c) {
   stats_.solve_calls++;
   if (c.is_false()) return SolveOutcome::kUnsat;
+  if (c.is_true()) return SolveOutcome::kSat;
+  if (options_.cache == nullptr) return SolveUncached(c);
+  CanonicalKey key = CanonicalConstraintKey(c, options_.cache->scratch());
+  if (const SolveOutcome* hit = options_.cache->Lookup(key)) {
+    stats_.cache_hits++;
+    return *hit;
+  }
+  SolveOutcome outcome = SolveUncached(c);
+  // Errors are evaluator failures, not properties of the constraint.
+  if (outcome != SolveOutcome::kError) options_.cache->Insert(key, outcome);
+  return outcome;
+}
+
+SolveOutcome Solver::SolveUncached(const Constraint& c) {
   std::unordered_map<std::string, DcaResult> cache;
   int64_t budget = options_.max_choice_branches;
 

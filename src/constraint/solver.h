@@ -125,6 +125,7 @@ struct SolveStats {
   int64_t dca_evaluations = 0;
   int64_t choice_branches = 0;
   int64_t literals_processed = 0;
+  int64_t cache_hits = 0;  ///< Solve calls answered by the SolveCache memo
 };
 
 /// \brief Description of one variable equivalence class after propagation,
@@ -138,6 +139,8 @@ struct VarDomainInfo {
   bool touched_by_deferred = false;      ///< a deferred literal mentions it
 };
 
+class SolveCache;
+
 /// \brief Tuning knobs for the solver.
 struct SolverOptions {
   /// Upper bound on choice combinations (not-blocks plus candidate splits)
@@ -149,6 +152,11 @@ struct SolverOptions {
   /// (complete search; the honest cost of T_P solvability checks over
   /// chained domain calls).
   bool split_candidates = true;
+  /// Optional memo of outcomes keyed by canonical constraint form
+  /// (constraint/solve_cache.h). Not owned. The caller guarantees the
+  /// evaluator state and solver options stay fixed for the cache lifetime;
+  /// every Solver sharing one cache must use identical options.
+  SolveCache* cache = nullptr;
 };
 
 /// \brief Satisfiability engine for constraints.
@@ -160,7 +168,8 @@ class Solver {
   explicit Solver(DcaEvaluator* evaluator, SolverOptions options = {})
       : evaluator_(evaluator), options_(options) {}
 
-  /// \brief Decides satisfiability of \p c.
+  /// \brief Decides satisfiability of \p c. When options.cache is set, a
+  /// canonical-form memo answers repeated shapes without re-solving.
   SolveOutcome Solve(const Constraint& c);
 
   /// \brief Propagates the positive primitives of \p c and reports the
@@ -176,6 +185,7 @@ class Solver {
 
  private:
   friend class ConjunctionState;
+  SolveOutcome SolveUncached(const Constraint& c);
   SolveOutcome SolveConjunctionWithSplits(
       std::vector<Primitive>* prims, int64_t* budget,
       std::unordered_map<std::string, DcaResult>* cache);

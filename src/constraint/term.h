@@ -4,8 +4,10 @@
 #ifndef MMV_CONSTRAINT_TERM_H_
 #define MMV_CONSTRAINT_TERM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/hash.h"
@@ -91,6 +93,55 @@ class VarFactory {
 /// \brief Collects the distinct variables of \p terms into \p out
 /// (first-appearance order, no duplicates).
 void CollectVars(const TermVec& terms, std::vector<VarId>* out);
+
+/// \brief Order-preserving accumulator of distinct variable ids.
+///
+/// Membership is a linear scan while the set is small (where it beats any
+/// hashing) and an unordered_set beyond that — replacing the O(v^2)
+/// std::find-over-a-growing-vector idiom on hot paths while keeping the
+/// exact first-appearance order those paths rely on for deterministic
+/// fresh-variable renaming.
+class VarSet {
+ public:
+  void Clear() {
+    vars_.clear();
+    seen_.clear();
+  }
+
+  /// \brief Adds \p v if absent; returns true when newly added.
+  bool Add(VarId v) {
+    if (seen_.empty()) {
+      if (std::find(vars_.begin(), vars_.end(), v) != vars_.end()) {
+        return false;
+      }
+      vars_.push_back(v);
+      if (vars_.size() > kLinearLimit) {
+        seen_.insert(vars_.begin(), vars_.end());
+      }
+      return true;
+    }
+    if (!seen_.insert(v).second) return false;
+    vars_.push_back(v);
+    return true;
+  }
+
+  void AddTerm(const Term& t) {
+    if (t.is_var()) Add(t.var());
+  }
+  void AddTerms(const TermVec& ts) {
+    for (const Term& t : ts) AddTerm(t);
+  }
+
+  /// \brief The distinct variables in first-appearance order.
+  const std::vector<VarId>& vars() const { return vars_; }
+  bool empty() const { return vars_.empty(); }
+  size_t size() const { return vars_.size(); }
+
+ private:
+  static constexpr size_t kLinearLimit = 16;
+  std::vector<VarId> vars_;
+  std::unordered_set<VarId> seen_;  // engaged once past kLinearLimit
+};
 
 std::ostream& operator<<(std::ostream& os, const Term& t);
 

@@ -1,6 +1,7 @@
 #include "core/fixpoint.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "constraint/canonical.h"
@@ -11,6 +12,21 @@ namespace mmv {
 namespace {
 
 // Seminaive materialization engine for one Materialize call.
+//
+// Two join strategies share one Derive tail (constraint assembly, simplify,
+// solve, dedup), so they differ only in which candidate tuples reach it:
+//
+//  - kNaive enumerates the full per-predicate cross product and lets the
+//    tail reject contradictory tuples. Kept as the differential oracle.
+//  - kIndexed threads an incremental substitution through the join: a body
+//    argument that is ground (clause constant, or a pattern variable bound
+//    by an earlier position to a ground instance argument) probes the
+//    view's arg-value index instead of scanning the predicate, and any
+//    remaining ground mismatch rejects the candidate before positions
+//    k+1..n are enumerated. Tuples that survive with every argument ground
+//    and every constraint trivially true skip the clause rename altogether:
+//    the derived atom is just the instantiated head with constraint true,
+//    exactly what the rename+simplify pipeline would produce.
 class Engine {
  public:
   Engine(const Program& program, DcaEvaluator* evaluator,
@@ -18,8 +34,16 @@ class Engine {
       : program_(program),
         options_(options),
         stats_(stats),
-        solver_(evaluator, options.solver),
-        factory_(program.factory()) {}
+        solver_(evaluator, SolverOptionsFor(options, &local_cache_)),
+        factory_(program.factory()),
+        // Early ground rejection is behavior-preserving only when the
+        // engine provably drops statically contradictory joins: simplify
+        // detects every ground `=` conflict and pruning (or T_P's
+        // solvability requirement, which pruning subsumes here) drops it.
+        // Without simplify, a kWp run (or a budget-starved kTp solve)
+        // could legitimately keep such an atom — fall back to the oracle.
+        indexed_(options.join_mode == JoinMode::kIndexed &&
+                 options.simplify && options.prune_static_contradictions) {}
 
   Result<View> Run(View initial, size_t delta_begin) {
     // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
@@ -33,7 +57,7 @@ class Engine {
     if (options_.semantics == DupSemantics::kSet) {
       VarId seed_bound = initial.MaxVarId();
       std::vector<ViewAtom> seeds = initial.TakeAtoms();
-      for (ViewAtom& a : seeds) AddAtom(std::move(a));
+      for (ViewAtom& a : seeds) AddAtom(std::move(a), false);
       view_.NoteExternalVars(seed_bound);  // TakeAtoms reset initial's mark
     } else {
       stats_->atoms_created += initial.size();
@@ -64,7 +88,9 @@ class Engine {
 
       for (const Clause& c : program_.clauses()) {
         if (c.IsFact()) continue;
-        MMV_RETURN_NOT_OK(DeriveWithClause(c, delta_begin, delta_end, round));
+        MMV_RETURN_NOT_OK(
+            indexed_ ? DeriveWithClauseIndexed(c, delta_begin, delta_end, round)
+                     : DeriveWithClause(c, delta_begin, delta_end, round));
         if (Capped()) return Finish();
       }
       delta_begin = size_at_round_start;
@@ -73,6 +99,39 @@ class Engine {
   }
 
  private:
+  // Pattern-term classification of one clause, computed once per clause:
+  // every variable of the body (and head) gets a dense binding slot so the
+  // join can track ground bindings in a flat vector.
+  struct PatternArg {
+    bool is_const = false;
+    Value value;    // when is_const
+    int slot = -1;  // binding slot when a variable (head-only vars: -1)
+  };
+  struct ClausePlan {
+    std::vector<std::vector<PatternArg>> body;  // per body atom, per position
+    std::vector<PatternArg> head;
+    bool constraint_true = false;
+    int num_slots = 0;
+  };
+
+  // A ground binding: which chosen instance argument bound the slot. Atom
+  // indices stay valid across view appends (unlike pointers into the atom
+  // vector, which reallocates).
+  struct BoundRef {
+    uint32_t atom = kNoAtom;
+    uint32_t pos = 0;
+  };
+  static constexpr uint32_t kNoAtom = 0xffffffffu;
+
+  static SolverOptions SolverOptionsFor(const FixpointOptions& o,
+                                        SolveCache* local) {
+    SolverOptions s = o.solver;
+    if (o.join_mode == JoinMode::kIndexed && s.cache == nullptr) {
+      s.cache = o.solve_cache != nullptr ? o.solve_cache : local;
+    }
+    return s;
+  }
+
   bool Capped() {
     if (view_.size() >= options_.max_atoms) {
       stats_->truncated = true;
@@ -85,6 +144,8 @@ class Engine {
     stats_->solver = solver_.stats();
     return std::move(view_);
   }
+
+  // ---- kNaive: the legacy nested-loop join (differential oracle) --------
 
   // Enumerates body-atom combinations for clause c with the standard
   // seminaive pivot trick: position `pivot` ranges over the newest delta,
@@ -145,6 +206,276 @@ class Engine {
     return Status::OK();
   }
 
+  // ---- kIndexed: constraint-aware join ----------------------------------
+
+  const ClausePlan& PlanFor(const Clause& c) {
+    auto [it, inserted] = plans_.try_emplace(c.number);
+    if (inserted) BuildPlan(c, &it->second);
+    return it->second;
+  }
+
+  void BuildPlan(const Clause& c, ClausePlan* plan) {
+    std::unordered_map<VarId, int> slots;
+    auto classify = [&](const Term& t, bool create_slot) {
+      PatternArg a;
+      if (t.is_const()) {
+        a.is_const = true;
+        a.value = t.constant();
+        return a;
+      }
+      auto it = slots.find(t.var());
+      if (it != slots.end()) {
+        a.slot = it->second;
+      } else if (create_slot) {
+        a.slot = static_cast<int>(slots.size());
+        slots.emplace(t.var(), a.slot);
+      }
+      return a;
+    };
+    plan->body.reserve(c.body.size());
+    for (const BodyAtom& b : c.body) {
+      std::vector<PatternArg> args;
+      args.reserve(b.args.size());
+      for (const Term& t : b.args) args.push_back(classify(t, true));
+      plan->body.push_back(std::move(args));
+    }
+    // Head variables get slots too (created after the body's, so body slot
+    // numbering is unchanged): a head-only ("unsafe") variable that occurs
+    // at several head positions must map to ONE fresh variable in the fast
+    // path, exactly as one clause rename would map it.
+    plan->head.reserve(c.head_args.size());
+    for (const Term& t : c.head_args) {
+      plan->head.push_back(classify(t, true));
+    }
+    plan->constraint_true = c.constraint.is_true();
+    plan->num_slots = static_cast<int>(slots.size());
+  }
+
+  const Value& Resolved(int slot) const {
+    const BoundRef& b = bound_[static_cast<size_t>(slot)];
+    return view_.atoms()[b.atom].args[b.pos].constant();
+  }
+
+  static size_t LowerBoundPos(const std::vector<size_t>& idx, size_t limit) {
+    return static_cast<size_t>(
+        std::lower_bound(idx.begin(), idx.end(), limit) - idx.begin());
+  }
+
+  Status DeriveWithClauseIndexed(const Clause& c, size_t delta_begin,
+                                 size_t delta_end, int round) {
+    size_t n = c.body.size();
+    const ClausePlan& plan = PlanFor(c);
+    std::vector<const std::vector<size_t>*> lists(n);
+    // Hoisted seminaive windows: the posting-list positions of delta_begin
+    // and delta_end per body position, computed once per clause instead of
+    // per recursion step. Appends during derivation only push indices
+    // >= delta_end, so the cut positions stay correct throughout.
+    std::vector<std::pair<size_t, size_t>> cut(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
+      if (list.empty()) return Status::OK();  // no candidates at all
+      lists[i] = &list;
+      cut[i] = {LowerBoundPos(list, delta_begin),
+                LowerBoundPos(list, delta_end)};
+    }
+    bound_.assign(static_cast<size_t>(plan.num_slots), BoundRef{});
+    undo_.clear();
+    std::vector<size_t> chosen(n);
+    for (size_t pivot = 0; pivot < n; ++pivot) {
+      if (cut[pivot].first == cut[pivot].second) continue;  // empty delta
+      MMV_RETURN_NOT_OK(RecurseIndexed(c, plan, lists, cut, pivot, 0,
+                                       delta_begin, delta_end, round,
+                                       &chosen));
+      if (view_.size() >= options_.max_atoms) break;
+    }
+    return Status::OK();
+  }
+
+  Status RecurseIndexed(const Clause& c, const ClausePlan& plan,
+                        const std::vector<const std::vector<size_t>*>& lists,
+                        const std::vector<std::pair<size_t, size_t>>& cut,
+                        size_t pivot, size_t pos, size_t delta_begin,
+                        size_t delta_end, int round,
+                        std::vector<size_t>* chosen) {
+    if (pos == c.body.size()) {
+      return DeriveIndexed(c, plan, *chosen, round);
+    }
+    size_t lo_limit = pos == pivot ? delta_begin : 0;
+    size_t hi_limit = pos < pivot ? delta_begin : delta_end;
+    const std::vector<PatternArg>& pattern = plan.body[pos];
+
+    // Probe on the first argument position whose pattern term is already
+    // ground: a clause constant, or a variable bound by an earlier
+    // position. Sound candidates are exactly the atoms whose argument
+    // there is the same constant — or not a constant at all (a variable
+    // instance argument can unify with any value).
+    int probe_k = -1;
+    for (size_t k = 0; k < pattern.size(); ++k) {
+      const PatternArg& a = pattern[k];
+      if (a.is_const || (a.slot >= 0 && bound_[a.slot].atom != kNoAtom)) {
+        probe_k = static_cast<int>(k);
+        break;
+      }
+    }
+
+    if (probe_k >= 0) {
+      const PatternArg& a = pattern[probe_k];
+      const Value& v = a.is_const ? a.value : Resolved(a.slot);
+      stats_->index_probes++;
+      const std::vector<size_t>& hits =
+          view_.AtomsForArgValue(c.body[pos].pred, probe_k, v);
+      const std::vector<size_t>& vars =
+          view_.AtomsForNonConstArg(c.body[pos].pred, probe_k);
+      // Merge the two ascending lists within [lo_limit, hi_limit) so the
+      // candidate order matches the oracle's (ascending atom index).
+      size_t i = LowerBoundPos(hits, lo_limit);
+      size_t i_end = LowerBoundPos(hits, hi_limit);
+      size_t j = LowerBoundPos(vars, lo_limit);
+      size_t j_end = LowerBoundPos(vars, hi_limit);
+      while (i < i_end || j < j_end) {
+        size_t idx;
+        if (j >= j_end || (i < i_end && hits[i] < vars[j])) {
+          idx = hits[i++];
+        } else {
+          idx = vars[j++];
+        }
+        MMV_RETURN_NOT_OK(TryCandidate(c, plan, lists, cut, pivot, pos,
+                                       delta_begin, delta_end, round, chosen,
+                                       idx));
+        if (view_.size() >= options_.max_atoms) return Status::OK();
+      }
+      return Status::OK();
+    }
+
+    const std::vector<size_t>& list = *lists[pos];
+    size_t begin = pos == pivot ? cut[pos].first : 0;
+    size_t end = pos < pivot ? cut[pos].first : cut[pos].second;
+    for (size_t i = begin; i < end; ++i) {
+      MMV_RETURN_NOT_OK(TryCandidate(c, plan, lists, cut, pivot, pos,
+                                     delta_begin, delta_end, round, chosen,
+                                     list[i]));
+      if (view_.size() >= options_.max_atoms) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // Unifies the candidate's ground arguments against the pattern: mismatch
+  // rejects the whole subtree below this position; a first ground sighting
+  // of a pattern variable binds its slot (undone on backtrack).
+  Status TryCandidate(const Clause& c, const ClausePlan& plan,
+                      const std::vector<const std::vector<size_t>*>& lists,
+                      const std::vector<std::pair<size_t, size_t>>& cut,
+                      size_t pivot, size_t pos, size_t delta_begin,
+                      size_t delta_end, int round, std::vector<size_t>* chosen,
+                      size_t idx) {
+    const ViewAtom& inst = view_.atoms()[idx];
+    const std::vector<PatternArg>& pattern = plan.body[pos];
+    size_t undo_mark = undo_.size();
+    bool ok = true;
+    if (inst.args.size() == pattern.size()) {
+      for (size_t k = 0; k < pattern.size() && ok; ++k) {
+        const Term& t = inst.args[k];
+        if (!t.is_const()) continue;  // a real Eq literal decides later
+        const PatternArg& a = pattern[k];
+        if (a.is_const) {
+          ok = a.value == t.constant();
+        } else if (a.slot >= 0) {
+          BoundRef& b = bound_[a.slot];
+          if (b.atom == kNoAtom) {
+            b = BoundRef{static_cast<uint32_t>(idx),
+                         static_cast<uint32_t>(k)};
+            undo_.push_back(a.slot);
+          } else {
+            ok = Resolved(a.slot) == t.constant();
+          }
+        }
+      }
+    }
+    Status status = Status::OK();
+    if (ok) {
+      (*chosen)[pos] = idx;
+      status = RecurseIndexed(c, plan, lists, cut, pivot, pos + 1,
+                              delta_begin, delta_end, round, chosen);
+    } else {
+      stats_->ground_rejects++;
+    }
+    while (undo_.size() > undo_mark) {
+      bound_[static_cast<size_t>(undo_.back())] = BoundRef{};
+      undo_.pop_back();
+    }
+    return status;
+  }
+
+  // True when the surviving tuple is fully ground: every instance argument
+  // a constant (each one either matched a ground pattern term or bound its
+  // slot), every instance constraint trivially true. With the clause
+  // constraint also true, the rename + Eq-chain + simplify pipeline would
+  // produce exactly (instantiated head, true) — so build that directly.
+  bool FastEligible(const ClausePlan& plan,
+                    const std::vector<size_t>& chosen) const {
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      const ViewAtom& inst = view_.atoms()[chosen[i]];
+      if (!inst.constraint.is_true()) return false;
+      const std::vector<PatternArg>& pattern = plan.body[i];
+      if (inst.args.size() != pattern.size()) return false;
+      for (size_t k = 0; k < pattern.size(); ++k) {
+        if (!inst.args[k].is_const()) return false;
+        const PatternArg& a = pattern[k];
+        if (!a.is_const && (a.slot < 0 || bound_[a.slot].atom == kNoAtom)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  Status DeriveIndexed(const Clause& c, const ClausePlan& plan,
+                       const std::vector<size_t>& chosen, int round) {
+    if (!plan.constraint_true || !FastEligible(plan, chosen)) {
+      return Derive(c, chosen, round);
+    }
+    stats_->derivations_attempted++;
+    stats_->rename_skipped++;
+    ViewAtom atom;
+    atom.pred = c.head_pred;
+    atom.args.reserve(plan.head.size());
+    // slot -> fresh variable for unsafe head variables, so repeated
+    // occurrences of one variable share one fresh id (p(X, X) stays the
+    // diagonal, not the cross product).
+    std::vector<std::pair<int, VarId>> unsafe_fresh;
+    for (const PatternArg& h : plan.head) {
+      if (h.is_const) {
+        atom.args.push_back(Term::Const(h.value));
+      } else if (bound_[h.slot].atom != kNoAtom) {
+        atom.args.push_back(Term::Const(Resolved(h.slot)));
+      } else {
+        // Head variable not bound through the body ("unsafe"): the rename
+        // pipeline would map every occurrence to one fresh variable.
+        VarId fresh = -1;
+        for (const auto& [slot, v] : unsafe_fresh) {
+          if (slot == h.slot) {
+            fresh = v;
+            break;
+          }
+        }
+        if (fresh < 0) {
+          fresh = factory_.Fresh();
+          unsafe_fresh.emplace_back(h.slot, fresh);
+        }
+        atom.args.push_back(Term::Var(fresh));
+      }
+    }
+    std::vector<Support> children;
+    children.reserve(chosen.size());
+    for (size_t i : chosen) children.push_back(view_.atoms()[i].support);
+    atom.support = Support(c.number, std::move(children));
+    atom.depth = round;
+    AddAtom(std::move(atom), /*presimplified=*/true);
+    return Status::OK();
+  }
+
+  // ---- shared derivation tail -------------------------------------------
+
   // Executes one derivation: clause c applied to the chosen instances.
   Status Derive(const Clause& c, const std::vector<size_t>& chosen,
                 int round) {
@@ -164,14 +495,10 @@ class Engine {
             std::to_string(c.number));
       }
       // Standardize the instance apart (T_P: "which share no variables").
-      std::vector<VarId> vars;
-      CollectVars(inst.args, &vars);
-      for (VarId v : inst.constraint.Variables()) {
-        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
-          vars.push_back(v);
-        }
-      }
-      Substitution renaming = FreshRenaming(vars, &factory_);
+      var_set_.Clear();
+      var_set_.AddTerms(inst.args);
+      inst.constraint.CollectVariables(&var_set_);
+      Substitution renaming = FreshRenaming(var_set_.vars(), &factory_);
       TermVec inst_args = renaming.Apply(inst.args);
       acc.AndWith(renaming.Apply(inst.constraint));
       for (size_t k = 0; k < pattern.size(); ++k) {
@@ -209,23 +536,27 @@ class Engine {
     atom.constraint = std::move(constraint);
     atom.support = Support(c.number, std::move(children));
     atom.depth = round;
-    AddAtom(std::move(atom));
+    AddAtom(std::move(atom), /*presimplified=*/options_.simplify);
     return Status::OK();
   }
 
   // Appends the atom unless it is a duplicate. The view's own indexes
-  // (by-predicate postings, support hash) are maintained by View::Add;
-  // duplicate detection probes them directly.
-  bool AddAtom(ViewAtom atom) {
+  // (by-predicate postings, support hash, arg-value buckets) are maintained
+  // by View::Add; duplicate detection probes them directly. Set semantics
+  // keys atoms by their hashed canonical form (no per-atom string is
+  // retained); \p presimplified records that (args, constraint) already
+  // went through SimplifyAtom, which the canonical pass may then skip.
+  bool AddAtom(ViewAtom atom, bool presimplified) {
     if (options_.semantics == DupSemantics::kDuplicate) {
       if (view_.HasSupport(atom.support)) {
         stats_->duplicates_suppressed++;
         return false;
       }
     } else {
-      std::string key =
-          CanonicalAtomString(atom.pred, atom.args, atom.constraint);
-      if (!canonical_seen_.insert(std::move(key)).second) {
+      CanonicalKey key = CanonicalAtomKey(atom.pred, atom.args,
+                                          atom.constraint, presimplified,
+                                          &canonical_scratch_);
+      if (!canonical_seen_.insert(key).second) {
         stats_->duplicates_suppressed++;
         return false;
       }
@@ -238,11 +569,18 @@ class Engine {
   const Program& program_;
   FixpointOptions options_;
   FixpointStats* stats_;
+  SolveCache local_cache_;  // used when kIndexed and no caller-shared cache
   Solver solver_;
   VarFactory factory_;
+  const bool indexed_;
 
   View view_;
-  std::unordered_set<std::string> canonical_seen_;
+  std::unordered_map<int, ClausePlan> plans_;  // keyed by clause number
+  std::vector<BoundRef> bound_;                // per plan slot
+  std::vector<int> undo_;                      // bound slots, LIFO
+  VarSet var_set_;                             // scratch for Derive
+  std::unordered_set<CanonicalKey, CanonicalKey::Hasher> canonical_seen_;
+  std::string canonical_scratch_;
 };
 
 }  // namespace

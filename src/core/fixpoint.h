@@ -23,6 +23,7 @@
 #define MMV_CORE_FIXPOINT_H_
 
 #include "common/result.h"
+#include "constraint/solve_cache.h"
 #include "constraint/solver.h"
 #include "core/program.h"
 #include "core/view.h"
@@ -41,6 +42,33 @@ enum class DupSemantics : uint8_t {
   kSet,        ///< dedup by canonicalized constrained atom
 };
 
+/// \brief Body-join strategy of the engine.
+enum class JoinMode : uint8_t {
+  /// The legacy nested-loop join: enumerate the full per-predicate cross
+  /// product, build every candidate's constraint, let simplify/solve reject
+  /// it. Kept verbatim as the differential-testing oracle.
+  kNaive,
+  /// The constraint-aware pipeline: probe the view's arg-value index when a
+  /// body argument is already ground, thread an incremental substitution
+  /// through the join so ground mismatches reject candidates at position k
+  /// before positions k+1..n are enumerated, hoist the seminaive window
+  /// computation out of the recursion, skip the clause rename entirely for
+  /// fully-ground joins, and memoize solver outcomes by canonical form.
+  ///
+  /// Derives the same atom set as kNaive (modulo fresh-variable numbering).
+  /// The engine silently falls back to kNaive when early rejection would
+  /// not be behavior-preserving (simplify or static-contradiction pruning
+  /// disabled — the only configurations in which statically contradictory
+  /// joins survive into the view).
+  ///
+  /// Caveat for MALFORMED programs only: when one predicate holds atoms of
+  /// mixed arity, kNaive fails the whole run with an arity-mismatch error
+  /// while an arg-value probe may skip the short-arity atoms without
+  /// seeing them; error behavior on arity-inconsistent input is
+  /// unspecified under kIndexed.
+  kIndexed,
+};
+
 /// \brief Materialization knobs.
 struct FixpointOptions {
   OperatorKind op = OperatorKind::kTp;
@@ -57,6 +85,14 @@ struct FixpointOptions {
   /// facts were derived when the view was first materialized, and blindly
   /// re-deriving them would resurrect previously deleted fact atoms.
   bool derive_facts = true;
+  /// Body-join strategy; kNaive is the differential-testing oracle.
+  JoinMode join_mode = JoinMode::kIndexed;
+  /// Optional solver memo shared across engine runs (kIndexed only). Pass
+  /// one cache through a sequence of ContinueFixpoint continuations so
+  /// constraints re-solved across flushes hit the memo; the caller must
+  /// keep it scoped to one external-database state (see solve_cache.h).
+  /// When null, the engine memoizes within the single run.
+  SolveCache* solve_cache = nullptr;
   /// Solver configuration for T_P solvability checks.
   SolverOptions solver;
 };
@@ -68,8 +104,14 @@ struct FixpointStats {
   int64_t atoms_created = 0;
   int64_t unsat_pruned = 0;       ///< T_P only
   int64_t duplicates_suppressed = 0;
+  int64_t index_probes = 0;       ///< arg-value index probes (kIndexed)
+  int64_t ground_rejects = 0;     ///< candidates cut by ground mismatch
+                                  ///  before deeper positions enumerated
+  int64_t rename_skipped = 0;     ///< fully-ground derivations assembled
+                                  ///  without a clause rename
   bool truncated = false;         ///< hit max_iterations / max_atoms
   SolveStats solver;              ///< aggregated solver counters
+                                  ///  (solver.cache_hits: memo hits)
 };
 
 /// \brief Computes T_P^w(initial) (or W_P^w) over \p program.

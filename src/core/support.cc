@@ -6,41 +6,38 @@ namespace mmv {
 
 size_t Support::NodeCount() const {
   size_t n = 1;
-  for (const Support& c : children_) n += c.NodeCount();
+  for (const Support& c : children()) n += c.NodeCount();
   return n;
 }
 
 size_t Support::Depth() const {
   size_t d = 0;
-  for (const Support& c : children_) d = std::max(d, c.Depth());
+  for (const Support& c : children()) d = std::max(d, c.Depth());
   return d + 1;
 }
 
 int Support::MinClause() const {
   int m = clause_;
-  for (const Support& c : children_) m = std::min(m, c.MinClause());
+  for (const Support& c : children()) m = std::min(m, c.MinClause());
   return m;
 }
 
 bool Support::operator==(const Support& other) const {
-  if (clause_ != other.clause_) return false;
-  if (children_.size() != other.children_.size()) return false;
-  for (size_t i = 0; i < children_.size(); ++i) {
-    if (!(children_[i] == other.children_[i])) return false;
+  if (hash_ != other.hash_ || clause_ != other.clause_) return false;
+  if (children_ == other.children_) return true;  // shared subtree
+  const std::vector<Support>& a = children();
+  const std::vector<Support>& b = other.children();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
   }
   return true;
-}
-
-size_t Support::Hash() const {
-  size_t h = HashCombine(0x737074, static_cast<size_t>(clause_));
-  for (const Support& c : children_) h = HashCombine(h, c.Hash());
-  return h;
 }
 
 std::string Support::ToString() const {
   std::ostringstream os;
   os << "<" << clause_;
-  for (const Support& c : children_) os << ", " << c.ToString();
+  for (const Support& c : children()) os << ", " << c.ToString();
   os << ">";
   return os.str();
 }

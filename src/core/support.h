@@ -21,22 +21,37 @@
 namespace mmv {
 
 /// \brief A derivation tree of clause numbers.
+///
+/// Immutable after construction. The subtree vector is shared
+/// (copy-on-never: nothing mutates a built support) and the structural
+/// hash is computed once at construction, so copying a support and
+/// hashing it are O(1) regardless of derivation depth — the costs that
+/// otherwise dominate deep chain derivations.
 class Support {
  public:
-  Support() : clause_(-1) {}
+  Support() : clause_(-1), hash_(LeafHash(-1)) {}
 
   /// \brief Leaf support <Cn(C)> for a constraint-fact derivation.
-  explicit Support(int clause) : clause_(clause) {}
+  explicit Support(int clause) : clause_(clause), hash_(LeafHash(clause)) {}
 
   /// \brief Interior support <Cn(C), children...>.
   Support(int clause, std::vector<Support> children)
-      : clause_(clause), children_(std::move(children)) {}
+      : clause_(clause), hash_(LeafHash(clause)) {
+    if (!children.empty()) {
+      for (const Support& c : children) hash_ = HashCombine(hash_, c.hash_);
+      children_ =
+          std::make_shared<const std::vector<Support>>(std::move(children));
+    }
+  }
 
   /// \brief The clause number Cn(C) at the root.
   int clause() const { return clause_; }
 
   /// \brief Sub-supports of the body atoms, in body order.
-  const std::vector<Support>& children() const { return children_; }
+  const std::vector<Support>& children() const {
+    static const std::vector<Support> kNone;
+    return children_ ? *children_ : kNone;
+  }
 
   /// \brief Total number of nodes (for overhead accounting, E6).
   size_t NodeCount() const;
@@ -52,19 +67,25 @@ class Support {
 
   /// \brief True iff this is an external-fact support: a leaf whose clause
   /// number is negative (no deriving program clause).
-  bool IsExternal() const { return clause_ < 0 && children_.empty(); }
+  bool IsExternal() const { return clause_ < 0 && children().empty(); }
 
   bool operator==(const Support& other) const;
   bool operator!=(const Support& other) const { return !(*this == other); }
 
-  size_t Hash() const;
+  /// \brief Structural hash, precomputed at construction. O(1).
+  size_t Hash() const { return hash_; }
 
   /// \brief Renders <4, <2, <3>>> like the paper's examples.
   std::string ToString() const;
 
  private:
+  static size_t LeafHash(int clause) {
+    return HashCombine(0x737074, static_cast<size_t>(clause));
+  }
+
   int clause_;
-  std::vector<Support> children_;
+  size_t hash_;
+  std::shared_ptr<const std::vector<Support>> children_;  // null for leaves
 };
 
 }  // namespace mmv

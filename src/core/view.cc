@@ -26,6 +26,15 @@ void View::IndexAtom(size_t i) {
     child_index_.emplace(a.support.children()[k].Hash(),
                          std::make_pair(i, k));
   }
+  for (size_t k = 0; k < a.args.size(); ++k) {
+    uint32_t pos = static_cast<uint32_t>(k);
+    if (a.args[k].is_const()) {
+      by_arg_value_[ArgValueKey(a.pred.id(), pos, a.args[k].constant())]
+          .push_back(i);
+    } else {
+      by_arg_var_[ArgVarKey(a.pred.id(), pos)].push_back(i);
+    }
+  }
 }
 
 void View::CompactIndexes(const std::vector<int64_t>& remap) {
@@ -55,6 +64,19 @@ void View::CompactIndexes(const std::vector<int64_t>& remap) {
       ++it;
     }
   }
+  auto compact_postings = [&remap](auto* map) {
+    for (auto it = map->begin(); it != map->end();) {
+      std::vector<size_t>& list = it->second;
+      size_t out = 0;
+      for (size_t idx : list) {
+        if (remap[idx] >= 0) list[out++] = static_cast<size_t>(remap[idx]);
+      }
+      list.resize(out);
+      it = list.empty() ? map->erase(it) : std::next(it);
+    }
+  };
+  compact_postings(&by_arg_value_);
+  compact_postings(&by_arg_var_);
 }
 
 void View::Add(ViewAtom atom) {
@@ -69,14 +91,32 @@ std::vector<ViewAtom> View::TakeAtoms() {
   by_pred_.clear();
   by_support_.clear();
   child_index_.clear();
+  by_arg_value_.clear();
+  by_arg_var_.clear();
   max_var_ = -1;
   return out;
 }
 
+namespace {
+const std::vector<size_t> kEmptyPostings;
+}  // namespace
+
 const std::vector<size_t>& View::AtomsFor(Symbol pred) const {
-  static const std::vector<size_t> kEmpty;
   auto it = by_pred_.find(pred);
-  return it == by_pred_.end() ? kEmpty : it->second;
+  return it == by_pred_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<size_t>& View::AtomsForArgValue(Symbol pred, size_t pos,
+                                                  const Value& v) const {
+  auto it = by_arg_value_.find(
+      ArgValueKey(pred.id(), static_cast<uint32_t>(pos), v));
+  return it == by_arg_value_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<size_t>& View::AtomsForNonConstArg(Symbol pred,
+                                                     size_t pos) const {
+  auto it = by_arg_var_.find(ArgVarKey(pred.id(), static_cast<uint32_t>(pos)));
+  return it == by_arg_var_.end() ? kEmptyPostings : it->second;
 }
 
 bool View::HasSupport(const Support& s) const {
@@ -111,6 +151,9 @@ View::IndexStats View::index_stats() const {
   for (const auto& [_, list] : by_pred_) st.postings += list.size();
   st.support_entries = by_support_.size();
   st.child_entries = child_index_.size();
+  st.arg_value_buckets = by_arg_value_.size();
+  for (const auto& [_, list] : by_arg_value_) st.arg_value_entries += list.size();
+  for (const auto& [_, list] : by_arg_var_) st.arg_var_entries += list.size();
   return st;
 }
 
@@ -122,6 +165,9 @@ size_t View::ApproxBytes() const {
   bytes += st.postings * sizeof(size_t);
   bytes += st.support_entries * 2 * sizeof(size_t);
   bytes += st.child_entries * 3 * sizeof(size_t);
+  bytes += st.arg_value_buckets *
+           (sizeof(uint64_t) + sizeof(std::vector<size_t>));
+  bytes += (st.arg_value_entries + st.arg_var_entries) * sizeof(size_t);
   return bytes;
 }
 

@@ -1,14 +1,17 @@
 // View: a materialized mediated view — an indexed store of constrained
 // atoms with supports.
 //
-// The store incrementally maintains three indexes so that every layer
+// The store incrementally maintains four indexes so that every layer
 // (fixpoint materialization, StDel/DRed maintenance, query evaluation)
 // shares one access path instead of rebuilding private side-tables:
 //   - a by-predicate posting list (AtomsFor),
-//   - a support hash index (HasSupport / IndexOfSupport, Lemma 1), and
-//   - a child-support index (ParentsOfChildSupport — StDel step 3).
-// Add updates all three in O(|support|); RemoveIf recompacts them in the
-// same pass that compacts the atom vector.
+//   - a support hash index (HasSupport / IndexOfSupport, Lemma 1),
+//   - a child-support index (ParentsOfChildSupport — StDel step 3), and
+//   - a per-(predicate, position, ground-value) argument index
+//     (AtomsForArgValue / AtomsForNonConstArg — the fixpoint engine's
+//     indexed-join probe).
+// Add updates all of them in O(|support| + arity); RemoveIf recompacts them
+// in the same pass that compacts the atom vector.
 
 #ifndef MMV_CORE_VIEW_H_
 #define MMV_CORE_VIEW_H_
@@ -19,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/interner.h"
 #include "core/view_atom.h"
 
@@ -28,7 +32,8 @@ namespace mmv {
 ///
 /// Maintenance algorithms mutate atoms in place through MutableAtom
 /// (replace constraints, set marks) and remove atoms via RemoveIf; the
-/// indexes key on pred and support, which in-place mutation never touches.
+/// indexes key on pred, args and support, which in-place mutation never
+/// touches.
 class View {
  public:
   View() = default;
@@ -40,8 +45,8 @@ class View {
 
   /// \brief Mutable access for in-place constraint replacement / marking.
   ///
-  /// pred and support are index keys: callers must not change them (use
-  /// RemoveIf + Add to re-key an atom).
+  /// pred, args and support are index keys: callers must not change them
+  /// (use RemoveIf + Add to re-key an atom).
   ViewAtom& MutableAtom(size_t i) { return atoms_[i]; }
 
   /// \brief Moves the atoms out (indexes reset); the view becomes empty.
@@ -49,6 +54,24 @@ class View {
 
   /// \brief Indices of atoms with predicate \p pred (ascending). O(1).
   const std::vector<size_t>& AtomsFor(Symbol pred) const;
+
+  /// \brief Indices of atoms of \p pred whose argument at position \p pos
+  /// is the ground constant \p v (ascending). O(1). Value identity is by
+  /// Value::Hash — consistent with Value::operator== (numeric across
+  /// int/double, exactly the equality the simplifier applies to ground `=`
+  /// primitives) — and buckets are keyed by hash alone, so the list may
+  /// rarely include colliding atoms whose argument differs: callers must
+  /// re-verify the argument per candidate (the indexed join does anyway).
+  const std::vector<size_t>& AtomsForArgValue(Symbol pred, size_t pos,
+                                              const Value& v) const;
+
+  /// \brief Indices of atoms of \p pred whose argument at position \p pos
+  /// is NOT a constant (ascending). A sound probe for ground value v must
+  /// scan AtomsForArgValue(pred, pos, v) plus this list: a variable
+  /// argument can unify with any value. Atoms of \p pred with arity
+  /// <= \p pos appear in neither list.
+  const std::vector<size_t>& AtomsForNonConstArg(Symbol pred,
+                                                 size_t pos) const;
 
   /// \brief True iff some atom has exactly this support. O(1) expected.
   bool HasSupport(const Support& s) const;
@@ -124,10 +147,13 @@ class View {
 
   /// \brief Sizes of the maintained indexes, for observability.
   struct IndexStats {
-    size_t predicates = 0;       ///< distinct predicate posting lists
-    size_t postings = 0;         ///< total posting-list entries
-    size_t support_entries = 0;  ///< support hash index entries
-    size_t child_entries = 0;    ///< child-support index entries
+    size_t predicates = 0;        ///< distinct predicate posting lists
+    size_t postings = 0;          ///< total posting-list entries
+    size_t support_entries = 0;   ///< support hash index entries
+    size_t child_entries = 0;     ///< child-support index entries
+    size_t arg_value_buckets = 0; ///< distinct (pred, pos, value) buckets
+    size_t arg_value_entries = 0; ///< total arg-value posting entries
+    size_t arg_var_entries = 0;   ///< total non-const-arg posting entries
   };
   IndexStats index_stats() const;
 
@@ -146,11 +172,25 @@ class View {
   /// indexes in place, without recomputing any support hash.
   void CompactIndexes(const std::vector<int64_t>& remap);
 
+  // Key of one (pred, position, ground-value) argument bucket: a plain
+  // 64-bit hash (no Value is stored or compared in the map — see
+  // AtomsForArgValue's collision contract).
+  static uint64_t ArgValueKey(uint32_t pred, uint32_t pos, const Value& v) {
+    return HashCombine(ArgVarKey(pred, pos), v.Hash());
+  }
+  static uint64_t ArgVarKey(uint32_t pred, uint32_t pos) {
+    return (static_cast<uint64_t>(pred) << 32) | pos;
+  }
+
   std::vector<ViewAtom> atoms_;
   std::unordered_map<Symbol, std::vector<size_t>> by_pred_;
   std::unordered_multimap<size_t, size_t> by_support_;  // hash -> atom idx
   // child support hash -> (parent atom idx, child slot)
   std::unordered_multimap<size_t, std::pair<size_t, size_t>> child_index_;
+  // hash(pred, pos, const value) -> atom indices; (pred, pos) -> indices
+  // of atoms whose arg at pos is a variable.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_arg_value_;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_arg_var_;
   VarId max_var_ = -1;
 };
 

@@ -54,7 +54,24 @@ Status InsertBatch(const Program& program, View* view,
   InsertStats local;
   if (!stats) stats = &local;
   *stats = InsertStats();
-  Solver solver(evaluator, options.solver);
+
+  // One solver memo for the whole batch: the BuildAdd diffing solver and
+  // every seminaive continuation below share it, so constraints re-solved
+  // across flushes (and across requests) hit the memo. The external
+  // database is fixed for the duration of the batch, which is exactly the
+  // cache's validity contract.
+  SolveCache batch_cache;
+  FixpointOptions fix_options = options;
+  SolverOptions solver_options = options.solver;
+  if (options.join_mode == JoinMode::kIndexed) {
+    if (fix_options.solve_cache == nullptr) {
+      fix_options.solve_cache = &batch_cache;
+    }
+    if (solver_options.cache == nullptr) {
+      solver_options.cache = fix_options.solve_cache;
+    }
+  }
+  Solver solver(evaluator, solver_options);
 
   // Build the Add set incrementally: each request is diffed against the
   // view INCLUDING the externals appended for earlier requests, so a
@@ -74,9 +91,17 @@ Status InsertBatch(const Program& program, View* view,
   auto flush = [&]() -> Status {
     if (flush_begin == view->size()) return Status::OK();
     FixpointStats fstats;
-    MMV_RETURN_NOT_OK(ContinueFixpoint(program, view, evaluator, options,
+    MMV_RETURN_NOT_OK(ContinueFixpoint(program, view, evaluator, fix_options,
                                        &fstats, flush_begin));
     stats->unfold_derivations += fstats.derivations_attempted;
+    stats->index_probes += fstats.index_probes;
+    stats->ground_rejects += fstats.ground_rejects;
+    stats->rename_skipped += fstats.rename_skipped;
+    stats->unfold_solver.solve_calls += fstats.solver.solve_calls;
+    stats->unfold_solver.dca_evaluations += fstats.solver.dca_evaluations;
+    stats->unfold_solver.choice_branches += fstats.solver.choice_branches;
+    stats->unfold_solver.literals_processed += fstats.solver.literals_processed;
+    stats->unfold_solver.cache_hits += fstats.solver.cache_hits;
     stats->truncated = stats->truncated || fstats.truncated;
     flush_begin = view->size();
     pending_consequences.clear();

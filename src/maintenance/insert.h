@@ -20,8 +20,12 @@ struct InsertStats {
   size_t add_atoms = 0;          ///< size of the initial Add set
   size_t atoms_added = 0;        ///< total new atoms (Add + consequences)
   int64_t unfold_derivations = 0;
+  int64_t index_probes = 0;      ///< join-pipeline counters aggregated
+  int64_t ground_rejects = 0;    ///  across the run's seminaive
+  int64_t rename_skipped = 0;    ///  continuations (kIndexed only)
   bool truncated = false;
-  SolveStats solver;
+  SolveStats solver;             ///< BuildAdd diffing solver counters
+  SolveStats unfold_solver;      ///< continuation (fixpoint) solver counters
 };
 
 /// \brief Inserts the request's instances into \p view in place

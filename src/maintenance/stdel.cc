@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "constraint/simplify.h"
+#include "constraint/solve_cache.h"
 
 namespace mmv {
 namespace maint {
@@ -47,7 +48,14 @@ Status DeleteStDelBatch(const Program& program, View* view,
   StDelStats local;
   if (!stats) stats = &local;
   *stats = StDelStats();
-  Solver solver(evaluator, solver_options);
+  // One solver memo per batch: step-3 lifts and the step-4 whole-view prune
+  // re-solve many canonically identical constraints (untouched siblings,
+  // repeated subtraction shapes), and the external database is fixed for
+  // the duration of the batch — the cache's validity contract.
+  SolveCache batch_cache;
+  SolverOptions cached_options = solver_options;
+  if (cached_options.cache == nullptr) cached_options.cache = &batch_cache;
+  Solver solver(evaluator, cached_options);
   VarFactory factory = FreshFactory(program, *view, requests);
 
   // Step 1: mark every constraint atom in M — once for the whole batch.
@@ -105,6 +113,7 @@ Status DeleteStDelBatch(const Program& program, View* view,
 
   // Step 3: propagate along supports until no replacement happens.
   std::vector<std::pair<size_t, size_t>> parents;  // scratch, reused
+  VarSet var_set;                                  // scratch, reused
   for (size_t qi = 0; qi < pout.size(); ++qi) {
     Pair pair = pout[qi];  // copy: the vector grows as we iterate
     parents.clear();
@@ -141,14 +150,10 @@ Status DeleteStDelBatch(const Program& program, View* view,
           inst_args = &sib_atom.args;
           inst_c = &original_constraints[static_cast<size_t>(sib)];
         }
-        std::vector<VarId> vars;
-        CollectVars(*inst_args, &vars);
-        for (VarId v : inst_c->Variables()) {
-          if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
-            vars.push_back(v);
-          }
-        }
-        Substitution rho = FreshRenaming(vars, &factory);
+        var_set.Clear();
+        var_set.AddTerms(*inst_args);
+        inst_c->CollectVariables(&var_set);
+        Substitution rho = FreshRenaming(var_set.vars(), &factory);
         TermVec a = rho.Apply(*inst_args);
         delta.AndWith(rho.Apply(*inst_c));
         for (size_t k = 0; k < a.size(); ++k) {

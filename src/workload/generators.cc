@@ -83,6 +83,28 @@ Program MakeMultiChain(int chains, int depth, int width) {
   return p;
 }
 
+Program MakeGuardedChain(int depth, int width) {
+  Program p;
+  for (int i = 0; i < width; ++i) AddGroundFact(&p, "p0", i);
+  for (int k = 0; k < depth; ++k) {
+    AddCopyRule(&p, Pred("p", k + 1), {Pred("p", k), "p0"});
+  }
+  return p;
+}
+
+Program MakeGuardedMultiChain(int chains, int depth, int width) {
+  Program p;
+  for (int c = 0; c < chains; ++c) {
+    std::string prefix = "c" + std::to_string(c) + "_p";
+    for (int i = 0; i < width; ++i) AddGroundFact(&p, prefix + "0", i);
+    for (int k = 0; k < depth; ++k) {
+      AddCopyRule(&p, prefix + std::to_string(k + 1),
+                  {prefix + std::to_string(k), prefix + "0"});
+    }
+  }
+  return p;
+}
+
 Program MakeDiamond(int depth, int width) {
   Program p;
   for (int i = 0; i < width; ++i) AddGroundFact(&p, "b", i);

@@ -35,6 +35,16 @@ Program MakeDiamond(int depth, int width);
 /// recomputation.
 Program MakeMultiChain(int chains, int depth, int width);
 
+/// \brief Guarded chain: p{k+1}(X) <- p{k}(X), p0(X) — every level
+/// re-joins against the base relation (per-level integrity filtering, the
+/// classic sideways-information-passing showcase). A naive join enumerates
+/// |delta| x |p0| candidates per level; an argument-indexed join probes
+/// one bucket per delta atom.
+Program MakeGuardedChain(int depth, int width);
+
+/// \brief `chains` independent guarded chains (predicates c<k>_p<level>).
+Program MakeGuardedMultiChain(int chains, int depth, int width);
+
 /// \brief Transitive closure over explicit edges:
 ///   e(a, b) facts; path(X,Y) <- e(X,Y); path(X,Y) <- e(X,Z), path(Z,Y).
 Program MakeTransitiveClosure(

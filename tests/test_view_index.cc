@@ -50,6 +50,31 @@ std::vector<std::pair<size_t, size_t>> ScanParentsOfChildSupport(
   return out;
 }
 
+std::vector<size_t> ScanAtomsForArgValue(const View& v, Symbol pred,
+                                         size_t pos, const Value& val) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < v.atoms().size(); ++i) {
+    const ViewAtom& a = v.atoms()[i];
+    if (a.pred == pred && pos < a.args.size() && a.args[pos].is_const() &&
+        a.args[pos].constant() == val) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ScanAtomsForNonConstArg(const View& v, Symbol pred,
+                                            size_t pos) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < v.atoms().size(); ++i) {
+    const ViewAtom& a = v.atoms()[i];
+    if (a.pred == pred && pos < a.args.size() && !a.args[pos].is_const()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
 Support RandomSupport(Rng* rng, int depth) {
   int clause = static_cast<int>(rng->Int(1, 12));
   if (depth == 0 || rng->Chance(0.5)) return Support(clause);
@@ -59,12 +84,29 @@ Support RandomSupport(Rng* rng, int depth) {
   return Support(clause, std::move(children));
 }
 
+// A random argument term mixing variables with constants of several kinds
+// (including int/double pairs that compare — and hash — numerically equal,
+// so the arg-value index's cross-kind bucketing is exercised).
+Term RandomArg(Rng* rng) {
+  double roll = rng->Double(0, 1);
+  if (roll < 0.35) return Term::Var(static_cast<VarId>(rng->Int(0, 40)));
+  if (roll < 0.65) return Term::Const(Value(rng->Int(0, 12)));
+  if (roll < 0.8) {
+    return Term::Const(Value(static_cast<double>(rng->Int(0, 12))));
+  }
+  if (roll < 0.9) return Term::Const(Value("s" + std::to_string(rng->Int(0, 3))));
+  return Term::Const(Value(rng->Chance(0.5)));
+}
+
 ViewAtom RandomAtom(Rng* rng, int serial) {
   static const std::vector<Symbol> kPreds = {"p", "q", "r", "s", "t"};
   ViewAtom a;
   a.pred = rng->Pick(kPreds);
   VarId x = static_cast<VarId>(rng->Int(0, 40));
   a.args = {Term::Var(x)};
+  // Varying arity: most atoms get a second (often ground) argument.
+  if (rng->Chance(0.7)) a.args.push_back(RandomArg(rng));
+  if (rng->Chance(0.3)) a.args[0] = RandomArg(rng);
   a.constraint.Add(
       Primitive::Eq(Term::Var(x), Term::Const(Value(rng->Int(0, 30)))));
   // A serial-numbered second child keeps most supports distinct while still
@@ -106,6 +148,34 @@ void CheckAgainstOracle(const View& v, Rng* rng) {
     std::sort(indexed.begin(), indexed.end());
     std::sort(scanned.begin(), scanned.end());
     EXPECT_EQ(indexed, scanned) << s.ToString();
+  }
+  // Arg-value index vs linear scan: probe every predicate/position with
+  // values drawn from the atoms (hits), cross-kind numeric twins, and
+  // absent values (misses).
+  std::vector<Value> values;
+  for (const ViewAtom& a : v.atoms()) {
+    for (const Term& t : a.args) {
+      if (t.is_const()) values.push_back(t.constant());
+      if (values.size() > 24) break;
+    }
+    if (values.size() > 24) break;
+  }
+  values.push_back(Value(3));
+  values.push_back(Value(3.0));  // must share a bucket with Value(3)
+  values.push_back(Value(999));
+  values.push_back(Value("absent"));
+  for (Symbol pred : {Symbol("p"), Symbol("q"), Symbol("r"), Symbol("s"),
+                      Symbol("t"), Symbol("absent")}) {
+    for (size_t pos = 0; pos < 3; ++pos) {
+      EXPECT_EQ(v.AtomsForNonConstArg(pred, pos),
+                ScanAtomsForNonConstArg(v, pred, pos))
+          << pred << " pos " << pos;
+      for (const Value& val : values) {
+        EXPECT_EQ(v.AtomsForArgValue(pred, pos, val),
+                  ScanAtomsForArgValue(v, pred, pos, val))
+            << pred << " pos " << pos << " val " << val.ToString();
+      }
+    }
   }
 }
 
