@@ -103,6 +103,11 @@ void RunBurst(benchmark::State& state, const std::string& burst_text,
   state.counters["replacements"] = static_cast<double>(stats.replacements);
   state.counters["step3"] = static_cast<double>(stats.step3_replacements);
   state.counters["added"] = static_cast<double>(stats.insertion_pass_atoms);
+  state.counters["plan_reorders"] = static_cast<double>(stats.plan_reorders);
+  state.counters["probe_intersections"] =
+      static_cast<double>(stats.probe_intersections);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(stats.plan_cache_hits);
 }
 
 // {depth, K}: 8 chains of K facts each; the burst clears chain 0.

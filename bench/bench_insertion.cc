@@ -13,6 +13,10 @@
 
 #include "bench_util.h"
 
+#include <chrono>
+
+#include "plan/plan_cache.h"
+
 namespace mmv {
 namespace bench {
 namespace {
@@ -32,6 +36,8 @@ void BM_Insert_Incremental(benchmark::State& state) {
   Program p = workload::MakeChain(static_cast<int>(state.range(0)),
                                   static_cast<int>(state.range(1)));
   FixpointOptions opts = DefaultOptions();
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   // Insert a value outside the existing range.
   maint::UpdateAtom req =
@@ -86,6 +92,8 @@ void BM_Insert_Bulk(benchmark::State& state) {
   World w = World::Make();
   Program p = workload::MakeChain(8, 8);
   FixpointOptions opts = DefaultOptions();
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   int k = static_cast<int>(state.range(0));
 
@@ -132,6 +140,8 @@ void BM_Continuation_Chain(benchmark::State& state) {
                                   static_cast<int>(state.range(1)));
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   int k = static_cast<int>(state.range(2));
 
@@ -167,6 +177,8 @@ void BM_Continuation_IntervalChain(benchmark::State& state) {
   Program p = workload::MakeChain(depth, width);
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   int k = static_cast<int>(state.range(2));
 
@@ -223,6 +235,8 @@ void BM_Continuation_TransitiveClosure(benchmark::State& state) {
   Program p = workload::MakeTransitiveClosure(workload::ChainEdges(n));
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(1));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
 
   FixpointStats fs;
@@ -262,6 +276,8 @@ void BM_Continuation_GuardedChain(benchmark::State& state) {
                                          static_cast<int>(state.range(1)));
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   int k = static_cast<int>(state.range(2));
 
@@ -278,6 +294,51 @@ void BM_Continuation_GuardedChain(benchmark::State& state) {
     Status s = ContinueFixpoint(p, &v, w.domains.get(), opts, &fs,
                                 delta_begin);
     if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    added = v.size() - base.size();
+    benchmark::DoNotOptimize(added);
+  }
+  state.counters["atoms_added"] = static_cast<double>(added);
+  ExportJoinCounters(state, fs);
+}
+
+// The guarded chain with the guard written FIRST — p{k+1}(X) <- p0(X),
+// p{k}(X): the most selective body atom (the seminaive delta) is textually
+// last. Plan-off (declared order, trailing arg 0) scans the whole base
+// relation before the delta ever binds X; plan-on (selectivity-ordered,
+// trailing arg 1) runs the delta atom first and probes p0's bucket per
+// binding, exactly like the forward-written chain. Join mode is kIndexed
+// for both — this case scores the PLAN layer, and its atom counters must
+// match across the pair (CI diffs them). {depth, width, K, plan mode}.
+void BM_Continuation_GuardedChainReversed(benchmark::State& state) {
+  World w = World::Make();
+  Program p = workload::MakeGuardedChainReversed(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  FixpointOptions opts = DefaultOptions();
+  opts.join_mode = JoinMode::kIndexed;
+  opts.plan_mode = PlanModeArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
+  View base = MustMaterialize(p, w.domains.get(), opts);
+  int k = static_cast<int>(state.range(2));
+
+  FixpointStats fs;
+  size_t added = 0;
+  // Manual timing: the untimed per-iteration view copy is large here (the
+  // wide base relation dominates the view), and Pause/Resume accounting
+  // noise would swamp the plan-on continuation being measured.
+  for (auto _ : state) {
+    View v = base;
+    int ext = 0;
+    size_t delta_begin = AppendExternals(
+        &v, "p0", static_cast<int>(state.range(1)) + 1000, k, &ext);
+    fs = FixpointStats();
+    auto start = std::chrono::steady_clock::now();
+    Status s = ContinueFixpoint(p, &v, w.domains.get(), opts, &fs,
+                                delta_begin);
+    auto end = std::chrono::steady_clock::now();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
     added = v.size() - base.size();
     benchmark::DoNotOptimize(added);
   }
@@ -319,6 +380,8 @@ void BM_Continuation_RecordChain(benchmark::State& state) {
   }
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
   int k = static_cast<int>(state.range(2));
 
@@ -380,6 +443,8 @@ void BM_Continuation_ReciprocalStar(benchmark::State& state) {
   }
   FixpointOptions opts = DefaultOptions();
   opts.join_mode = ModeArg(state.range(1));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
   View base = MustMaterialize(p, w.domains.get(), opts);
 
   FixpointStats fs;
@@ -443,6 +508,15 @@ BENCHMARK(BM_Continuation_GuardedChain)
     ->Args({12, 16, 16, 1})
     ->Args({16, 32, 32, 0})
     ->Args({16, 32, 32, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Continuation_GuardedChainReversed)
+    ->Args({8, 8, 8, 0})
+    ->Args({8, 8, 8, 1})
+    ->Args({12, 256, 8, 0})
+    ->Args({12, 256, 8, 1})
+    ->Args({16, 1024, 8, 0})
+    ->Args({16, 1024, 8, 1})
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Continuation_IntervalChain)->Apply(IntervalContinuationArgs);
 BENCHMARK(BM_Continuation_TransitiveClosure)

@@ -9,8 +9,11 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
+
+#include "core/fixpoint.h"
 
 namespace mmv {
 namespace bench {
@@ -76,6 +79,17 @@ std::string SidecarPath(const char* argv0) {
 }  // namespace mmv
 
 int main(int argc, char** argv) {
+  // Validate the engine-mode environment up front: an unknown value must
+  // fail the whole run loudly, not silently benchmark the default engine.
+  if (mmv::Result<mmv::JoinMode> mode = mmv::JoinModeFromEnv(); !mode.ok()) {
+    std::cerr << mode.status().ToString() << "\n";
+    return 1;
+  }
+  if (mmv::Result<mmv::plan::PlanMode> mode = mmv::PlanModeFromEnv();
+      !mode.ok()) {
+    std::cerr << mode.status().ToString() << "\n";
+    return 1;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   std::string path = mmv::bench::SidecarPath(argc > 0 ? argv[0] : nullptr);

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string_view>
@@ -40,21 +41,37 @@ struct World {
   }
 };
 
-/// \brief Join mode selected by $MMV_JOIN_MODE ("naive" forces the oracle
-/// join; anything else — including unset — keeps the default kIndexed).
-/// Lets CI run a whole bench binary under each mode and diff the derived
-/// atom counters.
+/// \brief Join mode selected by $MMV_JOIN_MODE ("naive" = the oracle join,
+/// "indexed" or unset = the default). Lets CI run a whole bench binary
+/// under each mode and diff the derived atom counters. Unknown values
+/// ABORT the binary — a typo must not silently benchmark the wrong engine.
 inline JoinMode EnvJoinMode() {
-  const char* mode = std::getenv("MMV_JOIN_MODE");
-  return (mode && std::string_view(mode) == "naive") ? JoinMode::kNaive
-                                                     : JoinMode::kIndexed;
+  Result<JoinMode> mode = JoinModeFromEnv();
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    std::abort();
+  }
+  return *mode;
+}
+
+/// \brief Plan mode selected by $MMV_PLAN_MODE ("declared" = written body
+/// order / plan-off baseline, "ordered" or unset = selectivity-ordered
+/// plans). Unknown values abort, as for EnvJoinMode.
+inline plan::PlanMode EnvPlanMode() {
+  Result<plan::PlanMode> mode = PlanModeFromEnv();
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    std::abort();
+  }
+  return *mode;
 }
 
 /// \brief Baseline options for benchmarks: default fixpoint knobs with the
-/// join mode taken from the environment.
+/// join and plan modes taken from the environment.
 inline FixpointOptions DefaultOptions() {
   FixpointOptions o;
   o.join_mode = EnvJoinMode();
+  o.plan_mode = EnvPlanMode();
   return o;
 }
 
@@ -62,6 +79,12 @@ inline FixpointOptions DefaultOptions() {
 /// for cases that pin the mode per-case instead of per-process.
 inline JoinMode ModeArg(int64_t arg) {
   return arg == 0 ? JoinMode::kNaive : JoinMode::kIndexed;
+}
+
+/// \brief Plan mode from a benchmark range arg (0 = declared / plan-off,
+/// 1 = ordered), for mode-paired plan cases.
+inline plan::PlanMode PlanModeArg(int64_t arg) {
+  return arg == 0 ? plan::PlanMode::kDeclared : plan::PlanMode::kOrdered;
 }
 
 /// \brief Materializes or aborts (benchmark setup only).
@@ -88,6 +111,12 @@ inline void ExportJoinCounters(benchmark::State& state,
       static_cast<double>(stats.rename_skipped);
   state.counters["solver_cache_hits"] =
       static_cast<double>(stats.solver.cache_hits);
+  state.counters["plan_reorders"] =
+      static_cast<double>(stats.plan_reorders);
+  state.counters["probe_intersections"] =
+      static_cast<double>(stats.probe_intersections);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(stats.plan_cache_hits);
 }
 
 }  // namespace bench

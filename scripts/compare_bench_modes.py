@@ -1,23 +1,27 @@
 #!/usr/bin/env python3
-"""Diffs the derived-atom counters of two bench JSON sidecars.
+"""Diffs the derived-atom counters of two or more bench JSON sidecars.
 
-Usage: compare_bench_modes.py NAIVE.json INDEXED.json
+Usage: compare_bench_modes.py REFERENCE.json OTHER.json [OTHER2.json ...]
 
 Each input is the JSONL sidecar a bench binary writes (one object per case:
 name, real_ms, counters). The indexed join pipeline must derive EXACTLY the
-atom counts the naive oracle derives, so for every case present in both
-files the work-product counters must match bit-for-bit. Timing fields are
-ignored. Exits non-zero on any mismatch, and when nothing comparable was
-found (a silently empty comparison would defeat the check).
+atom counts the naive oracle derives — and the selectivity-ordered plan
+executor exactly what the declared-order (plan-off) executor derives — so
+for every case present in both files the work-product counters must match
+bit-for-bit. The first file is the reference; every other file is diffed
+against it (e.g. naive vs indexed vs indexed-with-planning-disabled).
+Timing fields are ignored. Exits non-zero on any mismatch, and when nothing
+comparable was found (a silently empty comparison would defeat the check).
 """
 
 import json
 import sys
 
 # Counters that describe the derived work product (not the strategy).
-# Strategy-dependent counters (probes, rejects, derivation attempts) are
-# deliberately excluded: the indexed join legitimately attempts fewer
-# derivations than the oracle.
+# Strategy-dependent counters (probes, rejects, derivation attempts, plan
+# reorders/intersections/cache hits) are deliberately excluded: the indexed
+# join legitimately attempts fewer derivations than the oracle, and the
+# ordered plans probe differently than the declared ones.
 COMPARED = (
     "atoms_added",
     "added",
@@ -36,7 +40,12 @@ def load(path):
             if not line:
                 continue
             obj = json.loads(line)
-            cases[obj["name"]] = obj.get("counters", {})
+            name = obj["name"]
+            # Manually-timed cases carry a reporting suffix; strip it so
+            # the trailing mode arg stays comparable (".../0" vs ".../1").
+            if name.endswith("/manual_time"):
+                name = name[: -len("/manual_time")]
+            cases[name] = obj.get("counters", {})
     return cases
 
 
@@ -51,36 +60,42 @@ def diff(failures, label, a, b):
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         sys.exit(__doc__)
-    naive = load(sys.argv[1])
-    indexed = load(sys.argv[2])
+    reference_path = sys.argv[1]
+    reference = load(reference_path)
+    others = [(path, load(path)) for path in sys.argv[2:]]
     compared = 0
     failures = []
-    # Env-driven cases: same name across the two runs.
-    for name in sorted(set(naive) & set(indexed)):
-        compared += diff(failures, name, naive[name], indexed[name])
-    # Mode-paired cases pin the join via their trailing arg and ignore
-    # MMV_JOIN_MODE, so the cross-file diff above compares them against
-    # themselves; compare .../0 (naive) against .../1 (indexed) WITHIN
-    # each file instead.
-    for cases in (naive, indexed):
+    # Env-driven cases: same name across the reference and each other file.
+    for path, cases in others:
+        for name in sorted(set(reference) & set(cases)):
+            compared += diff(
+                failures, f"{name} [{reference_path} vs {path}]",
+                reference[name], cases[name]
+            )
+    # Mode-paired cases pin their mode via a trailing arg and ignore the
+    # environment, so the cross-file diff above compares them against
+    # themselves; compare .../0 (naive join, or declared plan for the
+    # plan-paired cases) against .../1 WITHIN each file instead.
+    for path, cases in [(reference_path, reference)] + others:
         for name in sorted(cases):
             if not name.endswith("/0"):
                 continue
             twin = name[:-2] + "/1"
             if twin in cases:
                 compared += diff(
-                    failures, f"{name} vs {twin}", cases[name], cases[twin]
+                    failures, f"{name} vs {twin} [{path}]",
+                    cases[name], cases[twin]
                 )
     if failures:
-        print("join-mode counter mismatches:")
+        print("mode counter mismatches:")
         print("\n".join(failures))
         sys.exit(1)
     if compared == 0:
         print("no comparable counters found — check the bench filters")
         sys.exit(1)
-    print(f"OK: {compared} counters identical across join modes")
+    print(f"OK: {compared} counters identical across modes")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,31 @@
 #include "constraint/solve_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <sstream>
 
 namespace mmv {
+
+namespace {
+uint64_t NextEvaluatorId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+DcaEvaluator::DcaEvaluator() : instance_id_(NextEvaluatorId()) {}
+
+DcaEvaluator::DcaEvaluator(const DcaEvaluator& other)
+    : instance_id_(NextEvaluatorId()) {
+  (void)other;
+}
+
+DcaEvaluator& DcaEvaluator::operator=(const DcaEvaluator& other) {
+  if (this != &other) instance_id_ = NextEvaluatorId();
+  return *this;
+}
 
 bool Interval::Empty() const {
   if (lo > hi) return true;

@@ -100,10 +100,35 @@ struct DcaResult {
 /// bound values (all ground).
 class DcaEvaluator {
  public:
+  DcaEvaluator();
+  /// Copies get a FRESH identity: a copied evaluator is a distinct state
+  /// source as far as epoch-gated memos are concerned (mirrors Program).
+  DcaEvaluator(const DcaEvaluator& other);
+  DcaEvaluator& operator=(const DcaEvaluator& other);
   virtual ~DcaEvaluator() = default;
   virtual Result<DcaResult> Evaluate(const std::string& domain,
                                      const std::string& function,
                                      const std::vector<Value>& args) = 0;
+
+  /// \brief Process-unique identity of this evaluator instance. Epoch
+  /// values (StateEpoch) are only comparable BETWEEN calls on one
+  /// evaluator; memo gates pair the epoch with this id so two different
+  /// evaluators that happen to report the same epoch value are never
+  /// confused (see SolveCache::SyncEpoch).
+  uint64_t instance_id() const { return instance_id_; }
+
+  /// \brief Tag of the external state Evaluate() reads: two calls at the
+  /// same epoch see the same function meanings, so solver memos
+  /// (SolveCache::SyncEpoch) stay valid while the epoch stands still.
+  /// Epochs are opaque — compare them only for equality; they are not
+  /// monotone (pinning evaluation to a historical tick legitimately moves
+  /// the epoch backward). Stateless evaluators keep the default constant
+  /// epoch; DomainManager reports its effective tick combined with the
+  /// clock's same-tick mutation counter.
+  virtual int64_t StateEpoch() const { return 0; }
+
+ private:
+  uint64_t instance_id_;
 };
 
 /// \brief Outcome of a satisfiability check.
@@ -126,6 +151,15 @@ struct SolveStats {
   int64_t choice_branches = 0;
   int64_t literals_processed = 0;
   int64_t cache_hits = 0;  ///< Solve calls answered by the SolveCache memo
+
+  SolveStats& operator+=(const SolveStats& other) {
+    solve_calls += other.solve_calls;
+    dca_evaluations += other.dca_evaluations;
+    choice_branches += other.choice_branches;
+    literals_processed += other.literals_processed;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
 };
 
 /// \brief Description of one variable equivalence class after propagation,

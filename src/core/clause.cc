@@ -30,7 +30,12 @@ std::vector<VarId> Clause::Variables() const {
 }
 
 Clause Clause::Rename(VarFactory* factory) const {
-  Substitution renaming = FreshRenaming(Variables(), factory);
+  return RenameWith(Variables(), factory);
+}
+
+Clause Clause::RenameWith(const std::vector<VarId>& vars,
+                          VarFactory* factory) const {
+  Substitution renaming = FreshRenaming(vars, factory);
   Clause out;
   out.number = number;
   out.head_pred = head_pred;

@@ -48,6 +48,12 @@ struct Clause {
   /// one from \p factory ("standardizing apart").
   Clause Rename(VarFactory* factory) const;
 
+  /// \brief Rename with a precomputed variable list (must be exactly
+  /// Variables(), e.g. a ClausePlan's clause_vars) — skips the per-call
+  /// clause walk for callers that rename the same clause many times, like
+  /// StDel's step-3 propagation.
+  Clause RenameWith(const std::vector<VarId>& vars, VarFactory* factory) const;
+
   /// \brief head <- constraint || body.
   std::string ToString(const VarNames* names = nullptr) const;
 };

@@ -1,11 +1,14 @@
 #include "core/fixpoint.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
+#include "plan/plan_cache.h"
 
 namespace mmv {
 
@@ -18,15 +21,17 @@ namespace {
 //
 //  - kNaive enumerates the full per-predicate cross product and lets the
 //    tail reject contradictory tuples. Kept as the differential oracle.
-//  - kIndexed threads an incremental substitution through the join: a body
-//    argument that is ground (clause constant, or a pattern variable bound
-//    by an earlier position to a ground instance argument) probes the
-//    view's arg-value index instead of scanning the predicate, and any
-//    remaining ground mismatch rejects the candidate before positions
-//    k+1..n are enumerated. Tuples that survive with every argument ground
-//    and every constraint trivially true skip the clause rename altogether:
-//    the derived atom is just the instantiated head with constraint true,
-//    exactly what the rename+simplify pipeline would produce.
+//  - kIndexed executes a compiled plan::ClausePlan (from the shared
+//    PlanCache): body atoms run in the plan's per-pivot selectivity order,
+//    each step probes the view's arg-value index through the plan's
+//    precomputed probe positions (picking the smallest of several ground
+//    buckets under PlanMode::kOrdered), and the incremental substitution
+//    threads through dense binding slots so any ground mismatch rejects
+//    the candidate before deeper steps are enumerated. Tuples that survive
+//    with every argument ground and every constraint trivially true skip
+//    the clause rename altogether: the derived atom is just the
+//    instantiated head with constraint true, exactly what the
+//    rename+simplify pipeline would produce.
 class Engine {
  public:
   Engine(const Program& program, DcaEvaluator* evaluator,
@@ -43,7 +48,13 @@ class Engine {
         // Without simplify, a kWp run (or a budget-starved kTp solve)
         // could legitimately keep such an atom — fall back to the oracle.
         indexed_(options.join_mode == JoinMode::kIndexed &&
-                 options.simplify && options.prune_static_contradictions) {}
+                 options.simplify && options.prune_static_contradictions),
+        local_plans_(options.plan_mode),
+        plans_(options.plan_cache != nullptr &&
+                       options.plan_cache->mode() == options.plan_mode
+                   ? options.plan_cache
+                   : &local_plans_),
+        plan_stats_start_(plans_->stats()) {}
 
   Result<View> Run(View initial, size_t delta_begin) {
     // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
@@ -89,7 +100,7 @@ class Engine {
       for (const Clause& c : program_.clauses()) {
         if (c.IsFact()) continue;
         MMV_RETURN_NOT_OK(
-            indexed_ ? DeriveWithClauseIndexed(c, delta_begin, delta_end, round)
+            indexed_ ? DeriveWithClausePlanned(c, delta_begin, delta_end, round)
                      : DeriveWithClause(c, delta_begin, delta_end, round));
         if (Capped()) return Finish();
       }
@@ -99,21 +110,6 @@ class Engine {
   }
 
  private:
-  // Pattern-term classification of one clause, computed once per clause:
-  // every variable of the body (and head) gets a dense binding slot so the
-  // join can track ground bindings in a flat vector.
-  struct PatternArg {
-    bool is_const = false;
-    Value value;    // when is_const
-    int slot = -1;  // binding slot when a variable (head-only vars: -1)
-  };
-  struct ClausePlan {
-    std::vector<std::vector<PatternArg>> body;  // per body atom, per position
-    std::vector<PatternArg> head;
-    bool constraint_true = false;
-    int num_slots = 0;
-  };
-
   // A ground binding: which chosen instance argument bound the slot. Atom
   // indices stay valid across view appends (unlike pointers into the atom
   // vector, which reallocates).
@@ -142,6 +138,12 @@ class Engine {
 
   View Finish() {
     stats_->solver = solver_.stats();
+    // Attribute this run's share of the (possibly shared) plan cache's
+    // activity: the counters are monotone, so the delta since construction
+    // is exactly what this run caused.
+    const plan::PlanCacheStats& ps = plans_->stats();
+    stats_->plan_reorders += ps.reorders - plan_stats_start_.reorders;
+    stats_->plan_cache_hits += ps.cache_hits - plan_stats_start_.cache_hits;
     return std::move(view_);
   }
 
@@ -206,50 +208,7 @@ class Engine {
     return Status::OK();
   }
 
-  // ---- kIndexed: constraint-aware join ----------------------------------
-
-  const ClausePlan& PlanFor(const Clause& c) {
-    auto [it, inserted] = plans_.try_emplace(c.number);
-    if (inserted) BuildPlan(c, &it->second);
-    return it->second;
-  }
-
-  void BuildPlan(const Clause& c, ClausePlan* plan) {
-    std::unordered_map<VarId, int> slots;
-    auto classify = [&](const Term& t, bool create_slot) {
-      PatternArg a;
-      if (t.is_const()) {
-        a.is_const = true;
-        a.value = t.constant();
-        return a;
-      }
-      auto it = slots.find(t.var());
-      if (it != slots.end()) {
-        a.slot = it->second;
-      } else if (create_slot) {
-        a.slot = static_cast<int>(slots.size());
-        slots.emplace(t.var(), a.slot);
-      }
-      return a;
-    };
-    plan->body.reserve(c.body.size());
-    for (const BodyAtom& b : c.body) {
-      std::vector<PatternArg> args;
-      args.reserve(b.args.size());
-      for (const Term& t : b.args) args.push_back(classify(t, true));
-      plan->body.push_back(std::move(args));
-    }
-    // Head variables get slots too (created after the body's, so body slot
-    // numbering is unchanged): a head-only ("unsafe") variable that occurs
-    // at several head positions must map to ONE fresh variable in the fast
-    // path, exactly as one clause rename would map it.
-    plan->head.reserve(c.head_args.size());
-    for (const Term& t : c.head_args) {
-      plan->head.push_back(classify(t, true));
-    }
-    plan->constraint_true = c.constraint.is_true();
-    plan->num_slots = static_cast<int>(slots.size());
-  }
+  // ---- kIndexed: constraint-aware plan executor -------------------------
 
   const Value& Resolved(int slot) const {
     const BoundRef& b = bound_[static_cast<size_t>(slot)];
@@ -261,10 +220,13 @@ class Engine {
         std::lower_bound(idx.begin(), idx.end(), limit) - idx.begin());
   }
 
-  Status DeriveWithClauseIndexed(const Clause& c, size_t delta_begin,
+  Status DeriveWithClausePlanned(const Clause& c, size_t delta_begin,
                                  size_t delta_end, int round) {
     size_t n = c.body.size();
-    const ClausePlan& plan = PlanFor(c);
+    // Keep a reference for the whole pass: an adaptive recompile may swap
+    // the cache's entry mid-run, and a consistent order is required for
+    // the binding/undo discipline below.
+    std::shared_ptr<const plan::ClausePlan> plan = plans_->PlanFor(program_, c);
     std::vector<const std::vector<size_t>*> lists(n);
     // Hoisted seminaive windows: the posting-list positions of delta_begin
     // and delta_end per body position, computed once per clause instead of
@@ -278,70 +240,115 @@ class Engine {
       cut[i] = {LowerBoundPos(list, delta_begin),
                 LowerBoundPos(list, delta_end)};
     }
-    bound_.assign(static_cast<size_t>(plan.num_slots), BoundRef{});
+    bound_.assign(static_cast<size_t>(plan->num_slots), BoundRef{});
     undo_.clear();
+    cand_.assign(n, 0);
+    acc_.assign(n, 0);
     std::vector<size_t> chosen(n);
+    Status status = Status::OK();
     for (size_t pivot = 0; pivot < n; ++pivot) {
       if (cut[pivot].first == cut[pivot].second) continue;  // empty delta
-      MMV_RETURN_NOT_OK(RecurseIndexed(c, plan, lists, cut, pivot, 0,
-                                       delta_begin, delta_end, round,
-                                       &chosen));
+      status = RecursePlanned(c, *plan, plan->orders[pivot], lists, cut,
+                              pivot, 0, delta_begin, delta_end, round,
+                              &chosen);
+      if (!status.ok()) break;
       if (view_.size() >= options_.max_atoms) break;
     }
-    return Status::OK();
+    // Adaptive selectivity feedback: per DECLARED body position, how many
+    // candidates were unified against this pass and how many survived.
+    plans_->Feedback(c.number, cand_, acc_);
+    return status;
   }
 
-  Status RecurseIndexed(const Clause& c, const ClausePlan& plan,
+  Status RecursePlanned(const Clause& c, const plan::ClausePlan& plan,
+                        const plan::PivotOrder& order,
                         const std::vector<const std::vector<size_t>*>& lists,
                         const std::vector<std::pair<size_t, size_t>>& cut,
-                        size_t pivot, size_t pos, size_t delta_begin,
+                        size_t pivot, size_t depth, size_t delta_begin,
                         size_t delta_end, int round,
                         std::vector<size_t>* chosen) {
-    if (pos == c.body.size()) {
-      return DeriveIndexed(c, plan, *chosen, round);
+    if (depth == c.body.size()) {
+      return DerivePlanned(c, plan, *chosen, round);
     }
+    // The seminaive window is keyed by the DECLARED position (so each
+    // combination is enumerated under exactly one pivot, whatever the
+    // execution order); only the nesting order is the plan's.
+    size_t pos = order.steps[depth].decl_pos;
     size_t lo_limit = pos == pivot ? delta_begin : 0;
     size_t hi_limit = pos < pivot ? delta_begin : delta_end;
-    const std::vector<PatternArg>& pattern = plan.body[pos];
+    const std::vector<plan::PlanArg>& pattern = plan.body[pos];
 
-    // Probe on the first argument position whose pattern term is already
-    // ground: a clause constant, or a variable bound by an earlier
-    // position. Sound candidates are exactly the atoms whose argument
-    // there is the same constant — or not a constant at all (a variable
-    // instance argument can unify with any value).
-    int probe_k = -1;
-    for (size_t k = 0; k < pattern.size(); ++k) {
-      const PatternArg& a = pattern[k];
-      if (a.is_const || (a.slot >= 0 && bound_[a.slot].atom != kNoAtom)) {
-        probe_k = static_cast<int>(k);
+    // Probe selection over the plan's precomputed candidate positions (the
+    // ones that CAN be ground here: clause constants, slots bound by an
+    // earlier step). kDeclared takes the first actually-ground one; with
+    // multi_probe every ground bucket is weighed and the smallest is
+    // enumerated. Sound candidates are the atoms whose argument there is
+    // the same constant — or not a constant at all (a variable instance
+    // argument can unify with any value), hence the bucket-pair merge.
+    const std::vector<size_t>* hits = nullptr;
+    const std::vector<size_t>* vars = nullptr;
+    // Seminaive windows of the winning bucket pair, computed once during
+    // weighing and reused for the enumeration below.
+    size_t win_i = 0, win_i_end = 0, win_j = 0, win_j_end = 0;
+    bool have_windows = false;
+    size_t best_size = 0;
+    int ground_positions = 0;
+    for (uint16_t k : order.steps[depth].probe_positions) {
+      const plan::PlanArg& a = pattern[k];
+      const Value* v;
+      if (a.is_const) {
+        v = &a.value;
+      } else if (bound_[static_cast<size_t>(a.slot)].atom != kNoAtom) {
+        v = &Resolved(a.slot);
+      } else {
+        continue;
+      }
+      ++ground_positions;
+      const std::vector<size_t>& h =
+          view_.AtomsForArgValue(c.body[pos].pred, k, *v);
+      const std::vector<size_t>& w =
+          view_.AtomsForNonConstArg(c.body[pos].pred, k);
+      if (!plan.multi_probe) {
+        hits = &h;
+        vars = &w;
         break;
       }
+      size_t i = LowerBoundPos(h, lo_limit);
+      size_t i_end = LowerBoundPos(h, hi_limit);
+      size_t j = LowerBoundPos(w, lo_limit);
+      size_t j_end = LowerBoundPos(w, hi_limit);
+      size_t size = (i_end - i) + (j_end - j);
+      if (hits == nullptr || size < best_size) {
+        hits = &h;
+        vars = &w;
+        best_size = size;
+        win_i = i;
+        win_i_end = i_end;
+        win_j = j;
+        win_j_end = j_end;
+        have_windows = true;
+      }
     }
+    if (ground_positions >= 2) stats_->probe_intersections++;
 
-    if (probe_k >= 0) {
-      const PatternArg& a = pattern[probe_k];
-      const Value& v = a.is_const ? a.value : Resolved(a.slot);
+    if (hits != nullptr) {
       stats_->index_probes++;
-      const std::vector<size_t>& hits =
-          view_.AtomsForArgValue(c.body[pos].pred, probe_k, v);
-      const std::vector<size_t>& vars =
-          view_.AtomsForNonConstArg(c.body[pos].pred, probe_k);
       // Merge the two ascending lists within [lo_limit, hi_limit) so the
       // candidate order matches the oracle's (ascending atom index).
-      size_t i = LowerBoundPos(hits, lo_limit);
-      size_t i_end = LowerBoundPos(hits, hi_limit);
-      size_t j = LowerBoundPos(vars, lo_limit);
-      size_t j_end = LowerBoundPos(vars, hi_limit);
+      size_t i = have_windows ? win_i : LowerBoundPos(*hits, lo_limit);
+      size_t i_end = have_windows ? win_i_end : LowerBoundPos(*hits, hi_limit);
+      size_t j = have_windows ? win_j : LowerBoundPos(*vars, lo_limit);
+      size_t j_end = have_windows ? win_j_end : LowerBoundPos(*vars, hi_limit);
       while (i < i_end || j < j_end) {
         size_t idx;
-        if (j >= j_end || (i < i_end && hits[i] < vars[j])) {
-          idx = hits[i++];
+        if (j >= j_end || (i < i_end && (*hits)[i] < (*vars)[j])) {
+          idx = (*hits)[i++];
         } else {
-          idx = vars[j++];
+          idx = (*vars)[j++];
         }
-        MMV_RETURN_NOT_OK(TryCandidate(c, plan, lists, cut, pivot, pos,
-                                       delta_begin, delta_end, round, chosen,
-                                       idx));
+        MMV_RETURN_NOT_OK(TryCandidate(c, plan, order, lists, cut, pivot,
+                                       depth, delta_begin, delta_end, round,
+                                       chosen, idx));
         if (view_.size() >= options_.max_atoms) return Status::OK();
       }
       return Status::OK();
@@ -351,32 +358,35 @@ class Engine {
     size_t begin = pos == pivot ? cut[pos].first : 0;
     size_t end = pos < pivot ? cut[pos].first : cut[pos].second;
     for (size_t i = begin; i < end; ++i) {
-      MMV_RETURN_NOT_OK(TryCandidate(c, plan, lists, cut, pivot, pos,
-                                     delta_begin, delta_end, round, chosen,
-                                     list[i]));
+      MMV_RETURN_NOT_OK(TryCandidate(c, plan, order, lists, cut, pivot,
+                                     depth, delta_begin, delta_end, round,
+                                     chosen, list[i]));
       if (view_.size() >= options_.max_atoms) return Status::OK();
     }
     return Status::OK();
   }
 
   // Unifies the candidate's ground arguments against the pattern: mismatch
-  // rejects the whole subtree below this position; a first ground sighting
+  // rejects the whole subtree below this step; a first ground sighting
   // of a pattern variable binds its slot (undone on backtrack).
-  Status TryCandidate(const Clause& c, const ClausePlan& plan,
+  Status TryCandidate(const Clause& c, const plan::ClausePlan& plan,
+                      const plan::PivotOrder& order,
                       const std::vector<const std::vector<size_t>*>& lists,
                       const std::vector<std::pair<size_t, size_t>>& cut,
-                      size_t pivot, size_t pos, size_t delta_begin,
+                      size_t pivot, size_t depth, size_t delta_begin,
                       size_t delta_end, int round, std::vector<size_t>* chosen,
                       size_t idx) {
+    size_t pos = order.steps[depth].decl_pos;
     const ViewAtom& inst = view_.atoms()[idx];
-    const std::vector<PatternArg>& pattern = plan.body[pos];
+    const std::vector<plan::PlanArg>& pattern = plan.body[pos];
     size_t undo_mark = undo_.size();
     bool ok = true;
+    cand_[pos]++;
     if (inst.args.size() == pattern.size()) {
       for (size_t k = 0; k < pattern.size() && ok; ++k) {
         const Term& t = inst.args[k];
         if (!t.is_const()) continue;  // a real Eq literal decides later
-        const PatternArg& a = pattern[k];
+        const plan::PlanArg& a = pattern[k];
         if (a.is_const) {
           ok = a.value == t.constant();
         } else if (a.slot >= 0) {
@@ -393,8 +403,9 @@ class Engine {
     }
     Status status = Status::OK();
     if (ok) {
+      acc_[pos]++;
       (*chosen)[pos] = idx;
-      status = RecurseIndexed(c, plan, lists, cut, pivot, pos + 1,
+      status = RecursePlanned(c, plan, order, lists, cut, pivot, depth + 1,
                               delta_begin, delta_end, round, chosen);
     } else {
       stats_->ground_rejects++;
@@ -411,16 +422,16 @@ class Engine {
   // slot), every instance constraint trivially true. With the clause
   // constraint also true, the rename + Eq-chain + simplify pipeline would
   // produce exactly (instantiated head, true) — so build that directly.
-  bool FastEligible(const ClausePlan& plan,
+  bool FastEligible(const plan::ClausePlan& plan,
                     const std::vector<size_t>& chosen) const {
     for (size_t i = 0; i < chosen.size(); ++i) {
       const ViewAtom& inst = view_.atoms()[chosen[i]];
       if (!inst.constraint.is_true()) return false;
-      const std::vector<PatternArg>& pattern = plan.body[i];
+      const std::vector<plan::PlanArg>& pattern = plan.body[i];
       if (inst.args.size() != pattern.size()) return false;
       for (size_t k = 0; k < pattern.size(); ++k) {
         if (!inst.args[k].is_const()) return false;
-        const PatternArg& a = pattern[k];
+        const plan::PlanArg& a = pattern[k];
         if (!a.is_const && (a.slot < 0 || bound_[a.slot].atom == kNoAtom)) {
           return false;
         }
@@ -429,7 +440,7 @@ class Engine {
     return true;
   }
 
-  Status DeriveIndexed(const Clause& c, const ClausePlan& plan,
+  Status DerivePlanned(const Clause& c, const plan::ClausePlan& plan,
                        const std::vector<size_t>& chosen, int round) {
     if (!plan.constraint_true || !FastEligible(plan, chosen)) {
       return Derive(c, chosen, round);
@@ -443,7 +454,7 @@ class Engine {
     // occurrences of one variable share one fresh id (p(X, X) stays the
     // diagonal, not the cross product).
     std::vector<std::pair<int, VarId>> unsafe_fresh;
-    for (const PatternArg& h : plan.head) {
+    for (const plan::PlanArg& h : plan.head) {
       if (h.is_const) {
         atom.args.push_back(Term::Const(h.value));
       } else if (bound_[h.slot].atom != kNoAtom) {
@@ -573,11 +584,15 @@ class Engine {
   Solver solver_;
   VarFactory factory_;
   const bool indexed_;
+  plan::PlanCache local_plans_;  // used when no caller-shared plan cache
+  plan::PlanCache* plans_;
+  const plan::PlanCacheStats plan_stats_start_;  // shared-cache snapshot
 
   View view_;
-  std::unordered_map<int, ClausePlan> plans_;  // keyed by clause number
   std::vector<BoundRef> bound_;                // per plan slot
   std::vector<int> undo_;                      // bound slots, LIFO
+  std::vector<int64_t> cand_, acc_;            // per decl body position:
+                                               // feedback for the cache
   VarSet var_set_;                             // scratch for Derive
   std::unordered_set<CanonicalKey, CanonicalKey::Hasher> canonical_seen_;
   std::string canonical_scratch_;
@@ -611,6 +626,42 @@ Status ContinueFixpoint(const Program& program, View* view,
                                    continuation, stats, delta_begin));
   *view = std::move(result);
   return Status::OK();
+}
+
+Result<JoinMode> ParseJoinMode(std::string_view text) {
+  if (text == "naive") return JoinMode::kNaive;
+  if (text == "indexed") return JoinMode::kIndexed;
+  return Status::InvalidArgument("unknown join mode '" + std::string(text) +
+                                 "' (expected 'naive' or 'indexed')");
+}
+
+Result<plan::PlanMode> ParsePlanMode(std::string_view text) {
+  if (text == "declared") return plan::PlanMode::kDeclared;
+  if (text == "ordered") return plan::PlanMode::kOrdered;
+  return Status::InvalidArgument("unknown plan mode '" + std::string(text) +
+                                 "' (expected 'declared' or 'ordered')");
+}
+
+Result<JoinMode> JoinModeFromEnv() {
+  const char* mode = std::getenv("MMV_JOIN_MODE");
+  if (mode == nullptr || *mode == '\0') return JoinMode::kIndexed;
+  Result<JoinMode> parsed = ParseJoinMode(mode);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("$MMV_JOIN_MODE: " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<plan::PlanMode> PlanModeFromEnv() {
+  const char* mode = std::getenv("MMV_PLAN_MODE");
+  if (mode == nullptr || *mode == '\0') return plan::PlanMode::kOrdered;
+  Result<plan::PlanMode> parsed = ParsePlanMode(mode);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("$MMV_PLAN_MODE: " +
+                                   parsed.status().message());
+  }
+  return parsed;
 }
 
 }  // namespace mmv

@@ -22,13 +22,20 @@
 #ifndef MMV_CORE_FIXPOINT_H_
 #define MMV_CORE_FIXPOINT_H_
 
+#include <string_view>
+
 #include "common/result.h"
 #include "constraint/solve_cache.h"
 #include "constraint/solver.h"
 #include "core/program.h"
 #include "core/view.h"
+#include "plan/clause_plan.h"
 
 namespace mmv {
+
+namespace plan {
+class PlanCache;
+}  // namespace plan
 
 /// \brief Which fixpoint operator to run.
 enum class OperatorKind : uint8_t {
@@ -39,7 +46,12 @@ enum class OperatorKind : uint8_t {
 /// \brief Duplicate handling of the materialized view.
 enum class DupSemantics : uint8_t {
   kDuplicate,  ///< one atom per derivation (dedup by support)
-  kSet,        ///< dedup by canonicalized constrained atom
+  /// Dedup by canonicalized constrained atom. Only the canonical atom
+  /// set is contractual: the representative derivation retained for a
+  /// deduped atom (its support) is the first one enumerated, which
+  /// depends on the join strategy and plan order. Set-semantics views
+  /// are not support-maintained — StDel requires kDuplicate.
+  kSet,
 };
 
 /// \brief Body-join strategy of the engine.
@@ -87,6 +99,22 @@ struct FixpointOptions {
   bool derive_facts = true;
   /// Body-join strategy; kNaive is the differential-testing oracle.
   JoinMode join_mode = JoinMode::kIndexed;
+  /// Clause-plan ordering strategy of the kIndexed executor. kOrdered
+  /// selectivity-orders body atoms per seminaive pivot and picks the
+  /// smallest of several ground arg-value buckets; kDeclared keeps the
+  /// written body order with first-ground probing (the PR-3 behaviour,
+  /// kept as the plan-off baseline). Derived atom sets — and, under
+  /// duplicate semantics, support multisets — are identical either way;
+  /// under kSet only the canonical atom set is order-independent (see
+  /// DupSemantics::kSet).
+  plan::PlanMode plan_mode = plan::PlanMode::kOrdered;
+  /// Optional compiled-plan cache shared across engine runs. Pass one
+  /// cache through a sequence of continuations / maintenance passes so
+  /// each clause compiles once per program instead of once per run; the
+  /// cache revalidates against the program's identity on use. Ignored
+  /// (a run-local cache is used) when the cache's mode differs from
+  /// plan_mode. When null, the engine plans within the single run.
+  plan::PlanCache* plan_cache = nullptr;
   /// Optional solver memo shared across engine runs (kIndexed only). Pass
   /// one cache through a sequence of ContinueFixpoint continuations so
   /// constraints re-solved across flushes hit the memo; the caller must
@@ -109,6 +137,12 @@ struct FixpointStats {
                                   ///  before deeper positions enumerated
   int64_t rename_skipped = 0;     ///< fully-ground derivations assembled
                                   ///  without a clause rename
+  int64_t plan_reorders = 0;      ///< plan compiles whose execution order
+                                  ///  differs from the written body order
+  int64_t probe_intersections = 0;  ///< probes that weighed >= 2 ground
+                                    ///  arg-value buckets and took the
+                                    ///  smallest (multi-position probes)
+  int64_t plan_cache_hits = 0;    ///< clause plans served without compiling
   bool truncated = false;         ///< hit max_iterations / max_atoms
   SolveStats solver;              ///< aggregated solver counters
                                   ///  (solver.cache_hits: memo hits)
@@ -154,6 +188,23 @@ Status ContinueFixpoint(const Program& program, View* view,
                         DcaEvaluator* evaluator,
                         const FixpointOptions& options, FixpointStats* stats,
                         size_t delta_begin);
+
+/// \brief Parses a join mode name: "naive" or "indexed".
+/// InvalidArgument on anything else — option plumbing must fail loudly
+/// instead of silently running a different engine than the caller asked
+/// for.
+Result<JoinMode> ParseJoinMode(std::string_view text);
+
+/// \brief Parses a plan mode name: "declared" or "ordered".
+Result<plan::PlanMode> ParsePlanMode(std::string_view text);
+
+/// \brief Join mode from $MMV_JOIN_MODE. Unset/empty means the default
+/// (kIndexed); any other unknown value is an InvalidArgument error.
+Result<JoinMode> JoinModeFromEnv();
+
+/// \brief Plan mode from $MMV_PLAN_MODE. Unset/empty means the default
+/// (kOrdered); any other unknown value is an InvalidArgument error.
+Result<plan::PlanMode> PlanModeFromEnv();
 
 }  // namespace mmv
 

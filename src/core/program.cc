@@ -1,10 +1,61 @@
 #include "core/program.h"
 
+#include <atomic>
 #include <functional>
 #include <set>
 #include <sstream>
 
 namespace mmv {
+
+namespace {
+
+uint64_t NextProgramId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Program::Program() : id_(NextProgramId()) {}
+
+Program::Program(const Program& other)
+    : clauses_(other.clauses_),
+      by_pred_(other.by_pred_),
+      factory_(other.factory_),
+      names_(other.names_),
+      id_(NextProgramId()) {}
+
+Program& Program::operator=(const Program& other) {
+  if (this != &other) {
+    clauses_ = other.clauses_;
+    by_pred_ = other.by_pred_;
+    factory_ = other.factory_;
+    names_ = other.names_;
+    id_ = NextProgramId();
+  }
+  return *this;
+}
+
+Program::Program(Program&& other) noexcept
+    : clauses_(std::move(other.clauses_)),
+      by_pred_(std::move(other.by_pred_)),
+      factory_(std::move(other.factory_)),
+      names_(std::move(other.names_)),
+      id_(other.id_) {
+  other.id_ = NextProgramId();
+}
+
+Program& Program::operator=(Program&& other) noexcept {
+  if (this != &other) {
+    clauses_ = std::move(other.clauses_);
+    by_pred_ = std::move(other.by_pred_);
+    factory_ = std::move(other.factory_);
+    names_ = std::move(other.names_);
+    id_ = other.id_;
+    other.id_ = NextProgramId();
+  }
+  return *this;
+}
 
 int Program::AddClause(Clause clause) {
   clause.number = static_cast<int>(clauses_.size()) + 1;

@@ -4,6 +4,7 @@
 #ifndef MMV_CORE_PROGRAM_H_
 #define MMV_CORE_PROGRAM_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,10 +19,25 @@ namespace mmv {
 /// paper's examples) and are stable identities used by supports.
 class Program {
  public:
-  Program() = default;
+  Program();
+  /// Copies take a FRESH identity (see id()): the copy is a distinct clause
+  /// set as far as caches keyed on program identity are concerned. Moves
+  /// keep the source's identity (the clause set travels with it) and
+  /// re-identify the moved-from shell.
+  Program(const Program& other);
+  Program& operator=(const Program& other);
+  Program(Program&& other) noexcept;
+  Program& operator=(Program&& other) noexcept;
 
   /// \brief Adds \p clause, assigning and returning its clause number.
   int AddClause(Clause clause);
+
+  /// \brief Process-unique identity of this clause set. Plan and memo
+  /// caches tag their entries with it so a cache handed a different (or
+  /// recycled-at-the-same-address) program flushes instead of serving
+  /// stale state. Appending clauses does not change the identity — clause
+  /// numbers are stable, so existing per-clause cache entries stay valid.
+  uint64_t id() const { return id_; }
 
   const std::vector<Clause>& clauses() const { return clauses_; }
 
@@ -55,6 +71,7 @@ class Program {
   mutable std::unordered_map<Symbol, std::vector<size_t>> by_pred_;
   VarFactory factory_;
   VarNames names_;
+  uint64_t id_;
 };
 
 }  // namespace mmv

@@ -45,8 +45,20 @@ class Domain {
   /// \brief Names of the functions this domain implements.
   virtual std::vector<std::string> Functions() const = 0;
 
+  /// \brief Count of domain-LOCAL state mutations: writes that change
+  /// Call() results but go through neither the catalog nor the clock
+  /// (e.g. SpatialDomain::AddAddress). DomainManager::StateEpoch folds
+  /// these in so epoch-gated memos observe them.
+  int64_t local_mutations() const { return local_mutations_; }
+
+ protected:
+  /// \brief Implementations call this from every mutator of internal
+  /// state that is invisible to the catalog clock.
+  void NoteLocalMutation() { ++local_mutations_; }
+
  private:
   std::string name_;
+  int64_t local_mutations_ = 0;
 };
 
 /// \brief f+ / f- of one ground call between two ticks (paper eqs. 6, 7).
@@ -88,6 +100,29 @@ class DomainManager : public DcaEvaluator {
   /// \brief The tick Evaluate() uses: pinned time, or the clock's now.
   int64_t EffectiveTime() const {
     return pinned_ >= 0 ? pinned_ : clock_->now();
+  }
+
+  /// \brief DcaEvaluator state epoch: the effective tick combined with the
+  /// clock's same-tick mutation counter and every registered domain's
+  /// local-mutation counter. Tick alone would miss (a) the convenience
+  /// Catalog::Insert/Delete path, which writes at the CURRENT tick
+  /// without advancing the clock, and (b) domain-internal state the
+  /// catalog never sees (Domain::NoteLocalMutation) — live evaluations
+  /// change while now() stands still either way. Folding the counters in
+  /// is conservatively sound: a live write spuriously flushes memos of
+  /// pinned-historical state (which that write cannot touch), but a
+  /// stale-serving epoch would be unsound. The packing (done in uint64_t
+  /// — no signed-shift UB) is injective while the summed mutation count
+  /// and the tick stay below 2^32, and compared only for equality (see
+  /// DcaEvaluator::StateEpoch: pinning moves it backward).
+  int64_t StateEpoch() const override {
+    int64_t mutations = clock_->mutations();
+    for (const auto& [name, domain] : domains_) {
+      mutations += domain->local_mutations();
+    }
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(mutations) << 32) ^
+        (static_cast<uint64_t>(EffectiveTime()) & 0xffffffffull));
   }
 
   /// \brief f+ / f- of a ground call between \p t0 and \p t1. Fails for

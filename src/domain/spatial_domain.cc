@@ -8,10 +8,12 @@ namespace dom {
 
 void SpatialDomain::AddMap(const std::string& name, double cx, double cy) {
   maps_[name] = Point{cx, cy};
+  NoteLocalMutation();  // catalog-invisible state: move the epoch
 }
 
 void SpatialDomain::AddAddress(const std::string& key, double x, double y) {
   addresses_[key] = Point{x, y};
+  NoteLocalMutation();  // catalog-invisible state: move the epoch
 }
 
 std::string SpatialDomain::AddressKey(const std::vector<Value>& args) {

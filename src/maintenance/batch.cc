@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "constraint/canonical.h"
+#include "plan/plan_cache.h"
 
 namespace mmv {
 namespace maint {
@@ -140,6 +141,38 @@ Status ApplyBatch(const Program& program, View* view,
   stats->input_updates = plan.input_updates;
   stats->coalesced_away = plan.coalesced_away;
 
+  // One compiled-plan cache spans the whole batch: StDel step-3 renames,
+  // BuildAdd continuations and every insert run's fixpoint flushes all
+  // reuse the same per-program clause plans. A caller-provided cache
+  // (FixpointOptions::plan_cache) outlives the batch instead.
+  plan::PlanCache batch_plans(options.plan_mode);
+  FixpointOptions batch_options = options;
+  // A caller cache of the wrong mode would be rejected per engine run
+  // (each falling back to its own run-local cache) — substitute the
+  // batch-local one so cross-pass sharing survives the mismatch.
+  if (batch_options.plan_cache == nullptr ||
+      batch_options.plan_cache->mode() != batch_options.plan_mode) {
+    batch_options.plan_cache = &batch_plans;
+  }
+  // Epoch-gate a caller-shared solver memo: the memo survives from batch
+  // to batch — view maintenance never changes what Solve sees — and is
+  // flushed here exactly when the external state moved underneath it: a
+  // different evaluator instance, or the same evaluator at a different
+  // state epoch (its clock's effective tick + same-tick mutation count).
+  if (batch_options.solve_cache != nullptr) {
+    bool flushed = batch_options.solve_cache->SyncEpoch(
+        evaluator != nullptr ? evaluator->instance_id() : 0,
+        evaluator != nullptr ? evaluator->StateEpoch() : 0);
+    if (flushed) stats->solve_epoch_flushes++;
+  }
+  // Delete passes share the same memo (step-3 lifts and the step-4 prune
+  // re-solve canonically identical constraints across runs of one burst).
+  SolverOptions delete_solver = batch_options.solver;
+  if (delete_solver.cache == nullptr &&
+      batch_options.solve_cache != nullptr) {
+    delete_solver.cache = batch_options.solve_cache;
+  }
+
   // Execute maximal same-kind runs: one multi-atom StDel pass per delete
   // run, one Add pass + seminaive continuation per insert run.
   size_t i = 0;
@@ -153,21 +186,26 @@ Status ApplyBatch(const Program& program, View* view,
     if (plan.ops[i].kind == Update::Kind::kDelete) {
       StDelStats s;
       MMV_RETURN_NOT_OK(DeleteStDelBatch(program, view, requests, evaluator,
-                                         options.solver, &s));
+                                         delete_solver, &s,
+                                         batch_options.plan_cache));
       stats->delete_passes++;
       stats->deletions_applied += requests.size();
       stats->del_elements += s.del_elements;
       stats->replacements += s.replacements;
       stats->step3_replacements += s.step3_replacements();
       stats->removed_unsolvable += s.removed_unsolvable;
+      stats->plan_cache_hits += s.plan_cache_hits;
     } else {
       InsertStats s;
       MMV_RETURN_NOT_OK(InsertBatch(program, view, requests, evaluator,
-                                    options, &s, ext_support_counter));
+                                    batch_options, &s, ext_support_counter));
       stats->insert_passes++;
       stats->insertions_applied += requests.size();
       stats->add_atoms += s.add_atoms;
       stats->insertion_pass_atoms += s.atoms_added;
+      stats->plan_reorders += s.plan_reorders;
+      stats->probe_intersections += s.probe_intersections;
+      stats->plan_cache_hits += s.plan_cache_hits;
     }
     i = j;
   }

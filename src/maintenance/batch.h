@@ -98,6 +98,12 @@ struct BatchStats {
   // Insertion phase.
   size_t add_atoms = 0;             ///< externals appended by Add passes
   size_t insertion_pass_atoms = 0;  ///< externals + derived consequences
+  // Plan / memo layer.
+  int64_t plan_reorders = 0;        ///< clause-plan compiles that reordered
+  int64_t probe_intersections = 0;  ///< multi-position probes taken
+  int64_t plan_cache_hits = 0;      ///< plans served without compiling
+  int64_t solve_epoch_flushes = 0;  ///< caller solver memo flushed because
+                                    ///  the external database's epoch moved
 };
 
 /// \brief Applies \p updates to \p view through the coalescing pipeline
@@ -113,6 +119,18 @@ struct BatchStats {
 /// batches on the same view; when null, a fresh counter is seeded below the
 /// smallest clause number found anywhere in the view's support trees
 /// (external leaves included), so supports stay collision-free.
+///
+/// Cross-batch memos: a SolveCache passed through
+/// \p options.solve_cache survives from batch to batch — ApplyBatch tags
+/// it with the evaluator's catalog epoch (DcaEvaluator::StateEpoch: the
+/// effective tick folded with the clock's same-tick mutation counter) and
+/// flushes it only when the external database actually changed (plus once
+/// at first tagging if the memo already holds pre-tag entries), the
+/// read-mostly mediator's big win. A plan::PlanCache passed through
+/// \p options.plan_cache likewise carries compiled clause plans across
+/// batches (it revalidates against the program identity by itself); when
+/// absent, one batch-local instance spans this batch's delete and insert
+/// passes.
 Status ApplyBatch(const Program& program, View* view,
                   const std::vector<Update>& updates, DcaEvaluator* evaluator,
                   const FixpointOptions& options = {},

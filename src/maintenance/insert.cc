@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "plan/plan_cache.h"
+
 namespace mmv {
 namespace maint {
 
@@ -71,6 +73,17 @@ Status InsertBatch(const Program& program, View* view,
       solver_options.cache = fix_options.solve_cache;
     }
   }
+  // One plan cache for the whole batch: every flushed continuation below
+  // reuses the clause plans compiled by the first, instead of recompiling
+  // per flush. A caller-provided cache (e.g. ApplyBatch's batch-wide one)
+  // takes precedence and carries the plans across insert runs too — but a
+  // caller cache of the wrong mode would be rejected per engine run, so
+  // substitute the batch-local one to keep cross-flush sharing.
+  plan::PlanCache batch_plans(options.plan_mode);
+  if (fix_options.plan_cache == nullptr ||
+      fix_options.plan_cache->mode() != fix_options.plan_mode) {
+    fix_options.plan_cache = &batch_plans;
+  }
   Solver solver(evaluator, solver_options);
 
   // Build the Add set incrementally: each request is diffed against the
@@ -97,11 +110,10 @@ Status InsertBatch(const Program& program, View* view,
     stats->index_probes += fstats.index_probes;
     stats->ground_rejects += fstats.ground_rejects;
     stats->rename_skipped += fstats.rename_skipped;
-    stats->unfold_solver.solve_calls += fstats.solver.solve_calls;
-    stats->unfold_solver.dca_evaluations += fstats.solver.dca_evaluations;
-    stats->unfold_solver.choice_branches += fstats.solver.choice_branches;
-    stats->unfold_solver.literals_processed += fstats.solver.literals_processed;
-    stats->unfold_solver.cache_hits += fstats.solver.cache_hits;
+    stats->plan_reorders += fstats.plan_reorders;
+    stats->probe_intersections += fstats.probe_intersections;
+    stats->plan_cache_hits += fstats.plan_cache_hits;
+    stats->unfold_solver += fstats.solver;
     stats->truncated = stats->truncated || fstats.truncated;
     flush_begin = view->size();
     pending_consequences.clear();

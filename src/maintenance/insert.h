@@ -23,6 +23,9 @@ struct InsertStats {
   int64_t index_probes = 0;      ///< join-pipeline counters aggregated
   int64_t ground_rejects = 0;    ///  across the run's seminaive
   int64_t rename_skipped = 0;    ///  continuations (kIndexed only)
+  int64_t plan_reorders = 0;     ///< plan-layer counters, aggregated the
+  int64_t probe_intersections = 0;  ///  same way (see FixpointStats)
+  int64_t plan_cache_hits = 0;
   bool truncated = false;
   SolveStats solver;             ///< BuildAdd diffing solver counters
   SolveStats unfold_solver;      ///< continuation (fixpoint) solver counters

@@ -5,6 +5,7 @@
 
 #include "constraint/simplify.h"
 #include "constraint/solve_cache.h"
+#include "plan/plan_cache.h"
 
 namespace mmv {
 namespace maint {
@@ -44,10 +45,16 @@ Status DeleteStDelBatch(const Program& program, View* view,
                         const std::vector<UpdateAtom>& requests,
                         DcaEvaluator* evaluator,
                         const SolverOptions& solver_options,
-                        StDelStats* stats) {
+                        StDelStats* stats, plan::PlanCache* plans) {
   StDelStats local;
   if (!stats) stats = &local;
   *stats = StDelStats();
+  // Step 3 consumes compiled clause plans (for their precomputed variable
+  // lists); plan ordering is irrelevant here, so any caller cache works
+  // whatever its mode.
+  plan::PlanCache local_plans(plan::PlanMode::kDeclared);
+  if (plans == nullptr) plans = &local_plans;
+  const int64_t plan_hits_start = plans->stats().cache_hits;
   // One solver memo per batch: step-3 lifts and the step-4 whole-view prune
   // re-solve many canonically identical constraints (untouched siblings,
   // repeated subtraction shapes), and the external database is fixed for
@@ -126,7 +133,11 @@ Status DeleteStDelBatch(const Program& program, View* view,
 
       const Clause* clause = program.ClauseByNumber(parent.support.clause());
       if (clause == nullptr) continue;  // externally inserted: no clause
-      Clause renamed = clause->Rename(&factory);
+      // Standardize the clause apart via its compiled plan's precomputed
+      // variable list — one hash lookup instead of a full clause walk per
+      // visited parent.
+      Clause renamed = clause->RenameWith(
+          plans->PlanFor(program, *clause)->clause_vars, &factory);
       size_t n = renamed.body.size();
       if (n != parent.support.children().size()) continue;
 
@@ -188,6 +199,7 @@ Status DeleteStDelBatch(const Program& program, View* view,
   // raise the view's high-water mark so later updates stay standardized
   // apart from them.
   view->NoteExternalVars(factory.issued());
+  stats->plan_cache_hits = plans->stats().cache_hits - plan_hits_start;
   stats->solver = solver.stats();
   return Status::OK();
 }

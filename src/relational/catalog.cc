@@ -32,12 +32,16 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
 
 Status Catalog::Insert(const std::string& table, Row row) {
   MMV_ASSIGN_OR_RETURN(Table * t, GetTable(table));
-  return t->Insert(std::move(row), clock_.now());
+  MMV_RETURN_NOT_OK(t->Insert(std::move(row), clock_.now()));
+  clock_.NoteMutation();
+  return Status::OK();
 }
 
 Status Catalog::Delete(const std::string& table, const Row& row) {
   MMV_ASSIGN_OR_RETURN(Table * t, GetTable(table));
-  return t->Delete(row, clock_.now());
+  MMV_RETURN_NOT_OK(t->Delete(row, clock_.now()));
+  clock_.NoteMutation();
+  return Status::OK();
 }
 
 }  // namespace rel

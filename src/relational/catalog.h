@@ -26,8 +26,20 @@ class Clock {
   /// \brief Advances and returns the new tick.
   int64_t Advance() { return ++now_; }
 
+  /// \brief Records an in-place table write at the CURRENT tick
+  /// (Catalog::Insert/Delete call this). Same-tick writes change live
+  /// evaluations while now() stands still, so state epochs
+  /// (DomainManager::StateEpoch) fold this counter in to observe them.
+  /// Callers mutating tables directly (Table::Insert with an explicit
+  /// tick) must NoteMutation or Advance themselves.
+  void NoteMutation() { ++mutations_; }
+
+  /// \brief Total same-tick writes recorded so far.
+  int64_t mutations() const { return mutations_; }
+
  private:
   int64_t now_ = 0;
+  int64_t mutations_ = 0;
 };
 
 /// \brief Owns tables and the clock.

@@ -92,6 +92,15 @@ Program MakeGuardedChain(int depth, int width) {
   return p;
 }
 
+Program MakeGuardedChainReversed(int depth, int width) {
+  Program p;
+  for (int i = 0; i < width; ++i) AddGroundFact(&p, "p0", i);
+  for (int k = 0; k < depth; ++k) {
+    AddCopyRule(&p, Pred("p", k + 1), {"p0", Pred("p", k)});
+  }
+  return p;
+}
+
 Program MakeGuardedMultiChain(int chains, int depth, int width) {
   Program p;
   for (int c = 0; c < chains; ++c) {

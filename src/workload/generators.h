@@ -45,6 +45,15 @@ Program MakeGuardedChain(int depth, int width);
 /// \brief `chains` independent guarded chains (predicates c<k>_p<level>).
 Program MakeGuardedMultiChain(int chains, int depth, int width);
 
+/// \brief Guarded chain with the guard written FIRST:
+///   p{k+1}(X) <- p0(X), p{k}(X)
+/// — the most selective body atom (the seminaive delta p{k}) is textually
+/// last. A declared-order join scans the whole base relation before the
+/// delta ever binds X; a selectivity-ordered plan runs the delta atom
+/// first and probes p0's arg-value bucket per binding. The join-order
+/// showcase for the plan layer.
+Program MakeGuardedChainReversed(int depth, int width);
+
 /// \brief Transitive closure over explicit edges:
 ///   e(a, b) facts; path(X,Y) <- e(X,Y); path(X,Y) <- e(X,Z), path(Z,Y).
 Program MakeTransitiveClosure(
