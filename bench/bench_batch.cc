@@ -163,6 +163,23 @@ void BM_BulkLoadBurst_Batch(benchmark::State& state) {
            /*pipelined=*/true, &opts);
 }
 
+// The bulk load thread-paired (the parallel-strata engine under the full
+// batch pipeline): trailing arg 0 = 1 thread, 1 = every hardware thread;
+// join mode pinned to kIndexed (parallel execution requires the planned
+// executor). The .../0 vs .../1 twins must report identical work-product
+// counters — CI diffs them. {depth, K, threads flag}.
+void BM_BulkLoadBurst_BatchThreads(benchmark::State& state) {
+  int k = static_cast<int>(state.range(1));
+  FixpointOptions opts = DefaultOptions();
+  opts.join_mode = JoinMode::kIndexed;
+  opts.num_threads = ThreadsArg(state.range(2));
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  RunBurst(state, BulkLoadBurstText(k),
+           workload::MakeGuardedMultiChain(
+               8, static_cast<int>(state.range(0)), /*width=*/0),
+           /*pipelined=*/true, &opts);
+}
+
 void BM_CancellingBurst_Batch(benchmark::State& state) {
   int k = static_cast<int>(state.range(1));
   RunBurst(state, CancellingBurstText(k, k + 32),
@@ -192,6 +209,15 @@ void BulkLoadArgs(benchmark::internal::Benchmark* b) {
   b->Unit(benchmark::kMillisecond);
 }
 
+void BulkLoadThreadArgs(benchmark::internal::Benchmark* b) {
+  // {chain depth, burst size K, threads flag (0 = 1 thread, 1 = hardware)}
+  for (int64_t threads : {0, 1}) {
+    b->Args({8, 16, threads})->Args({16, 64, threads})->Args(
+        {32, 64, threads});
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_DeletionBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_DeletionBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_MixedBurst_Batch)->Apply(BurstArgs);
@@ -199,6 +225,7 @@ BENCHMARK(BM_MixedBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_BulkLoadBurst_Batch)->Apply(BulkLoadArgs);
+BENCHMARK(BM_BulkLoadBurst_BatchThreads)->Apply(BulkLoadThreadArgs);
 
 }  // namespace
 }  // namespace bench

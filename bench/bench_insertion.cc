@@ -346,6 +346,61 @@ void BM_Continuation_GuardedChainReversed(benchmark::State& state) {
   ExportJoinCounters(state, fs);
 }
 
+// Eight independent guarded chains — eight head-predicate groups per
+// stratum, the parallel-strata showcase: with T threads each round's
+// chain passes run concurrently against the frozen delta window and merge
+// once per round in clause order. Thread-paired: trailing arg 0 = 1
+// thread (the sequential engine), 1 = every hardware thread; the
+// derived-atom counters must match across the pair byte for byte (CI
+// diffs them). {depth, width, K, threads flag}.
+void BM_Continuation_GuardedMultiChain(benchmark::State& state) {
+  World w = World::Make();
+  const int chains = 8;
+  int depth = static_cast<int>(state.range(0));
+  int width = static_cast<int>(state.range(1));
+  int k = static_cast<int>(state.range(2));
+  Program p = workload::MakeGuardedMultiChain(chains, depth, width);
+  FixpointOptions opts = DefaultOptions();
+  opts.join_mode = JoinMode::kIndexed;
+  opts.num_threads = ThreadsArg(state.range(3));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
+  View base = MustMaterialize(p, w.domains.get(), opts);
+
+  FixpointStats fs;
+  size_t added = 0;
+  // Manual timing, like the reversed chain: the untimed per-iteration view
+  // copy dominates wall time here and Pause/Resume accounting noise would
+  // swamp the continuation being measured.
+  for (auto _ : state) {
+    View v = base;
+    size_t delta_begin = v.size();
+    int ext = 0;
+    // K fresh externals, round-robin across the chains: every chain gets a
+    // delta, so every chain's clause group has work each round.
+    for (int i = 0; i < k; ++i) {
+      ViewAtom a;
+      a.pred = "c" + std::to_string(i % chains) + "_p0";
+      a.args = {Term::Const(Value(width + 1000 + i / chains))};
+      a.support = Support(--ext);
+      v.Add(std::move(a));
+    }
+    fs = FixpointStats();
+    auto start = std::chrono::steady_clock::now();
+    Status s = ContinueFixpoint(p, &v, w.domains.get(), opts, &fs,
+                                delta_begin);
+    auto end = std::chrono::steady_clock::now();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+    added = v.size() - base.size();
+    benchmark::DoNotOptimize(added);
+  }
+  state.counters["atoms_added"] = static_cast<double>(added);
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  ExportJoinCounters(state, fs);
+}
+
 // A record chain: the same propagation shape as BM_Continuation_Chain but
 // with arity-3 atoms (id, attr, attr) — the realistic mediated-view case
 // where view atoms are records, not bare keys. Every extra column widens
@@ -516,6 +571,15 @@ BENCHMARK(BM_Continuation_GuardedChainReversed)
     ->Args({12, 256, 8, 1})
     ->Args({16, 1024, 8, 0})
     ->Args({16, 1024, 8, 1})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Continuation_GuardedMultiChain)
+    ->Args({8, 16, 16, 0})
+    ->Args({8, 16, 16, 1})
+    ->Args({12, 64, 32, 0})
+    ->Args({12, 64, 32, 1})
+    ->Args({16, 256, 64, 0})
+    ->Args({16, 256, 64, 1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Continuation_IntervalChain)->Apply(IntervalContinuationArgs);

@@ -90,6 +90,10 @@ int main(int argc, char** argv) {
     std::cerr << mode.status().ToString() << "\n";
     return 1;
   }
+  if (mmv::Result<int> threads = mmv::ThreadsFromEnv(); !threads.ok()) {
+    std::cerr << threads.status().ToString() << "\n";
+    return 1;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   std::string path = mmv::bench::SidecarPath(argc > 0 ? argv[0] : nullptr);

@@ -6,10 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string_view>
+#include <thread>
 
 #include "domain/registry.h"
 #include "maintenance/dred_constrained.h"
@@ -66,13 +68,37 @@ inline plan::PlanMode EnvPlanMode() {
   return *mode;
 }
 
+/// \brief Thread count selected by $MMV_THREADS (unset = 1, the sequential
+/// engine). Lets CI run a whole bench binary single- and multi-threaded
+/// and diff the derived-atom counters. Unknown values abort, as for
+/// EnvJoinMode.
+inline int EnvThreads() {
+  Result<int> threads = ThreadsFromEnv();
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    std::abort();
+  }
+  return *threads;
+}
+
 /// \brief Baseline options for benchmarks: default fixpoint knobs with the
-/// join and plan modes taken from the environment.
+/// join / plan modes and thread count taken from the environment.
 inline FixpointOptions DefaultOptions() {
   FixpointOptions o;
   o.join_mode = EnvJoinMode();
   o.plan_mode = EnvPlanMode();
+  o.num_threads = EnvThreads();
   return o;
+}
+
+/// \brief Thread count from a benchmark range arg for thread-paired cases:
+/// 0 = sequential (1 thread), 1 = every hardware thread. Pinned per case,
+/// so the .../0 vs .../1 twins within one sidecar diff the parallel engine
+/// against the sequential one whatever the environment says.
+inline int ThreadsArg(int64_t arg) {
+  if (arg == 0) return 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(2u, hw));
 }
 
 /// \brief Join mode from a benchmark range arg (0 = naive, 1 = indexed),

@@ -5,12 +5,13 @@ Usage: compare_bench_modes.py REFERENCE.json OTHER.json [OTHER2.json ...]
 
 Each input is the JSONL sidecar a bench binary writes (one object per case:
 name, real_ms, counters). The indexed join pipeline must derive EXACTLY the
-atom counts the naive oracle derives — and the selectivity-ordered plan
-executor exactly what the declared-order (plan-off) executor derives — so
-for every case present in both files the work-product counters must match
-bit-for-bit. The first file is the reference; every other file is diffed
-against it (e.g. naive vs indexed vs indexed-with-planning-disabled).
-Timing fields are ignored. Exits non-zero on any mismatch, and when nothing
+atom counts the naive oracle derives, the selectivity-ordered plan executor
+exactly what the declared-order (plan-off) executor derives, and the
+parallel-strata engine (MMV_THREADS=8 sidecar vs MMV_THREADS=1 sidecar)
+exactly what the sequential engine derives — so for every case present in
+both files the work-product counters must match bit-for-bit. The first
+file is the reference; every other file is diffed against it. Timing
+fields are ignored. Exits non-zero on any mismatch, and when nothing
 comparable was found (a silently empty comparison would defeat the check).
 """
 
@@ -19,9 +20,13 @@ import sys
 
 # Counters that describe the derived work product (not the strategy).
 # Strategy-dependent counters (probes, rejects, derivation attempts, plan
-# reorders/intersections/cache hits) are deliberately excluded: the indexed
-# join legitimately attempts fewer derivations than the oracle, and the
-# ordered plans probe differently than the declared ones.
+# reorders/intersections/cache and memo hits, thread counts) are
+# deliberately excluded: the indexed join legitimately attempts fewer
+# derivations than the oracle, the ordered plans probe differently than the
+# declared ones, and the parallel engine memoizes solver outcomes per task.
+# The deletion-side counters (replacements, step3) are work product too:
+# StDel's parallel step-3 must replace exactly what the sequential sweep
+# replaces.
 COMPARED = (
     "atoms_added",
     "added",
@@ -29,6 +34,10 @@ COMPARED = (
     "updates",
     "coalesced",
     "insertions",
+    "replacements",
+    "step3",
+    "delete_passes",
+    "insert_passes",
 )
 
 

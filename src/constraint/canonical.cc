@@ -299,19 +299,39 @@ class KeyRenderer {
   std::unordered_map<VarId, VarId> var_map_;
 };
 
-// Two independent FNV-1a streams over the rendering.
-uint64_t Fnv1a64(const std::string& s, uint64_t h) {
-  for (unsigned char ch : s) {
-    h ^= ch;
-    h *= 1099511628211ULL;
-  }
-  return h;
+// 64-bit finalization avalanche (MurmurHash3's fmix64): flips every output
+// bit with probability ~1/2 per input bit flipped.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
 }
 
+// Two STRUCTURALLY different passes over the rendering. The previous
+// scheme ran two FNV-1a streams that differed only in seed; FNV-1a's
+// multiply is odd, so bit 0 of its state is seed-parity XOR the parity of
+// the input bytes' low bits — identical in both streams for every input,
+// and higher low-order bits correlate similarly. The effective collision
+// margin was well below the advertised 2^-128. Here the halves disagree in
+// per-byte structure (xor-multiply vs add-multiply-rotate, different odd
+// constants) and each is finalized through a full-avalanche mix with a
+// length tweak, so no output bit of one half is a function of the same
+// input bits as any bit of the other.
 CanonicalKey FingerprintOf(const std::string& rendering) {
+  uint64_t lo = 14695981039346656037ULL;  // FNV-1a offset basis / prime
+  uint64_t hi = 0x9ae16a3b2f90404fULL;
+  for (unsigned char ch : rendering) {
+    lo = (lo ^ ch) * 1099511628211ULL;
+    hi = (hi + ch) * 0x9e3779b97f4a7c15ULL;
+    hi = (hi << 29) | (hi >> 35);
+  }
+  uint64_t len = rendering.size();
   CanonicalKey key;
-  key.lo = Fnv1a64(rendering, 14695981039346656037ULL);
-  key.hi = Fnv1a64(rendering, 0x9ae16a3b2f90404fULL);
+  key.lo = Mix64(lo ^ (len * 0xa0761d6478bd642fULL));
+  key.hi = Mix64(hi ^ len ^ 0x8ebc6af09c88c6e3ULL);
   return key;
 }
 

@@ -27,8 +27,11 @@
 namespace mmv {
 
 /// \brief A 128-bit fingerprint of a canonical rendering. Collisions are
-/// astronomically unlikely (two independent 64-bit FNV streams), which is
-/// the contract its users (dedup sets, solver memo) rely on.
+/// astronomically unlikely — the halves come from two STRUCTURALLY
+/// different byte passes (xor-multiply vs add-multiply-rotate) finalized
+/// through full-avalanche mixes, so their bits are independent (the naive
+/// two-seeds-one-algorithm alternative leaks correlated low-order bits) —
+/// which is the contract its users (dedup sets, solver memo) rely on.
 struct CanonicalKey {
   uint64_t lo = 0;
   uint64_t hi = 0;

@@ -15,6 +15,7 @@
 #define MMV_CONSTRAINT_SOLVER_H_
 
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -129,6 +130,30 @@ class DcaEvaluator {
 
  private:
   uint64_t instance_id_;
+};
+
+/// \brief Serializes Evaluate() calls on a wrapped evaluator through a
+/// mutex, so per-thread Solvers of a parallel pass can share one stateful
+/// evaluator (domain managers memoize lookups internally and are not
+/// thread-safe). Outcomes are unchanged: the underlying evaluator's answers
+/// may not depend on call order within one state epoch — the same contract
+/// solver memos already rely on.
+class MutexDcaEvaluator : public DcaEvaluator {
+ public:
+  explicit MutexDcaEvaluator(DcaEvaluator* inner) : inner_(inner) {}
+
+  Result<DcaResult> Evaluate(const std::string& domain,
+                             const std::string& function,
+                             const std::vector<Value>& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Evaluate(domain, function, args);
+  }
+
+  int64_t StateEpoch() const override { return inner_->StateEpoch(); }
+
+ private:
+  DcaEvaluator* inner_;
+  std::mutex mu_;
 };
 
 /// \brief Outcome of a satisfiability check.

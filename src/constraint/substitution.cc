@@ -48,4 +48,18 @@ Substitution FreshRenaming(const std::vector<VarId>& vars,
   return s;
 }
 
+void RemapVarsAtOrAbove(VarId base, VarFactory* factory, TermVec* args,
+                        Constraint* constraint, VarSet* scratch) {
+  scratch->Clear();
+  if (args != nullptr) scratch->AddTerms(*args);
+  if (constraint != nullptr) constraint->CollectVariables(scratch);
+  Substitution rename;
+  for (VarId v : scratch->vars()) {
+    if (v >= base) rename.Bind(v, Term::Var(factory->Fresh()));
+  }
+  if (rename.empty()) return;
+  if (args != nullptr) *args = rename.Apply(*args);
+  if (constraint != nullptr) *constraint = rename.Apply(*constraint);
+}
+
 }  // namespace mmv

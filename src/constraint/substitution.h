@@ -60,6 +60,16 @@ class Substitution {
 Substitution FreshRenaming(const std::vector<VarId>& vars,
                            VarFactory* factory);
 
+/// \brief Renames every variable of (*args, *constraint) whose id is at or
+/// above \p base to a fresh variable from \p factory, in first-appearance
+/// order (args first, then constraint). This is the deterministic merge
+/// step that moves PASS-LOCAL staging variables (kStagingVarBase, term.h)
+/// into a run's real factory — keep it the ONLY implementation: a missed
+/// remap leaks pass-local ids into durable state. Either of \p args /
+/// \p constraint may be null; \p scratch is a reusable VarSet.
+void RemapVarsAtOrAbove(VarId base, VarFactory* factory, TermVec* args,
+                        Constraint* constraint, VarSet* scratch);
+
 }  // namespace mmv
 
 #endif  // MMV_CONSTRAINT_SUBSTITUTION_H_

@@ -2,111 +2,210 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
+#include "core/thread_pool.h"
 #include "plan/plan_cache.h"
+#include "plan/strata.h"
 
 namespace mmv {
 
 namespace {
 
-// Seminaive materialization engine for one Materialize call.
-//
-// Two join strategies share one Derive tail (constraint assembly, simplify,
-// solve, dedup), so they differ only in which candidate tuples reach it:
-//
-//  - kNaive enumerates the full per-predicate cross product and lets the
-//    tail reject contradictory tuples. Kept as the differential oracle.
-//  - kIndexed executes a compiled plan::ClausePlan (from the shared
-//    PlanCache): body atoms run in the plan's per-pivot selectivity order,
-//    each step probes the view's arg-value index through the plan's
-//    precomputed probe positions (picking the smallest of several ground
-//    buckets under PlanMode::kOrdered), and the incremental substitution
-//    threads through dense binding slots so any ground mismatch rejects
-//    the candidate before deeper steps are enumerated. Tuples that survive
-//    with every argument ground and every constraint trivially true skip
-//    the clause rename altogether: the derived atom is just the
-//    instantiated head with constraint true, exactly what the
-//    rename+simplify pipeline would produce.
-class Engine {
+// Hard ceiling on variable ids. Attempted derivations rename their clause
+// and instances even when the result is pruned, so a pathological pass can
+// burn ids far faster than it stages atoms; wrapping VarId (signed, 32-bit)
+// would alias variables across derivations — and staging-factory ids that
+// wrapped below kStagingVarBase would dodge the merge remap. Fail loudly
+// with plenty of headroom instead.
+constexpr VarId kVarIdCeiling =
+    std::numeric_limits<VarId>::max() - (VarId{1} << 20);
+
+// Where a clause pass's derived atoms go. The sequential engine adds them
+// to the view immediately (dedup included); parallel passes stage them
+// per clause for the round's ordered merge.
+class DeriveSink {
  public:
-  Engine(const Program& program, DcaEvaluator* evaluator,
-         const FixpointOptions& options, FixpointStats* stats)
-      : program_(program),
-        options_(options),
-        stats_(stats),
-        solver_(evaluator, SolverOptionsFor(options, &local_cache_)),
-        factory_(program.factory()),
-        // Early ground rejection is behavior-preserving only when the
-        // engine provably drops statically contradictory joins: simplify
-        // detects every ground `=` conflict and pruning (or T_P's
-        // solvability requirement, which pruning subsumes here) drops it.
-        // Without simplify, a kWp run (or a budget-starved kTp solve)
-        // could legitimately keep such an atom — fall back to the oracle.
-        indexed_(options.join_mode == JoinMode::kIndexed &&
-                 options.simplify && options.prune_static_contradictions),
-        local_plans_(options.plan_mode),
-        plans_(options.plan_cache != nullptr &&
-                       options.plan_cache->mode() == options.plan_mode
-                   ? options.plan_cache
-                   : &local_plans_),
-        plan_stats_start_(plans_->stats()) {}
+  virtual ~DeriveSink() = default;
+  /// Delivers one surviving derivation. \p presimplified records that
+  /// (args, constraint) already went through SimplifyAtom.
+  virtual void Emit(ViewAtom atom, bool presimplified) = 0;
+  /// True when the pass must stop enumerating (atom budget exhausted).
+  virtual bool Full() const = 0;
+};
 
-  Result<View> Run(View initial, size_t delta_begin) {
-    // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
-    // Under duplicate semantics the view moves in wholesale — its indexes
-    // (by-predicate postings, support hash) arrive ready-built, and seed
-    // supports are unique identities already (Lemma 1). Set semantics has
-    // no such guarantee (maintenance can collapse distinct atoms onto one
-    // canonical form), so seeds are re-added one by one to suppress
-    // canonical duplicates, exactly like derived atoms.
-    factory_.ReserveAbove(initial.MaxVarId());
-    if (options_.semantics == DupSemantics::kSet) {
-      VarId seed_bound = initial.MaxVarId();
-      std::vector<ViewAtom> seeds = initial.TakeAtoms();
-      for (ViewAtom& a : seeds) AddAtom(std::move(a), false);
-      view_.NoteExternalVars(seed_bound);  // TakeAtoms reset initial's mark
-    } else {
-      stats_->atoms_created += initial.size();
-      view_ = std::move(initial);
+// One clause pass over a fixed view prefix: the join executors (naive
+// nested-loop oracle and the compiled-plan pipeline) plus the shared
+// derivation tail (constraint assembly, simplify, solve). Everything the
+// pass writes goes through its DeriveSink / FixpointStats bindings, so one
+// ClauseRunner serves the sequential engine (bound to the live view and
+// engine stats) and each parallel worker (bound to per-clause staging).
+//
+// Reads only view indexes and atoms below the round's delta_end; within a
+// round those are frozen (appends land at indices >= delta_end), which is
+// what makes concurrent passes against one view sound.
+class ClauseRunner {
+ public:
+  ClauseRunner(const View& view, const FixpointOptions& options,
+               Solver* solver, VarFactory* factory)
+      : view_(view), options_(options), solver_(solver), factory_(factory) {}
+
+  /// \brief Points the runner's output at \p stats / \p sink (per pass
+  /// for parallel workers; once for the sequential engine).
+  void Bind(FixpointStats* stats, DeriveSink* sink) {
+    stats_ = stats;
+    sink_ = sink;
+  }
+
+  /// \brief Per-declared-body-position candidate / accepted counters of
+  /// the last RunPlanned pass (PlanCache::Feedback input), and whether
+  /// that pass got far enough that the sequential engine would report
+  /// them (it early-outs before feedback when a body predicate has no
+  /// candidate atoms at all).
+  const std::vector<int64_t>& candidates() const { return cand_; }
+  const std::vector<int64_t>& accepted() const { return acc_; }
+  bool feedback_due() const { return feedback_due_; }
+
+  // ---- kNaive: the legacy nested-loop join (differential oracle) --------
+
+  // Enumerates body-atom combinations for clause c with the standard
+  // seminaive pivot trick: position `pivot` ranges over the newest delta,
+  // earlier positions over strictly older atoms, later positions over
+  // everything up to delta_end.
+  Status RunNaive(const Clause& c, size_t delta_begin, size_t delta_end,
+                  int round) {
+    size_t n = c.body.size();
+    std::vector<const std::vector<size_t>*> lists(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
+      if (list.empty()) return Status::OK();  // no candidates at all
+      lists[i] = &list;
     }
-    delta_begin = std::min(delta_begin, view_.size());
+    std::vector<size_t> chosen(n);
+    for (size_t pivot = 0; pivot < n; ++pivot) {
+      MMV_RETURN_NOT_OK(
+          Recurse(c, lists, pivot, 0, delta_begin, delta_end, round, &chosen));
+      if (sink_->Full()) break;
+    }
+    return Status::OK();
+  }
 
-    // Round 0: constrained facts (empty-body clauses).
-    if (options_.derive_facts) {
-      for (const Clause& c : program_.clauses()) {
-        if (!c.IsFact()) continue;
-        MMV_RETURN_NOT_OK(Derive(c, {}, 0));
-        if (Capped()) return Finish();
+  // ---- kIndexed: constraint-aware plan executor -------------------------
+
+  Status RunPlanned(const Clause& c, const plan::ClausePlan& plan,
+                    size_t delta_begin, size_t delta_end, int round) {
+    size_t n = c.body.size();
+    feedback_due_ = false;
+    std::vector<const std::vector<size_t>*> lists(n);
+    // Hoisted seminaive windows: the posting-list positions of delta_begin
+    // and delta_end per body position, computed once per clause instead of
+    // per recursion step. Appends during derivation only push indices
+    // >= delta_end, so the cut positions stay correct throughout.
+    std::vector<std::pair<size_t, size_t>> cut(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
+      if (list.empty()) return Status::OK();  // no candidates at all
+      lists[i] = &list;
+      cut[i] = {LowerBoundPos(list, delta_begin),
+                LowerBoundPos(list, delta_end)};
+      // No atoms below delta_end: every window of this position is empty,
+      // so the pass cannot derive — skip it. (Atoms past delta_end exist
+      // when an EARLIER clause of this round already appended; cutting on
+      // the windowed count keeps pass-level counters identical between the
+      // sequential engine and parallel workers reading the frozen prefix.)
+      if (cut[i].second == 0) return Status::OK();
+    }
+    feedback_due_ = true;
+    bound_.assign(static_cast<size_t>(plan.num_slots), BoundRef{});
+    undo_.clear();
+    cand_.assign(n, 0);
+    acc_.assign(n, 0);
+    std::vector<size_t> chosen(n);
+    Status status = Status::OK();
+    for (size_t pivot = 0; pivot < n; ++pivot) {
+      if (cut[pivot].first == cut[pivot].second) continue;  // empty delta
+      status = RecursePlanned(c, plan, plan.order(pivot), lists, cut, pivot,
+                              0, delta_begin, delta_end, round, &chosen);
+      if (!status.ok()) break;
+      if (sink_->Full()) break;
+    }
+    return status;
+  }
+
+  // ---- shared derivation tail -------------------------------------------
+
+  // Executes one derivation: clause c applied to the chosen instances.
+  Status Derive(const Clause& c, const std::vector<size_t>& chosen,
+                int round) {
+    if (factory_->issued() >= kVarIdCeiling) {
+      return Status::Internal(
+          "variable id space exhausted deriving clause " +
+          std::to_string(c.number));
+    }
+    stats_->derivations_attempted++;
+    Clause renamed = c.Rename(factory_);
+    Constraint acc = renamed.constraint;
+    std::vector<Support> children;
+    children.reserve(chosen.size());
+
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      const ViewAtom& inst = view_.atoms()[chosen[i]];
+      const TermVec& pattern = renamed.body[i].args;
+      if (inst.args.size() != pattern.size()) {
+        return Status::InvalidArgument(
+            "arity mismatch joining " + inst.pred.name() + "/" +
+            std::to_string(inst.args.size()) + " against clause " +
+            std::to_string(c.number));
       }
+      // Standardize the instance apart (T_P: "which share no variables").
+      var_set_.Clear();
+      var_set_.AddTerms(inst.args);
+      inst.constraint.CollectVariables(&var_set_);
+      Substitution renaming = FreshRenaming(var_set_.vars(), factory_);
+      TermVec inst_args = renaming.Apply(inst.args);
+      acc.AndWith(renaming.Apply(inst.constraint));
+      for (size_t k = 0; k < pattern.size(); ++k) {
+        acc.Add(Primitive::Eq(inst_args[k], pattern[k]));
+      }
+      children.push_back(inst.support);
     }
 
-    int round = 0;
-    while (true) {
-      size_t delta_end = view_.size();
-      if (delta_begin == delta_end) break;  // no new atoms last round
-      ++round;
-      if (round > options_.max_iterations) {
-        stats_->truncated = true;
-        break;
-      }
-      stats_->iterations = round;
-      size_t size_at_round_start = view_.size();
-
-      for (const Clause& c : program_.clauses()) {
-        if (c.IsFact()) continue;
-        MMV_RETURN_NOT_OK(
-            indexed_ ? DeriveWithClausePlanned(c, delta_begin, delta_end, round)
-                     : DeriveWithClause(c, delta_begin, delta_end, round));
-        if (Capped()) return Finish();
-      }
-      delta_begin = size_at_round_start;
+    TermVec head = renamed.head_args;
+    Constraint constraint = std::move(acc);
+    if (options_.simplify) {
+      SimplifiedAtom s = SimplifyAtom(head, constraint);
+      head = std::move(s.head);
+      constraint = std::move(s.constraint);
     }
-    return Finish();
+    if (constraint.is_false() && options_.prune_static_contradictions) {
+      stats_->unsat_pruned++;
+      return Status::OK();
+    }
+    if (options_.op == OperatorKind::kTp && !constraint.is_false()) {
+      SolveOutcome o = solver_->Solve(constraint);
+      if (o == SolveOutcome::kError) return solver_->last_status();
+      if (o == SolveOutcome::kUnsat) {
+        stats_->unsat_pruned++;
+        return Status::OK();
+      }
+    } else if (options_.op == OperatorKind::kTp && constraint.is_false()) {
+      stats_->unsat_pruned++;
+      return Status::OK();
+    }
+
+    ViewAtom atom;
+    atom.pred = renamed.head_pred;
+    atom.args = std::move(head);
+    atom.constraint = std::move(constraint);
+    atom.support = Support(c.number, std::move(children));
+    atom.depth = round;
+    sink_->Emit(std::move(atom), /*presimplified=*/options_.simplify);
+    return Status::OK();
   }
 
  private:
@@ -119,56 +218,14 @@ class Engine {
   };
   static constexpr uint32_t kNoAtom = 0xffffffffu;
 
-  static SolverOptions SolverOptionsFor(const FixpointOptions& o,
-                                        SolveCache* local) {
-    SolverOptions s = o.solver;
-    if (o.join_mode == JoinMode::kIndexed && s.cache == nullptr) {
-      s.cache = o.solve_cache != nullptr ? o.solve_cache : local;
-    }
-    return s;
+  static size_t LowerBoundPos(const std::vector<size_t>& idx, size_t limit) {
+    return static_cast<size_t>(
+        std::lower_bound(idx.begin(), idx.end(), limit) - idx.begin());
   }
 
-  bool Capped() {
-    if (view_.size() >= options_.max_atoms) {
-      stats_->truncated = true;
-      return true;
-    }
-    return false;
-  }
-
-  View Finish() {
-    stats_->solver = solver_.stats();
-    // Attribute this run's share of the (possibly shared) plan cache's
-    // activity: the counters are monotone, so the delta since construction
-    // is exactly what this run caused.
-    const plan::PlanCacheStats& ps = plans_->stats();
-    stats_->plan_reorders += ps.reorders - plan_stats_start_.reorders;
-    stats_->plan_cache_hits += ps.cache_hits - plan_stats_start_.cache_hits;
-    return std::move(view_);
-  }
-
-  // ---- kNaive: the legacy nested-loop join (differential oracle) --------
-
-  // Enumerates body-atom combinations for clause c with the standard
-  // seminaive pivot trick: position `pivot` ranges over the newest delta,
-  // earlier positions over strictly older atoms, later positions over
-  // everything up to delta_end.
-  Status DeriveWithClause(const Clause& c, size_t delta_begin,
-                          size_t delta_end, int round) {
-    size_t n = c.body.size();
-    std::vector<const std::vector<size_t>*> lists(n);
-    for (size_t i = 0; i < n; ++i) {
-      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
-      if (list.empty()) return Status::OK();  // no candidates at all
-      lists[i] = &list;
-    }
-    std::vector<size_t> chosen(n);
-    for (size_t pivot = 0; pivot < n; ++pivot) {
-      MMV_RETURN_NOT_OK(
-          Recurse(c, lists, pivot, 0, delta_begin, delta_end, round, &chosen));
-      if (view_.size() >= options_.max_atoms) break;
-    }
-    return Status::OK();
+  const Value& Resolved(int slot) const {
+    const BoundRef& b = bound_[static_cast<size_t>(slot)];
+    return view_.atoms()[b.atom].args[b.pos].constant();
   }
 
   Status Recurse(const Clause& c,
@@ -195,69 +252,15 @@ class Engine {
     // positional window stays valid because appends only push_back values
     // >= delta_end, beyond hi_limit.
     const std::vector<size_t>& idx = *lists[pos];  // ascending atom indices
-    size_t lo_pos = static_cast<size_t>(
-        std::lower_bound(idx.begin(), idx.end(), lo_limit) - idx.begin());
-    size_t hi_pos = static_cast<size_t>(
-        std::lower_bound(idx.begin(), idx.end(), hi_limit) - idx.begin());
+    size_t lo_pos = LowerBoundPos(idx, lo_limit);
+    size_t hi_pos = LowerBoundPos(idx, hi_limit);
     for (size_t i = lo_pos; i < hi_pos; ++i) {
       (*chosen)[pos] = (*lists[pos])[i];
       MMV_RETURN_NOT_OK(Recurse(c, lists, pivot, pos + 1, delta_begin,
                                 delta_end, round, chosen));
-      if (view_.size() >= options_.max_atoms) return Status::OK();
+      if (sink_->Full()) return Status::OK();
     }
     return Status::OK();
-  }
-
-  // ---- kIndexed: constraint-aware plan executor -------------------------
-
-  const Value& Resolved(int slot) const {
-    const BoundRef& b = bound_[static_cast<size_t>(slot)];
-    return view_.atoms()[b.atom].args[b.pos].constant();
-  }
-
-  static size_t LowerBoundPos(const std::vector<size_t>& idx, size_t limit) {
-    return static_cast<size_t>(
-        std::lower_bound(idx.begin(), idx.end(), limit) - idx.begin());
-  }
-
-  Status DeriveWithClausePlanned(const Clause& c, size_t delta_begin,
-                                 size_t delta_end, int round) {
-    size_t n = c.body.size();
-    // Keep a reference for the whole pass: an adaptive recompile may swap
-    // the cache's entry mid-run, and a consistent order is required for
-    // the binding/undo discipline below.
-    std::shared_ptr<const plan::ClausePlan> plan = plans_->PlanFor(program_, c);
-    std::vector<const std::vector<size_t>*> lists(n);
-    // Hoisted seminaive windows: the posting-list positions of delta_begin
-    // and delta_end per body position, computed once per clause instead of
-    // per recursion step. Appends during derivation only push indices
-    // >= delta_end, so the cut positions stay correct throughout.
-    std::vector<std::pair<size_t, size_t>> cut(n);
-    for (size_t i = 0; i < n; ++i) {
-      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
-      if (list.empty()) return Status::OK();  // no candidates at all
-      lists[i] = &list;
-      cut[i] = {LowerBoundPos(list, delta_begin),
-                LowerBoundPos(list, delta_end)};
-    }
-    bound_.assign(static_cast<size_t>(plan->num_slots), BoundRef{});
-    undo_.clear();
-    cand_.assign(n, 0);
-    acc_.assign(n, 0);
-    std::vector<size_t> chosen(n);
-    Status status = Status::OK();
-    for (size_t pivot = 0; pivot < n; ++pivot) {
-      if (cut[pivot].first == cut[pivot].second) continue;  // empty delta
-      status = RecursePlanned(c, *plan, plan->orders[pivot], lists, cut,
-                              pivot, 0, delta_begin, delta_end, round,
-                              &chosen);
-      if (!status.ok()) break;
-      if (view_.size() >= options_.max_atoms) break;
-    }
-    // Adaptive selectivity feedback: per DECLARED body position, how many
-    // candidates were unified against this pass and how many survived.
-    plans_->Feedback(c.number, cand_, acc_);
-    return status;
   }
 
   Status RecursePlanned(const Clause& c, const plan::ClausePlan& plan,
@@ -349,7 +352,7 @@ class Engine {
         MMV_RETURN_NOT_OK(TryCandidate(c, plan, order, lists, cut, pivot,
                                        depth, delta_begin, delta_end, round,
                                        chosen, idx));
-        if (view_.size() >= options_.max_atoms) return Status::OK();
+        if (sink_->Full()) return Status::OK();
       }
       return Status::OK();
     }
@@ -361,7 +364,7 @@ class Engine {
       MMV_RETURN_NOT_OK(TryCandidate(c, plan, order, lists, cut, pivot,
                                      depth, delta_begin, delta_end, round,
                                      chosen, list[i]));
-      if (view_.size() >= options_.max_atoms) return Status::OK();
+      if (sink_->Full()) return Status::OK();
     }
     return Status::OK();
   }
@@ -470,7 +473,7 @@ class Engine {
           }
         }
         if (fresh < 0) {
-          fresh = factory_.Fresh();
+          fresh = factory_->Fresh();
           unsafe_fresh.emplace_back(h.slot, fresh);
         }
         atom.args.push_back(Term::Var(fresh));
@@ -481,74 +484,438 @@ class Engine {
     for (size_t i : chosen) children.push_back(view_.atoms()[i].support);
     atom.support = Support(c.number, std::move(children));
     atom.depth = round;
-    AddAtom(std::move(atom), /*presimplified=*/true);
+    sink_->Emit(std::move(atom), /*presimplified=*/true);
     return Status::OK();
   }
 
-  // ---- shared derivation tail -------------------------------------------
+  const View& view_;
+  const FixpointOptions& options_;
+  Solver* solver_;
+  VarFactory* factory_;
+  FixpointStats* stats_ = nullptr;
+  DeriveSink* sink_ = nullptr;
 
-  // Executes one derivation: clause c applied to the chosen instances.
-  Status Derive(const Clause& c, const std::vector<size_t>& chosen,
-                int round) {
-    stats_->derivations_attempted++;
-    Clause renamed = c.Rename(&factory_);
-    Constraint acc = renamed.constraint;
-    std::vector<Support> children;
-    children.reserve(chosen.size());
+  std::vector<BoundRef> bound_;      // per plan slot
+  std::vector<int> undo_;            // bound slots, LIFO
+  std::vector<int64_t> cand_, acc_;  // per decl body position:
+                                     // feedback for the cache
+  bool feedback_due_ = false;
+  VarSet var_set_;  // scratch for Derive
+};
 
-    for (size_t i = 0; i < chosen.size(); ++i) {
-      const ViewAtom& inst = view_.atoms()[chosen[i]];
-      const TermVec& pattern = renamed.body[i].args;
-      if (inst.args.size() != pattern.size()) {
-        return Status::InvalidArgument(
-            "arity mismatch joining " + inst.pred.name() + "/" +
-            std::to_string(inst.args.size()) + " against clause " +
-            std::to_string(c.number));
+// One clause pass's staged output under parallel execution.
+struct StagedAtom {
+  ViewAtom atom;
+  bool presimplified = false;
+  CanonicalKey key;  ///< precomputed dedup key (kSet only)
+};
+
+// Everything one parallel clause pass hands back to the round's merge.
+struct ClauseOutcome {
+  std::vector<StagedAtom> atoms;  ///< enumeration order
+  std::vector<int64_t> cand, acc;
+  bool feedback_due = false;
+  bool capped = false;  ///< the staging budget cut this pass short
+  bool ran = false;
+  Status status;
+  FixpointStats stats;  ///< pass-local counters (summed at merge)
+  SolveStats solver;    ///< pass-local solver counters
+};
+
+// Stages derivations per clause; canonical dedup keys are computed here in
+// the worker (they are renaming-invariant, so the staged-variable ids do
+// not matter) and the per-round merge does the actual dedup insertions.
+class StagingSink : public DeriveSink {
+ public:
+  StagingSink(const FixpointOptions& options, size_t frozen_view_size)
+      : options_(options), frozen_(frozen_view_size) {}
+
+  void SetTarget(std::vector<StagedAtom>* out) {
+    out_ = out;
+    capped_ = false;
+  }
+
+  /// \brief True when Full() cut the current pass short. Staged counts are
+  /// PRE-dedup, so a capped pass may have stopped before derivations the
+  /// sequential engine (which caps on the deduped view size) would still
+  /// reach — the merge must flag the run truncated or atoms would be
+  /// dropped silently.
+  bool capped() const { return capped_; }
+
+  void Emit(ViewAtom atom, bool presimplified) override {
+    StagedAtom s;
+    if (options_.semantics == DupSemantics::kSet) {
+      s.key = CanonicalAtomKey(atom.pred, atom.args, atom.constraint,
+                               presimplified, &scratch_);
+    }
+    s.atom = std::move(atom);
+    s.presimplified = presimplified;
+    out_->push_back(std::move(s));
+    ++staged_;
+  }
+
+  // Per-task atom budget: the frozen view plus everything this task staged.
+  // (Truncation points under parallel execution legitimately differ from
+  // sequential — see FixpointOptions::num_threads.)
+  bool Full() const override {
+    if (frozen_ + staged_ < options_.max_atoms) return false;
+    capped_ = true;
+    return true;
+  }
+
+ private:
+  const FixpointOptions& options_;
+  size_t frozen_;
+  size_t staged_ = 0;
+  mutable bool capped_ = false;
+  std::vector<StagedAtom>* out_ = nullptr;
+  std::string scratch_;
+};
+
+// Seminaive materialization engine for one Materialize call.
+//
+// Two join strategies share one Derive tail (constraint assembly, simplify,
+// solve, dedup), so they differ only in which candidate tuples reach it:
+//
+//  - kNaive enumerates the full per-predicate cross product and lets the
+//    tail reject contradictory tuples. Kept as the differential oracle.
+//  - kIndexed executes a compiled plan::ClausePlan (from the shared
+//    PlanCache): body atoms run in the plan's per-pivot selectivity order,
+//    each step probes the view's arg-value index through the plan's
+//    precomputed probe positions (picking the smallest of several ground
+//    buckets under PlanMode::kOrdered), and the incremental substitution
+//    threads through dense binding slots so any ground mismatch rejects
+//    the candidate before deeper steps are enumerated.
+//
+// With options.num_threads > 1 (and the kIndexed executor active), each
+// round's clause passes run CONCURRENTLY: the round's delta window is
+// frozen before any pass starts — sequential rounds never see intra-round
+// derivations either, since every window is capped at delta_end — so the
+// passes share the view read-only. Work is scheduled per head-predicate
+// group of the program's strata (plan/strata.h); every pass stages its
+// derivations with a private staging factory for fresh variables, and one
+// merge per round replays them into the view in (clause index, enumeration)
+// order — exactly the sequential append order — doing dedup, counters and
+// plan feedback on the engine thread. Hence canonical atom sets, support
+// multisets and derivation counters are identical to the sequential
+// engine's; only fresh-variable numbering and solver-memo hit counts are
+// scheduling-free but not sequential-identical.
+class Engine {
+ public:
+  Engine(const Program& program, DcaEvaluator* evaluator,
+         const FixpointOptions& options, FixpointStats* stats)
+      : program_(program),
+        evaluator_(evaluator),
+        options_(options),
+        stats_(stats),
+        solver_(evaluator, SolverOptionsFor(options, &local_cache_)),
+        factory_(program.factory()),
+        // Early ground rejection is behavior-preserving only when the
+        // engine provably drops statically contradictory joins: simplify
+        // detects every ground `=` conflict and pruning (or T_P's
+        // solvability requirement, which pruning subsumes here) drops it.
+        // Without simplify, a kWp run (or a budget-starved kTp solve)
+        // could legitimately keep such an atom — fall back to the oracle.
+        indexed_(options.join_mode == JoinMode::kIndexed &&
+                 options.simplify && options.prune_static_contradictions),
+        parallel_(indexed_ && options.num_threads > 1),
+        local_plans_(options.plan_mode),
+        plans_(plan::PlanCache::Select(options.plan_cache, options.plan_mode,
+                                       &local_plans_)),
+        plan_stats_start_(plans_->stats()),
+        direct_sink_(this),
+        runner_(view_, options_, &solver_, &factory_) {
+    runner_.Bind(stats_, &direct_sink_);
+  }
+
+  Result<View> Run(View initial, size_t delta_begin) {
+    // Seed with the initial atoms (MaterializeFrom / DRed rederivation).
+    // Under duplicate semantics the view moves in wholesale — its indexes
+    // (by-predicate postings, support hash) arrive ready-built, and seed
+    // supports are unique identities already (Lemma 1). Set semantics has
+    // no such guarantee (maintenance can collapse distinct atoms onto one
+    // canonical form), so seeds are re-added one by one to suppress
+    // canonical duplicates, exactly like derived atoms.
+    factory_.ReserveAbove(initial.MaxVarId());
+    if (options_.semantics == DupSemantics::kSet) {
+      VarId seed_bound = initial.MaxVarId();
+      std::vector<ViewAtom> seeds = initial.TakeAtoms();
+      for (ViewAtom& a : seeds) AddAtom(std::move(a), false);
+      view_.NoteExternalVars(seed_bound);  // TakeAtoms reset initial's mark
+    } else {
+      stats_->atoms_created += initial.size();
+      view_ = std::move(initial);
+    }
+    delta_begin = std::min(delta_begin, view_.size());
+
+    // Round 0: constrained facts (empty-body clauses).
+    if (options_.derive_facts) {
+      for (const Clause& c : program_.clauses()) {
+        if (!c.IsFact()) continue;
+        MMV_RETURN_NOT_OK(runner_.Derive(c, {}, 0));
+        if (Capped()) return Finish();
       }
-      // Standardize the instance apart (T_P: "which share no variables").
-      var_set_.Clear();
-      var_set_.AddTerms(inst.args);
-      inst.constraint.CollectVariables(&var_set_);
-      Substitution renaming = FreshRenaming(var_set_.vars(), &factory_);
-      TermVec inst_args = renaming.Apply(inst.args);
-      acc.AndWith(renaming.Apply(inst.constraint));
-      for (size_t k = 0; k < pattern.size(); ++k) {
-        acc.Add(Primitive::Eq(inst_args[k], pattern[k]));
-      }
-      children.push_back(inst.support);
     }
 
-    TermVec head = renamed.head_args;
-    Constraint constraint = std::move(acc);
-    if (options_.simplify) {
-      SimplifiedAtom s = SimplifyAtom(head, constraint);
-      head = std::move(s.head);
-      constraint = std::move(s.constraint);
-    }
-    if (constraint.is_false() && options_.prune_static_contradictions) {
-      stats_->unsat_pruned++;
-      return Status::OK();
-    }
-    if (options_.op == OperatorKind::kTp && !constraint.is_false()) {
-      SolveOutcome o = solver_.Solve(constraint);
-      if (o == SolveOutcome::kError) return solver_.last_status();
-      if (o == SolveOutcome::kUnsat) {
-        stats_->unsat_pruned++;
-        return Status::OK();
+    int round = 0;
+    while (true) {
+      size_t delta_end = view_.size();
+      if (delta_begin == delta_end) break;  // no new atoms last round
+      ++round;
+      if (round > options_.max_iterations) {
+        stats_->truncated = true;
+        break;
       }
-    } else if (options_.op == OperatorKind::kTp && constraint.is_false()) {
-      stats_->unsat_pruned++;
-      return Status::OK();
+      stats_->iterations = round;
+      size_t size_at_round_start = view_.size();
+
+      // Parallel rounds need (a) more than one head-predicate group —
+      // with a single group (e.g. one big transitive closure) the round
+      // would pay staging, merge and variable remap for zero fan-out —
+      // and (b) the real factory well clear of the staging base, so
+      // staged ids stay recognizable. Both conditions are deterministic,
+      // so the choice never shows in any output.
+      if (parallel_ && !tasks_built_) BuildTasks();
+      if (parallel_ && tasks_.size() > 1 &&
+          factory_.issued() < kStagingVarBase / 2) {
+        MMV_RETURN_NOT_OK(RunRoundParallel(delta_begin, delta_end, round));
+        if (Capped()) return Finish();
+      } else {
+        for (const Clause& c : program_.clauses()) {
+          if (c.IsFact()) continue;
+          MMV_RETURN_NOT_OK(RunClauseSequential(c, delta_begin, delta_end,
+                                                round));
+          if (Capped()) return Finish();
+        }
+      }
+      delta_begin = size_at_round_start;
+    }
+    return Finish();
+  }
+
+ private:
+  static SolverOptions SolverOptionsFor(const FixpointOptions& o,
+                                        SolveCache* local) {
+    SolverOptions s = o.solver;
+    if (o.join_mode == JoinMode::kIndexed && s.cache == nullptr) {
+      s.cache = o.solve_cache != nullptr ? o.solve_cache : local;
+    }
+    return s;
+  }
+
+  // Sequential sink: dedup + append to the live view.
+  class DirectSink : public DeriveSink {
+   public:
+    explicit DirectSink(Engine* engine) : engine_(engine) {}
+    void Emit(ViewAtom atom, bool presimplified) override {
+      engine_->AddAtom(std::move(atom), presimplified);
+    }
+    bool Full() const override {
+      return engine_->view_.size() >= engine_->options_.max_atoms;
     }
 
-    ViewAtom atom;
-    atom.pred = renamed.head_pred;
-    atom.args = std::move(head);
-    atom.constraint = std::move(constraint);
-    atom.support = Support(c.number, std::move(children));
-    atom.depth = round;
-    AddAtom(std::move(atom), /*presimplified=*/options_.simplify);
+   private:
+    Engine* engine_;
+  };
+
+  bool Capped() {
+    if (view_.size() >= options_.max_atoms) {
+      stats_->truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  View Finish() {
+    stats_->solver = solver_.stats();
+    stats_->solver += parallel_solver_;
+    // Attribute this run's share of the (possibly shared) plan cache's
+    // activity: the counters are monotone, so the delta since construction
+    // is exactly what this run caused.
+    const plan::PlanCacheStats& ps = plans_->stats();
+    stats_->plan_reorders += ps.reorders - plan_stats_start_.reorders;
+    stats_->plan_cache_hits += ps.cache_hits - plan_stats_start_.cache_hits;
+    return std::move(view_);
+  }
+
+  Status RunClauseSequential(const Clause& c, size_t delta_begin,
+                             size_t delta_end, int round) {
+    if (!indexed_) {
+      return runner_.RunNaive(c, delta_begin, delta_end, round);
+    }
+    // Keep a reference for the whole pass: an adaptive recompile may swap
+    // the cache's entry mid-run, and a consistent order is required for
+    // the binding/undo discipline of the executor.
+    std::shared_ptr<const plan::ClausePlan> plan =
+        plans_->PlanFor(program_, c);
+    Status status = runner_.RunPlanned(c, *plan, delta_begin, delta_end,
+                                       round);
+    // Adaptive selectivity feedback: per DECLARED body position, how many
+    // candidates were unified against this pass and how many survived.
+    if (runner_.feedback_due()) {
+      plans_->Feedback(c.number, runner_.candidates(), runner_.accepted());
+    }
+    return status;
+  }
+
+  // ---- parallel strata round --------------------------------------------
+
+  // Task list: one task per head-predicate group, in (stratum, group)
+  // order; each task runs its group's non-fact clauses in clause order.
+  // Within a round ALL groups are mutually independent — every pass reads
+  // only below the frozen delta_end — so the strata do not need barriers
+  // between them; they prove the independence and fix the schedule.
+  void BuildTasks() {
+    tasks_built_ = true;
+    std::shared_ptr<const plan::StrataInfo> strata =
+        plans_->StrataFor(program_);
+    for (const plan::Stratum& s : strata->strata) {
+      for (const plan::PredGroup& g : s.groups) {
+        std::vector<size_t> task;
+        for (size_t ci : g.clauses) {
+          if (!program_.clauses()[ci].IsFact()) task.push_back(ci);
+        }
+        if (!task.empty()) tasks_.push_back(std::move(task));
+      }
+    }
+    // One solver memo per task, reused across ALL rounds of the run (the
+    // evaluator state is fixed for the run — the memo's validity
+    // contract): hit counts stay deterministic because each cache belongs
+    // to a task index, not a thread, and the sequential engine's own
+    // cross-round memo is matched instead of being thrown away per round.
+    task_caches_.reserve(tasks_.size());
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      task_caches_.push_back(std::make_unique<SolveCache>());
+    }
+  }
+
+  Status RunRoundParallel(size_t delta_begin, size_t delta_end, int round) {
+    const std::vector<Clause>& clauses = program_.clauses();
+    // Prefetch the round's plans on the engine thread — the same PlanFor
+    // sequence (clause order, once per round) the sequential engine
+    // issues, so cache evolution and hit counters match it exactly; the
+    // workers then share the immutable plans read-only.
+    if (plans_prefetched_.size() != clauses.size()) {
+      plans_prefetched_.resize(clauses.size());
+    }
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+      if (clauses[ci].IsFact()) continue;
+      plans_prefetched_[ci] = plans_->PlanFor(program_, clauses[ci]);
+    }
+    if (evaluator_ != nullptr && locked_evaluator_ == nullptr) {
+      locked_evaluator_ = std::make_unique<MutexDcaEvaluator>(evaluator_);
+    }
+    DcaEvaluator* worker_evaluator =
+        evaluator_ != nullptr ? locked_evaluator_.get() : nullptr;
+
+    std::vector<ClauseOutcome> outcomes(clauses.size());
+    auto run_task = [&](size_t t) {
+      // Per-task solver memo (see BuildTasks): outcomes are identical to
+      // any shared memo's (fixed evaluator state), and a task-owned one
+      // keeps the pass free of cross-thread coordination AND its hit
+      // counters deterministic (they depend on the task's own solve
+      // sequence, not on scheduling). Never share a memo across threads —
+      // even a caller-provided one (options.solver.cache /
+      // options.solve_cache) is swapped out here; SolveCache is not
+      // synchronized.
+      SolverOptions solver_options = options_.solver;
+      solver_options.cache = task_caches_[t].get();
+      Solver solver(worker_evaluator, solver_options);
+      VarFactory factory;
+      factory.ReserveAbove(kStagingVarBase);
+      StagingSink sink(options_, view_.size());
+      ClauseRunner runner(view_, options_, &solver, &factory);
+      for (size_t ci : tasks_[t]) {
+        ClauseOutcome& out = outcomes[ci];
+        // The staging budget is exhausted: stop the task between clauses
+        // (the sequential engine's per-clause Capped() stop), recording
+        // the cutoff so the merge flags the run truncated even when the
+        // pass that filled the budget never queried Full() itself.
+        if (sink.Full()) {
+          out.capped = true;
+          out.ran = true;
+          break;
+        }
+        sink.SetTarget(&out.atoms);
+        runner.Bind(&out.stats, &sink);
+        out.status = runner.RunPlanned(clauses[ci], *plans_prefetched_[ci],
+                                       delta_begin, delta_end, round);
+        out.cand = runner.candidates();
+        out.acc = runner.accepted();
+        out.feedback_due = runner.feedback_due();
+        out.capped = sink.capped();
+        out.solver = solver.stats();
+        solver.ResetStats();
+        out.ran = true;
+        if (!out.status.ok()) break;  // merge stops at this clause anyway
+      }
+    };
+    ThreadPool::Global().ParallelFor(tasks_.size(), options_.num_threads,
+                                     run_task);
+
+    // Deterministic merge: clause order, then each pass's enumeration
+    // order — the exact order the sequential engine appends in. Dedup,
+    // counters and plan feedback all happen here on the engine thread.
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+      if (clauses[ci].IsFact()) continue;
+      ClauseOutcome& out = outcomes[ci];
+      if (!out.ran) continue;  // its task stopped at an earlier clause,
+                               // whose error returns below first
+      stats_->derivations_attempted += out.stats.derivations_attempted;
+      stats_->unsat_pruned += out.stats.unsat_pruned;
+      stats_->index_probes += out.stats.index_probes;
+      stats_->ground_rejects += out.stats.ground_rejects;
+      stats_->rename_skipped += out.stats.rename_skipped;
+      stats_->probe_intersections += out.stats.probe_intersections;
+      parallel_solver_ += out.solver;
+      // A pass cut short by the staging budget may have stopped before
+      // derivations the sequential engine (capping on the DEDUPED view
+      // size) would still reach; if dedup then keeps the merged view under
+      // max_atoms the run would otherwise claim completeness while missing
+      // atoms — flag it truncated.
+      if (out.capped) stats_->truncated = true;
+      for (StagedAtom& staged : out.atoms) {
+        if (view_.size() >= options_.max_atoms) {
+          stats_->truncated = true;
+          return Status::OK();  // Run()'s Capped() finishes the view
+        }
+        MergeStaged(std::move(staged));
+      }
+      if (out.feedback_due) {
+        plans_->Feedback(clauses[ci].number, out.cand, out.acc);
+      }
+      MMV_RETURN_NOT_OK(out.status);
+    }
     return Status::OK();
+  }
+
+  // Replays one staged derivation into the view: dedup exactly as AddAtom
+  // would (the canonical key was precomputed in the worker), then rename
+  // the pass-local staging variables into the engine's real factory.
+  void MergeStaged(StagedAtom staged) {
+    if (options_.semantics == DupSemantics::kDuplicate) {
+      if (view_.HasSupport(staged.atom.support)) {
+        stats_->duplicates_suppressed++;
+        return;
+      }
+    } else {
+      if (!canonical_seen_.insert(staged.key).second) {
+        stats_->duplicates_suppressed++;
+        return;
+      }
+    }
+    RemapStagingVars(&staged.atom);
+    stats_->atoms_created++;
+    view_.Add(std::move(staged.atom));
+  }
+
+  // Maps every staging-range variable of \p atom (first-appearance order —
+  // deterministic) to a fresh variable from the real factory. Distinct
+  // derivations never share fresh variables, so the per-atom map is exact
+  // even though different tasks reuse the same staging id range.
+  void RemapStagingVars(ViewAtom* atom) {
+    RemapVarsAtOrAbove(kStagingVarBase, &factory_, &atom->args,
+                       &atom->constraint, &var_set_);
   }
 
   // Appends the atom unless it is a duplicate. The view's own indexes
@@ -578,24 +945,33 @@ class Engine {
   }
 
   const Program& program_;
+  DcaEvaluator* evaluator_;
   FixpointOptions options_;
   FixpointStats* stats_;
   SolveCache local_cache_;  // used when kIndexed and no caller-shared cache
   Solver solver_;
   VarFactory factory_;
   const bool indexed_;
+  const bool parallel_;
   plan::PlanCache local_plans_;  // used when no caller-shared plan cache
   plan::PlanCache* plans_;
   const plan::PlanCacheStats plan_stats_start_;  // shared-cache snapshot
 
   View view_;
-  std::vector<BoundRef> bound_;                // per plan slot
-  std::vector<int> undo_;                      // bound slots, LIFO
-  std::vector<int64_t> cand_, acc_;            // per decl body position:
-                                               // feedback for the cache
-  VarSet var_set_;                             // scratch for Derive
+  DirectSink direct_sink_;
+  ClauseRunner runner_;  // the sequential pass executor (facts + rounds)
+  VarSet var_set_;       // scratch for RemapStagingVars
   std::unordered_set<CanonicalKey, CanonicalKey::Hasher> canonical_seen_;
   std::string canonical_scratch_;
+
+  // Parallel-round state.
+  bool tasks_built_ = false;
+  std::vector<std::vector<size_t>> tasks_;  // clause indices per group
+  std::vector<std::unique_ptr<SolveCache>> task_caches_;  // per task, whole
+                                                          // run
+  std::vector<std::shared_ptr<const plan::ClausePlan>> plans_prefetched_;
+  std::unique_ptr<MutexDcaEvaluator> locked_evaluator_;
+  SolveStats parallel_solver_;  // workers' solver counters, merge order
 };
 
 }  // namespace
@@ -642,6 +1018,24 @@ Result<plan::PlanMode> ParsePlanMode(std::string_view text) {
                                  "' (expected 'declared' or 'ordered')");
 }
 
+Result<int> ParseThreads(std::string_view text) {
+  int value = 0;
+  bool valid = !text.empty() && text.size() <= 4;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') {
+      valid = false;
+      break;
+    }
+    value = value * 10 + (ch - '0');
+  }
+  if (!valid || value < 1 || value > 4096) {
+    return Status::InvalidArgument("unknown thread count '" +
+                                   std::string(text) +
+                                   "' (expected an integer in [1, 4096])");
+  }
+  return value;
+}
+
 Result<JoinMode> JoinModeFromEnv() {
   const char* mode = std::getenv("MMV_JOIN_MODE");
   if (mode == nullptr || *mode == '\0') return JoinMode::kIndexed;
@@ -659,6 +1053,17 @@ Result<plan::PlanMode> PlanModeFromEnv() {
   Result<plan::PlanMode> parsed = ParsePlanMode(mode);
   if (!parsed.ok()) {
     return Status::InvalidArgument("$MMV_PLAN_MODE: " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<int> ThreadsFromEnv() {
+  const char* threads = std::getenv("MMV_THREADS");
+  if (threads == nullptr || *threads == '\0') return 1;
+  Result<int> parsed = ParseThreads(threads);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("$MMV_THREADS: " +
                                    parsed.status().message());
   }
   return parsed;

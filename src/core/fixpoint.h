@@ -99,6 +99,20 @@ struct FixpointOptions {
   bool derive_facts = true;
   /// Body-join strategy; kNaive is the differential-testing oracle.
   JoinMode join_mode = JoinMode::kIndexed;
+  /// Worker threads for the per-round clause passes (parallel strata,
+  /// see plan/strata.h). 1 (default) runs the engine exactly as before;
+  /// N > 1 runs each round's head-predicate groups concurrently against
+  /// the round's read-only delta window, staging derived atoms per clause
+  /// and merging them once per round in (clause index, enumeration) order
+  /// — the order the sequential engine appends in — so canonical atom
+  /// sets, support multisets and the derivation counters are identical to
+  /// num_threads=1 whatever the thread count. (Fresh-variable NUMBERING
+  /// and solver-memo hit counts may differ — the same non-contract PR-3
+  /// carved out between join modes. Truncated runs — max_atoms /
+  /// max_iterations — may cut off at different atoms.) Parallel execution
+  /// requires the kIndexed planned executor; naive-join or fallback
+  /// configurations run sequentially whatever this value says.
+  int num_threads = 1;
   /// Clause-plan ordering strategy of the kIndexed executor. kOrdered
   /// selectivity-orders body atoms per seminaive pivot and picks the
   /// smallest of several ground arg-value buckets; kDeclared keeps the
@@ -205,6 +219,16 @@ Result<JoinMode> JoinModeFromEnv();
 /// \brief Plan mode from $MMV_PLAN_MODE. Unset/empty means the default
 /// (kOrdered); any other unknown value is an InvalidArgument error.
 Result<plan::PlanMode> PlanModeFromEnv();
+
+/// \brief Parses a thread count: a positive decimal integer (at most
+/// 4096). InvalidArgument on anything else — like the mode parsers, a
+/// typo must fail loudly instead of silently running single-threaded.
+Result<int> ParseThreads(std::string_view text);
+
+/// \brief Thread count from $MMV_THREADS. Unset/empty means 1 (the
+/// sequential engine); any non-numeric or non-positive value is an
+/// InvalidArgument error.
+Result<int> ThreadsFromEnv();
 
 }  // namespace mmv
 

@@ -1,0 +1,100 @@
+#include "core/thread_pool.h"
+
+namespace mmv {
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < count) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && fn_ != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      if (extra_participants_ == 0) continue;  // batch's thread budget full
+      --extra_participants_;
+      fn = fn_;
+    }
+    RunItems(*fn, seen_generation);
+  }
+}
+
+void ThreadPool::RunItems(const std::function<void(size_t)>& fn,
+                          uint64_t generation) {
+  while (true) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // The generation check keeps a worker that lingered past its batch's
+      // completion from claiming items of the NEXT batch with a stale fn.
+      if (generation_ != generation || next_ >= total_) return;
+      i = next_++;
+    }
+    fn(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++completed_ == total_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int max_threads,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int extra = max_threads - 1;  // the caller participates
+  if (extra > static_cast<int>(n) - 1) extra = static_cast<int>(n) - 1;
+  if (extra <= 0 || !batch_mu_.try_lock()) {
+    // Single-threaded request, or a batch is already in flight (a nested
+    // or concurrent ParallelFor): run inline. Same results, no deadlock.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  EnsureWorkers(extra);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    total_ = n;
+    next_ = 0;
+    completed_ = 0;
+    extra_participants_ = extra;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  RunItems(fn, generation);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return completed_ == total_; });
+    fn_ = nullptr;
+    extra_participants_ = 0;
+  }
+  batch_mu_.unlock();
+}
+
+}  // namespace mmv

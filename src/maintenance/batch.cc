@@ -150,10 +150,8 @@ Status ApplyBatch(const Program& program, View* view,
   // A caller cache of the wrong mode would be rejected per engine run
   // (each falling back to its own run-local cache) — substitute the
   // batch-local one so cross-pass sharing survives the mismatch.
-  if (batch_options.plan_cache == nullptr ||
-      batch_options.plan_cache->mode() != batch_options.plan_mode) {
-    batch_options.plan_cache = &batch_plans;
-  }
+  batch_options.plan_cache = plan::PlanCache::Select(
+      batch_options.plan_cache, batch_options.plan_mode, &batch_plans);
   // Epoch-gate a caller-shared solver memo: the memo survives from batch
   // to batch — view maintenance never changes what Solve sees — and is
   // flushed here exactly when the external state moved underneath it: a
@@ -187,7 +185,8 @@ Status ApplyBatch(const Program& program, View* view,
       StDelStats s;
       MMV_RETURN_NOT_OK(DeleteStDelBatch(program, view, requests, evaluator,
                                          delete_solver, &s,
-                                         batch_options.plan_cache));
+                                         batch_options.plan_cache,
+                                         batch_options.num_threads));
       stats->delete_passes++;
       stats->deletions_applied += requests.size();
       stats->del_elements += s.del_elements;

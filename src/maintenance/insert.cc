@@ -80,10 +80,8 @@ Status InsertBatch(const Program& program, View* view,
   // caller cache of the wrong mode would be rejected per engine run, so
   // substitute the batch-local one to keep cross-flush sharing.
   plan::PlanCache batch_plans(options.plan_mode);
-  if (fix_options.plan_cache == nullptr ||
-      fix_options.plan_cache->mode() != fix_options.plan_mode) {
-    fix_options.plan_cache = &batch_plans;
-  }
+  fix_options.plan_cache = plan::PlanCache::Select(
+      fix_options.plan_cache, fix_options.plan_mode, &batch_plans);
   Solver solver(evaluator, solver_options);
 
   // Build the Add set incrementally: each request is diffed against the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
 
 #include "constraint/simplify.h"
 #include "constraint/solve_cache.h"
+#include "core/thread_pool.h"
 #include "plan/plan_cache.h"
 
 namespace mmv {
@@ -32,6 +34,68 @@ Constraint RebindHead(const TermVec& orig_head, const SimplifiedAtom& s) {
   return c;
 }
 
+// Step 3's lift: reassembles the derivation of `parent` through `renamed`
+// with the deleted part at `child_slot` and the (current) sibling atoms
+// elsewhere — conditions (a)-(b) — then simplifies and re-expresses the
+// result over the parent's own head variables. Returns false when a
+// sibling is gone (condition (b) fails). Reads only snapshot state (the
+// pair, `original` constraints, immutable atom args/supports), so
+// concurrent calls for different parents are independent; fresh variables
+// come from the caller's \p factory.
+bool BuildLift(const View& view, const std::vector<Constraint>& original,
+               const Pair& pair, const ViewAtom& parent, size_t child_slot,
+               const Clause& renamed, VarFactory* factory, VarSet* var_set,
+               Constraint* out) {
+  size_t n = renamed.body.size();
+  Constraint delta = renamed.constraint;
+  for (size_t i = 0; i < n; ++i) {
+    const TermVec* inst_args;
+    const Constraint* inst_c;
+    if (i == child_slot) {
+      inst_args = &pair.args;
+      inst_c = &pair.deleted;
+    } else {
+      int64_t sib = view.IndexOfSupport(parent.support.children()[i]);
+      if (sib < 0) return false;  // condition (b) fails
+      const ViewAtom& sib_atom = view.atoms()[static_cast<size_t>(sib)];
+      inst_args = &sib_atom.args;
+      inst_c = &original[static_cast<size_t>(sib)];
+    }
+    var_set->Clear();
+    var_set->AddTerms(*inst_args);
+    inst_c->CollectVariables(var_set);
+    Substitution rho = FreshRenaming(var_set->vars(), factory);
+    TermVec a = rho.Apply(*inst_args);
+    delta.AndWith(rho.Apply(*inst_c));
+    for (size_t k = 0; k < a.size(); ++k) {
+      delta.Add(Primitive::Eq(a[k], renamed.body[i].args[k]));
+    }
+  }
+  // Bridge to the parent's own head variables.
+  for (size_t k = 0; k < parent.args.size(); ++k) {
+    delta.Add(Primitive::Eq(parent.args[k], renamed.head_args[k]));
+  }
+  SimplifiedAtom s = SimplifyAtom(parent.args, delta);
+  *out = RebindHead(parent.args, s);
+  return true;
+}
+
+// One parent visit scheduled for a parallel lift check.
+struct LiftItem {
+  size_t parent_idx = 0;
+  size_t child_slot = 0;
+  const Clause* clause = nullptr;
+  std::shared_ptr<const plan::ClausePlan> plan;
+};
+
+// What the parallel lift check hands back to the sequential apply phase.
+struct LiftOutcome {
+  Constraint lifted;
+  bool applicable = false;  ///< lift nonempty and solvable
+  Status status;            ///< evaluator failure, checked in apply order
+  SolveStats solver;
+};
+
 }  // namespace
 
 Status DeleteStDel(const Program& program, View* view,
@@ -45,7 +109,8 @@ Status DeleteStDelBatch(const Program& program, View* view,
                         const std::vector<UpdateAtom>& requests,
                         DcaEvaluator* evaluator,
                         const SolverOptions& solver_options,
-                        StDelStats* stats, plan::PlanCache* plans) {
+                        StDelStats* stats, plan::PlanCache* plans,
+                        int num_threads) {
   StDelStats local;
   if (!stats) stats = &local;
   *stats = StDelStats();
@@ -118,15 +183,101 @@ Status DeleteStDelBatch(const Program& program, View* view,
     pout.push_back(Pair{atom.pred, atom.args, e.deleted_part, atom.support});
   }
 
-  // Step 3: propagate along supports until no replacement happens.
+  // Step 3: propagate along supports until no replacement happens. The
+  // worklist itself is inherently sequential (each replacement can expose
+  // new pairs), but with num_threads > 1 the per-parent LIFT CHECKS of one
+  // pair — independent reads of snapshot state — fan out across threads,
+  // and the subtractions are applied afterwards in the sequential sweep's
+  // parent order, so propagation is order-identical either way.
   std::vector<std::pair<size_t, size_t>> parents;  // scratch, reused
+  std::vector<LiftItem> lift_items;                // scratch, reused
   VarSet var_set;                                  // scratch, reused
+  std::unique_ptr<MutexDcaEvaluator> locked_evaluator;
+  if (num_threads > 1 && evaluator != nullptr) {
+    locked_evaluator = std::make_unique<MutexDcaEvaluator>(evaluator);
+  }
+  SolveStats parallel_solver;  // lift-check counters, apply order
   for (size_t qi = 0; qi < pout.size(); ++qi) {
     Pair pair = pout[qi];  // copy: the vector grows as we iterate
     parents.clear();
     view->ForEachParentOfChild(pair.spt, [&](size_t p, size_t k) {
       parents.emplace_back(p, k);
     });
+
+    // Parallel lift checks need the staging id range to be recognizable:
+    // if the run's real factory ever nears kStagingVarBase (ids seeded
+    // from the view's high-water mark), RemapStagingVars could rebind REAL
+    // variables of the lifted constraint — fall back to the sequential
+    // sweep, mirroring the fixpoint engine's per-round guard.
+    if (num_threads > 1 && parents.size() > 1 &&
+        factory.issued() < kStagingVarBase / 2) {
+      // Collect phase: marked / clause / arity screening and the plan-cache
+      // lookups stay on this thread (PlanCache is not synchronized).
+      lift_items.clear();
+      for (auto [parent_idx, child_slot] : parents) {
+        const ViewAtom& parent = view->atoms()[parent_idx];
+        if (!parent.marked) continue;
+        const Clause* clause =
+            program.ClauseByNumber(parent.support.clause());
+        if (clause == nullptr) continue;  // externally inserted: no clause
+        if (clause->body.size() != parent.support.children().size()) {
+          continue;
+        }
+        lift_items.push_back(LiftItem{parent_idx, child_slot, clause,
+                                      plans->PlanFor(program, *clause)});
+      }
+      std::vector<LiftOutcome> outcomes(lift_items.size());
+      ThreadPool::Global().ParallelFor(
+          lift_items.size(), num_threads, [&](size_t i) {
+            const LiftItem& item = lift_items[i];
+            LiftOutcome& out = outcomes[i];
+            VarFactory staging;
+            staging.ReserveAbove(kStagingVarBase);
+            VarSet item_vars;
+            Clause renamed =
+                item.clause->RenameWith(item.plan->clause_vars, &staging);
+            const ViewAtom& parent = view->atoms()[item.parent_idx];
+            Constraint lifted;
+            if (!BuildLift(*view, original_constraints, pair, parent,
+                           item.child_slot, renamed, &staging, &item_vars,
+                           &lifted)) {
+              return;
+            }
+            if (lifted.is_false()) return;
+            SolverOptions item_options = cached_options;
+            item_options.cache = nullptr;  // never share a memo across
+                                           // threads (not synchronized)
+            Solver item_solver(locked_evaluator.get(), item_options);
+            SolveOutcome o = item_solver.Solve(lifted);  // condition (c)
+            out.solver = item_solver.stats();
+            if (o == SolveOutcome::kError) {
+              out.status = item_solver.last_status();
+              return;
+            }
+            if (!IsSolvable(o)) return;
+            out.applicable = true;
+            out.lifted = std::move(lifted);
+          });
+      // Apply phase: the sequential sweep's parent order.
+      for (size_t i = 0; i < lift_items.size(); ++i) {
+        LiftOutcome& out = outcomes[i];
+        MMV_RETURN_NOT_OK(out.status);
+        parallel_solver += out.solver;
+        if (!out.applicable) continue;
+        RemapVarsAtOrAbove(kStagingVarBase, &factory, /*args=*/nullptr,
+                           &out.lifted, &var_set);
+        ViewAtom& parent = view->MutableAtom(lift_items[i].parent_idx);
+        if (!SubtractDeletedPart(parent.args, out.lifted, evaluator,
+                                 &parent.constraint)) {
+          continue;  // the lifted part denotes no instances
+        }
+        stats->replacements++;
+        pout.push_back(
+            Pair{parent.pred, parent.args, out.lifted, parent.support});
+      }
+      continue;
+    }
+
     for (auto [parent_idx, child_slot] : parents) {
       ViewAtom& parent = view->MutableAtom(parent_idx);
       if (!parent.marked) continue;
@@ -138,46 +289,15 @@ Status DeleteStDelBatch(const Program& program, View* view,
       // visited parent.
       Clause renamed = clause->RenameWith(
           plans->PlanFor(program, *clause)->clause_vars, &factory);
-      size_t n = renamed.body.size();
-      if (n != parent.support.children().size()) continue;
+      if (renamed.body.size() != parent.support.children().size()) continue;
 
       // Reassemble the derivation with the deleted part at child_slot and
       // the (current) sibling atoms elsewhere — conditions (a)-(c).
-      Constraint delta = renamed.constraint;
-      bool siblings_ok = true;
-      for (size_t i = 0; i < n && siblings_ok; ++i) {
-        const TermVec* inst_args;
-        const Constraint* inst_c;
-        if (i == child_slot) {
-          inst_args = &pair.args;
-          inst_c = &pair.deleted;
-        } else {
-          int64_t sib = view->IndexOfSupport(parent.support.children()[i]);
-          if (sib < 0) {
-            siblings_ok = false;  // condition (b) fails
-            break;
-          }
-          const ViewAtom& sib_atom = view->atoms()[static_cast<size_t>(sib)];
-          inst_args = &sib_atom.args;
-          inst_c = &original_constraints[static_cast<size_t>(sib)];
-        }
-        var_set.Clear();
-        var_set.AddTerms(*inst_args);
-        inst_c->CollectVariables(&var_set);
-        Substitution rho = FreshRenaming(var_set.vars(), &factory);
-        TermVec a = rho.Apply(*inst_args);
-        delta.AndWith(rho.Apply(*inst_c));
-        for (size_t k = 0; k < a.size(); ++k) {
-          delta.Add(Primitive::Eq(a[k], renamed.body[i].args[k]));
-        }
+      Constraint lifted;
+      if (!BuildLift(*view, original_constraints, pair, parent, child_slot,
+                     renamed, &factory, &var_set, &lifted)) {
+        continue;
       }
-      if (!siblings_ok) continue;
-      // Bridge to the parent's own head variables.
-      for (size_t k = 0; k < parent.args.size(); ++k) {
-        delta.Add(Primitive::Eq(parent.args[k], renamed.head_args[k]));
-      }
-      SimplifiedAtom s = SimplifyAtom(parent.args, delta);
-      Constraint lifted = RebindHead(parent.args, s);
       if (lifted.is_false()) continue;
       SolveOutcome o = solver.Solve(lifted);  // condition (c)
       if (o == SolveOutcome::kError) return solver.last_status();
@@ -201,6 +321,7 @@ Status DeleteStDelBatch(const Program& program, View* view,
   view->NoteExternalVars(factory.issued());
   stats->plan_cache_hits = plans->stats().cache_hits - plan_hits_start;
   stats->solver = solver.stats();
+  stats->solver += parallel_solver;
   return Status::OK();
 }
 

@@ -169,8 +169,13 @@ ClausePlan CompileClause(const Clause& clause, PlanMode mode,
   plan.num_slots = static_cast<int>(slots.size());
 
   OrderScratch scratch;
-  plan.orders.reserve(plan.body.size());
-  for (size_t pivot = 0; pivot < plan.body.size(); ++pivot) {
+  // kDeclared keeps the written order whatever the pivot, so one shared
+  // PivotOrder serves every pivot (ClausePlan::order()).
+  size_t order_count = mode == PlanMode::kDeclared && !plan.body.empty()
+                           ? 1
+                           : plan.body.size();
+  plan.orders.reserve(order_count);
+  for (size_t pivot = 0; pivot < order_count; ++pivot) {
     PivotOrder order = BuildOrder(plan, pivot, mode, accept_ratio, &scratch);
     plan.reordered = plan.reordered || order.reordered;
     plan.orders.push_back(std::move(order));

@@ -80,8 +80,17 @@ struct ClausePlan {
   /// smallest bucket (kDeclared probes the first ground position).
   bool multi_probe = false;
   int num_slots = 0;
-  std::vector<PivotOrder> orders;  ///< one per body position (empty: fact)
+  /// One execution order per seminaive pivot (empty for facts) — except
+  /// under kDeclared, where every pivot runs the identical written order
+  /// and a SINGLE shared entry serves all pivots (kDeclared clauses used
+  /// to carry n copies of the same order). Index through order().
+  std::vector<PivotOrder> orders;
   bool reordered = false;          ///< any pivot order differs from declared
+
+  /// \brief The execution order for seminaive pivot \p pivot.
+  const PivotOrder& order(size_t pivot) const {
+    return orders.size() == 1 ? orders.front() : orders[pivot];
+  }
   /// The clause's variables in first-appearance order — precomputed so
   /// maintenance passes (StDel step 3 renames the clause once per visited
   /// parent) can standardize apart without re-walking the clause.

@@ -35,15 +35,20 @@ std::vector<double> PlanCache::AcceptRatios(int clause_number,
   return ratios;
 }
 
+void PlanCache::Revalidate(const Program& program) {
+  if (have_program_ && program_id_ == program.id()) return;
+  if (have_program_) stats_.invalidations++;
+  plans_.clear();
+  observed_.clear();
+  strata_.reset();
+  strata_clauses_ = 0;
+  program_id_ = program.id();
+  have_program_ = true;
+}
+
 std::shared_ptr<const ClausePlan> PlanCache::PlanFor(const Program& program,
                                                      const Clause& clause) {
-  if (!have_program_ || program_id_ != program.id()) {
-    if (have_program_) stats_.invalidations++;
-    plans_.clear();
-    observed_.clear();
-    program_id_ = program.id();
-    have_program_ = true;
-  }
+  Revalidate(program);
   auto [it, inserted] = plans_.try_emplace(clause.number);
   Entry& entry = it->second;
   if (!inserted && !entry.dirty) {
@@ -79,6 +84,18 @@ std::shared_ptr<const ClausePlan> PlanCache::PlanFor(const Program& program,
   return entry.plan;
 }
 
+std::shared_ptr<const StrataInfo> PlanCache::StrataFor(
+    const Program& program) {
+  Revalidate(program);
+  // Appending clauses keeps the identity (and the compiled plans) but can
+  // rewire the dependency graph — rebuild when the clause count moved.
+  if (strata_ == nullptr || strata_clauses_ != program.size()) {
+    strata_ = std::make_shared<const StrataInfo>(ComputeStrata(program));
+    strata_clauses_ = program.size();
+  }
+  return strata_;
+}
+
 void PlanCache::Feedback(int clause_number,
                          const std::vector<int64_t>& candidates,
                          const std::vector<int64_t>& accepted) {
@@ -101,6 +118,8 @@ void PlanCache::Feedback(int clause_number,
 void PlanCache::Clear() {
   plans_.clear();
   observed_.clear();
+  strata_.reset();
+  strata_clauses_ = 0;
   have_program_ = false;
   program_id_ = 0;
 }

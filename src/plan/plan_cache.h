@@ -34,6 +34,7 @@
 
 #include "core/program.h"
 #include "plan/clause_plan.h"
+#include "plan/strata.h"
 
 namespace mmv {
 namespace plan {
@@ -65,12 +66,29 @@ class PlanCache {
 
   PlanMode mode() const { return mode_; }
 
+  /// \brief Resolves a caller-shared cache against a mode requirement: the
+  /// shared cache when it exists and compiles \p mode plans, else
+  /// \p fallback (typically a run- or batch-local cache built with \p mode).
+  /// The one mode-mismatch policy for every layer that threads a cache —
+  /// engine runs, insertion batches, whole-batch maintenance.
+  static PlanCache* Select(PlanCache* shared, PlanMode mode,
+                           PlanCache* fallback) {
+    return shared != nullptr && shared->mode() == mode ? shared : fallback;
+  }
+
   /// \brief The plan for \p clause (which must belong to \p program),
   /// compiling on first use and recompiling when accumulated feedback
   /// warrants. Flushes the whole cache if \p program is not the program
   /// the cache was filled from.
   std::shared_ptr<const ClausePlan> PlanFor(const Program& program,
                                             const Clause& clause);
+
+  /// \brief The strata decomposition of \p program (see strata.h), computed
+  /// once per program identity and cached alongside the plans. Shares the
+  /// plans' validity rule: a different program flushes the whole cache,
+  /// appending clauses to the same program recomputes the strata only
+  /// (clause plans stay valid; the dependency graph may have changed).
+  std::shared_ptr<const StrataInfo> StrataFor(const Program& program);
 
   /// \brief Reports one executor pass over clause \p clause_number:
   /// per DECLARED body position, how many candidate atoms were unified
@@ -104,11 +122,16 @@ class PlanCache {
 
   std::vector<double> AcceptRatios(int clause_number, size_t body_size) const;
 
+  /// Flushes the cache when \p program is not the one it was filled from.
+  void Revalidate(const Program& program);
+
   PlanMode mode_;
   uint64_t program_id_ = 0;
   bool have_program_ = false;
   std::unordered_map<int, Entry> plans_;
   std::unordered_map<int, Observed> observed_;
+  std::shared_ptr<const StrataInfo> strata_;
+  size_t strata_clauses_ = 0;  ///< program size the strata were built from
   PlanCacheStats stats_;
 };
 

@@ -1,0 +1,193 @@
+#include "plan/strata.h"
+
+#include <algorithm>
+
+namespace mmv {
+namespace plan {
+
+namespace {
+
+// Dense node numbering of the head predicates, in first-head-appearance
+// order (stable under clause appends: new heads get new nodes).
+struct Graph {
+  std::vector<Symbol> preds;                    // node -> predicate
+  std::unordered_map<Symbol, size_t> node_of;   // predicate -> node
+  std::vector<std::vector<size_t>> out;         // node -> successor nodes
+  std::vector<bool> self_loop;                  // head appears in own body
+};
+
+Graph BuildGraph(const Program& program) {
+  Graph g;
+  for (const Clause& c : program.clauses()) {
+    if (g.node_of.emplace(c.head_pred, g.preds.size()).second) {
+      g.preds.push_back(c.head_pred);
+    }
+  }
+  g.out.resize(g.preds.size());
+  g.self_loop.assign(g.preds.size(), false);
+  for (const Clause& c : program.clauses()) {
+    size_t to = g.node_of.at(c.head_pred);
+    for (const BodyAtom& b : c.body) {
+      auto it = g.node_of.find(b.pred);
+      if (it == g.node_of.end()) continue;  // EDB predicate: static input
+      size_t from = it->second;
+      if (from == to) {
+        g.self_loop[to] = true;
+        continue;
+      }
+      std::vector<size_t>& edges = g.out[from];
+      if (std::find(edges.begin(), edges.end(), to) == edges.end()) {
+        edges.push_back(to);
+      }
+    }
+  }
+  return g;
+}
+
+// Iterative Tarjan SCC. Component numbering is by completion order, which
+// is a REVERSE topological order of the condensation (Tarjan's invariant:
+// every successor of a node is in a component numbered at or below the
+// node's own).
+struct SccResult {
+  std::vector<size_t> comp_of;  // node -> component id
+  size_t count = 0;
+};
+
+SccResult TarjanScc(const Graph& g) {
+  size_t n = g.preds.size();
+  SccResult r;
+  r.comp_of.assign(n, 0);
+  std::vector<size_t> index(n, 0), lowlink(n, 0);
+  std::vector<bool> visited(n, false), on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 1;
+
+  struct Frame {
+    size_t node;
+    size_t edge = 0;
+  };
+  std::vector<Frame> frames;
+  for (size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    frames.push_back({root});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      size_t v = f.node;
+      if (f.edge == 0) {
+        visited[v] = true;
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.edge < g.out[v].size()) {
+        size_t w = g.out[v][f.edge++];
+        if (!visited[w]) {
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            r.comp_of[w] = r.count;
+            if (w == v) break;
+          }
+          r.count++;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          lowlink[parent.node] =
+              std::min(lowlink[parent.node], lowlink[v]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+StrataInfo ComputeStrata(const Program& program) {
+  StrataInfo info;
+  Graph g = BuildGraph(program);
+  SccResult scc = TarjanScc(g);
+
+  // Condensation depth: components come out of Tarjan in reverse
+  // topological order, so iterating them HIGHEST-numbered first visits
+  // every predecessor before its successors and one pass computes
+  // depth(C) = 1 + max(depth of predecessor components), 0 when none.
+  // Nodes are bucketed by component first, keeping the whole pass
+  // O(nodes + edges) rather than O(components x nodes).
+  std::vector<std::vector<size_t>> nodes_of(scc.count);
+  for (size_t v = 0; v < g.preds.size(); ++v) {
+    nodes_of[scc.comp_of[v]].push_back(v);
+  }
+  std::vector<size_t> depth(scc.count, 0);
+  for (size_t c = scc.count; c-- > 0;) {
+    for (size_t v : nodes_of[c]) {
+      for (size_t w : g.out[v]) {
+        size_t cw = scc.comp_of[w];
+        if (cw != c) depth[cw] = std::max(depth[cw], depth[c] + 1);
+      }
+    }
+  }
+
+  size_t max_depth = 0;
+  for (size_t c = 0; c < scc.count; ++c) max_depth = std::max(max_depth, depth[c]);
+  std::vector<PredGroup> groups(scc.count);
+  for (size_t v = 0; v < g.preds.size(); ++v) {
+    PredGroup& grp = groups[scc.comp_of[v]];
+    grp.preds.push_back(g.preds[v]);
+    grp.recursive = grp.recursive || g.self_loop[v];
+  }
+  for (PredGroup& grp : groups) {
+    if (grp.preds.size() > 1) grp.recursive = true;
+    std::sort(grp.preds.begin(), grp.preds.end());  // name order
+  }
+  const std::vector<Clause>& clauses = program.clauses();
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    groups[scc.comp_of[g.node_of.at(clauses[i].head_pred)]].clauses.push_back(
+        i);
+  }
+
+  info.strata.resize(scc.count == 0 ? 0 : max_depth + 1);
+  info.group_count = scc.count;
+  // Deterministic group order within a stratum: by smallest clause index.
+  // Every group has at least one clause (nodes are head predicates).
+  std::vector<size_t> order(scc.count);
+  for (size_t c = 0; c < scc.count; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&groups](size_t a, size_t b) {
+    return groups[a].clauses.front() < groups[b].clauses.front();
+  });
+  for (size_t c : order) {
+    for (Symbol pred : groups[c].preds) {
+      info.stratum_of.emplace(pred, depth[c]);
+    }
+    info.strata[depth[c]].groups.push_back(std::move(groups[c]));
+  }
+  return info;
+}
+
+std::string StrataInfo::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < strata.size(); ++i) {
+    out += std::to_string(i) + ":";
+    for (const PredGroup& g : strata[i].groups) {
+      out += " {";
+      for (size_t k = 0; k < g.preds.size(); ++k) {
+        if (k > 0) out += ' ';
+        out += g.preds[k].name();
+      }
+      out += g.recursive ? " *}" : "}";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace mmv

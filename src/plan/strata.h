@@ -1,0 +1,85 @@
+// Stratification of a Program for parallel fixpoint execution.
+//
+// The head-predicate dependency graph has an edge P -> Q whenever some
+// clause with head Q mentions P in its body: derivations of P can feed
+// derivations of Q. Condensing the graph's strongly connected components
+// (mutually recursive predicate families) and layering the condensation
+// topologically yields STRATA: two groups in the same stratum have no
+// directed path between them in either direction (a path would force them
+// into different layers), so their clauses never consume each other's
+// output and their seminaive passes may run concurrently against a shared
+// read-only delta window.
+//
+// Body predicates that head no clause (external/EDB predicates) are static
+// inputs: they contribute no edges between groups and appear in no group.
+//
+// StrataInfo is computed once per Program and cached in the PlanCache
+// alongside the compiled clause plans (plan::PlanCache::StrataFor), keyed
+// on the same program identity.
+
+#ifndef MMV_PLAN_STRATA_H_
+#define MMV_PLAN_STRATA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/program.h"
+
+namespace mmv {
+namespace plan {
+
+/// \brief One strongly connected component of the head-predicate
+/// dependency graph: a family of (mutually) recursive predicates, or a
+/// single non-recursive one.
+struct PredGroup {
+  /// Member predicates, in name order (deterministic across runs).
+  std::vector<Symbol> preds;
+  /// Indices into Program::clauses() of every clause whose head predicate
+  /// is a member, ascending. Includes constrained facts (the fixpoint
+  /// engine's rounds skip them on its own).
+  std::vector<size_t> clauses;
+  /// True when the group can derive from its own output: more than one
+  /// member, or a single member with a self-loop (a clause whose head
+  /// predicate also appears in its body).
+  bool recursive = false;
+};
+
+/// \brief One topological layer: groups with no dependency path between
+/// them in either direction — safe to derive concurrently.
+struct Stratum {
+  /// Groups ordered by their smallest clause index (deterministic).
+  std::vector<PredGroup> groups;
+};
+
+/// \brief The SCC condensation of a program's head-predicate dependency
+/// graph, layered into topological strata.
+struct StrataInfo {
+  /// Strata in dependency order: a group in strata[i] only (transitively)
+  /// consumes head predicates from strata with index < i.
+  std::vector<Stratum> strata;
+  /// Total number of groups across all strata.
+  size_t group_count = 0;
+  /// Head predicate -> index into `strata` (absent for non-head preds).
+  std::unordered_map<Symbol, size_t> stratum_of;
+
+  /// \brief The stratum index of head predicate \p pred, or -1.
+  int64_t StratumOf(Symbol pred) const {
+    auto it = stratum_of.find(pred);
+    return it == stratum_of.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  /// \brief One line per stratum: "0: {a b} {c}" (debugging / tests).
+  std::string ToString() const;
+};
+
+/// \brief Computes the strata of \p program. Deterministic: group member
+/// order, group order within a stratum and the strata layering depend only
+/// on the program's clauses.
+StrataInfo ComputeStrata(const Program& program);
+
+}  // namespace plan
+}  // namespace mmv
+
+#endif  // MMV_PLAN_STRATA_H_

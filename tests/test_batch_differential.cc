@@ -118,6 +118,18 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
   fp.semantics = semantics;
   View initial = Unwrap(Materialize(p, w.domains.get(), fp));
 
+  // The BATCH pipeline honors $MMV_THREADS (the TSan CI job exports 8, a
+  // typo fails the suite loudly) while the sequential replay and the
+  // fold-recompute oracle stay single-threaded — so under MMV_THREADS>1
+  // this differential also crosses the thread-count boundary on every
+  // random burst.
+  FixpointOptions batch_fp = fp;
+  {
+    Result<int> env_threads = ThreadsFromEnv();
+    EXPECT_TRUE(env_threads.ok()) << env_threads.status().ToString();
+    if (env_threads.ok()) batch_fp.num_threads = *env_threads;
+  }
+
   DifferentialOutcome out;
   out.trace = "seed " + std::to_string(seed) + "\nprogram:\n" + p.ToString() +
               "burst:\n";
@@ -128,8 +140,8 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
 
   View batch_view = initial;
   int batch_counter = 0;
-  Status s = maint::ApplyBatch(p, &batch_view, burst, w.domains.get(), fp,
-                               &out.batch_stats, &batch_counter);
+  Status s = maint::ApplyBatch(p, &batch_view, burst, w.domains.get(),
+                               batch_fp, &out.batch_stats, &batch_counter);
   EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << out.trace;
 
   View seq_view = initial;

@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
@@ -109,6 +111,58 @@ void ExpectModesAgree(const Program& p, DcaEvaluator* eval,
   if (indexed_stats_out) *indexed_stats_out = ordered_stats;
 }
 
+// The num_threads sweep: 1 (the sequential reference) against 2 and 8,
+// plus whatever $MMV_THREADS asks for (the TSan CI job exports 8). A typo
+// in the variable fails the suite loudly, like the engine-mode parsers.
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep{2, 8};
+  Result<int> env = ThreadsFromEnv();
+  EXPECT_TRUE(env.ok()) << env.status().ToString();
+  if (env.ok() && *env > 1 &&
+      std::find(sweep.begin(), sweep.end(), *env) == sweep.end()) {
+    sweep.push_back(*env);
+  }
+  return sweep;
+}
+
+// Parallel strata execution must match the sequential engine in everything
+// contractual: canonical atom multiset, support multiset — under BOTH
+// semantics, since the per-round merge replays the sequential (clause
+// index, enumeration) append order, so even set-semantics representative
+// supports coincide — and the derivation counters. (Fresh-variable
+// numbering and solver cache_hits are the carved-out non-contract.)
+void ExpectThreadsAgree(const Program& p, DcaEvaluator* eval,
+                        FixpointOptions opts, const std::string& trace) {
+  opts.max_atoms = 50'000;
+  opts.join_mode = JoinMode::kIndexed;
+  opts.num_threads = 1;
+  FixpointStats seq_stats;
+  View sequential = Unwrap(Materialize(p, eval, opts, &seq_stats));
+  for (int threads : ThreadSweep()) {
+    opts.num_threads = threads;
+    FixpointStats par_stats;
+    View parallel = Unwrap(Materialize(p, eval, opts, &par_stats));
+    std::string where = trace + "\n(num_threads " +
+                        std::to_string(threads) + ")";
+    EXPECT_EQ(CanonicalAtoms(sequential), CanonicalAtoms(parallel)) << where;
+    EXPECT_EQ(Supports(sequential), Supports(parallel)) << where;
+    EXPECT_EQ(seq_stats.atoms_created, par_stats.atoms_created) << where;
+    EXPECT_EQ(seq_stats.duplicates_suppressed,
+              par_stats.duplicates_suppressed)
+        << where;
+    EXPECT_EQ(seq_stats.derivations_attempted,
+              par_stats.derivations_attempted)
+        << where;
+    EXPECT_EQ(seq_stats.unsat_pruned, par_stats.unsat_pruned) << where;
+    EXPECT_EQ(seq_stats.index_probes, par_stats.index_probes) << where;
+    EXPECT_EQ(seq_stats.ground_rejects, par_stats.ground_rejects) << where;
+    EXPECT_EQ(seq_stats.rename_skipped, par_stats.rename_skipped) << where;
+    EXPECT_EQ(seq_stats.probe_intersections, par_stats.probe_intersections)
+        << where;
+    EXPECT_EQ(seq_stats.iterations, par_stats.iterations) << where;
+  }
+}
+
 void RunRandomPrograms(DupSemantics semantics, uint64_t seed_base,
                        int seeds) {
   TestWorld w = TestWorld::Make();
@@ -118,8 +172,9 @@ void RunRandomPrograms(DupSemantics semantics, uint64_t seed_base,
     Program p = workload::MakeRandomProgram(&rng, o);
     FixpointOptions opts;
     opts.semantics = semantics;
-    ExpectModesAgree(p, w.domains.get(), opts,
-                     "seed " + std::to_string(seed) + "\n" + p.ToString());
+    std::string trace = "seed " + std::to_string(seed) + "\n" + p.ToString();
+    ExpectModesAgree(p, w.domains.get(), opts, trace);
+    ExpectThreadsAgree(p, w.domains.get(), opts, trace);
     if (::testing::Test::HasFailure()) return;  // keep the first trace
   }
 }
@@ -338,21 +393,26 @@ void RunContinuationDifferential(DupSemantics semantics, uint64_t seed_base) {
       requests.push_back(std::move(req));
     }
 
-    auto run = [&](JoinMode mode, plan::PlanMode plan_mode) {
+    auto run = [&](JoinMode mode, plan::PlanMode plan_mode, int threads,
+                   maint::InsertStats* stats) {
       FixpointOptions opts;
       opts.semantics = semantics;
       opts.join_mode = mode;
       opts.plan_mode = plan_mode;
+      opts.num_threads = threads;
       View v = Unwrap(Materialize(p, w.domains.get(), opts));
       int ext = 0;
       Status s = maint::InsertBatch(p, &v, requests, w.domains.get(), opts,
-                                    nullptr, &ext);
+                                    stats, &ext);
       EXPECT_TRUE(s.ok()) << s.ToString();
       return v;
     };
-    View naive = run(JoinMode::kNaive, plan::PlanMode::kOrdered);
-    View declared = run(JoinMode::kIndexed, plan::PlanMode::kDeclared);
-    View ordered = run(JoinMode::kIndexed, plan::PlanMode::kOrdered);
+    View naive = run(JoinMode::kNaive, plan::PlanMode::kOrdered, 1, nullptr);
+    View declared =
+        run(JoinMode::kIndexed, plan::PlanMode::kDeclared, 1, nullptr);
+    maint::InsertStats seq_stats;
+    View ordered =
+        run(JoinMode::kIndexed, plan::PlanMode::kOrdered, 1, &seq_stats);
     EXPECT_EQ(CanonicalAtoms(naive), CanonicalAtoms(declared))
         << "seed " << seed << "\n"
         << p.ToString();
@@ -362,6 +422,27 @@ void RunContinuationDifferential(DupSemantics semantics, uint64_t seed_base) {
     EXPECT_EQ(Supports(naive), Supports(declared)) << "seed " << seed;
     if (semantics == DupSemantics::kDuplicate) {  // see ExpectModesAgree
       EXPECT_EQ(Supports(naive), Supports(ordered)) << "seed " << seed;
+    }
+    // The insertion continuation under the num_threads sweep: the parallel
+    // engine replays the sequential append order, so the whole maintained
+    // view — supports included, both semantics — and the insertion
+    // counters must match the single-threaded run exactly.
+    for (int threads : ThreadSweep()) {
+      maint::InsertStats par_stats;
+      View parallel =
+          run(JoinMode::kIndexed, plan::PlanMode::kOrdered, threads,
+              &par_stats);
+      EXPECT_EQ(CanonicalAtoms(ordered), CanonicalAtoms(parallel))
+          << "seed " << seed << " num_threads " << threads << "\n"
+          << p.ToString();
+      EXPECT_EQ(Supports(ordered), Supports(parallel))
+          << "seed " << seed << " num_threads " << threads;
+      EXPECT_EQ(seq_stats.add_atoms, par_stats.add_atoms);
+      EXPECT_EQ(seq_stats.atoms_added, par_stats.atoms_added);
+      EXPECT_EQ(seq_stats.unfold_derivations, par_stats.unfold_derivations);
+      EXPECT_EQ(seq_stats.index_probes, par_stats.index_probes);
+      EXPECT_EQ(seq_stats.ground_rejects, par_stats.ground_rejects);
+      EXPECT_EQ(seq_stats.rename_skipped, par_stats.rename_skipped);
     }
     if (::testing::Test::HasFailure()) return;
   }

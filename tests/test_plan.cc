@@ -22,7 +22,7 @@ using testutil::Unwrap;
 
 std::vector<int> Order(const plan::ClausePlan& plan, size_t pivot) {
   std::vector<int> out;
-  for (const plan::PlanStep& s : plan.orders[pivot].steps) {
+  for (const plan::PlanStep& s : plan.order(pivot).steps) {
     out.push_back(static_cast<int>(s.decl_pos));
   }
   return out;
@@ -62,6 +62,13 @@ TEST(ClausePlanTest, DeclaredModeKeepsWrittenOrder) {
   for (size_t pivot = 0; pivot < 3; ++pivot) {
     EXPECT_EQ(Order(plan, pivot), (std::vector<int>{0, 1, 2}));
   }
+  // Every pivot runs the identity order, so the plan carries ONE shared
+  // PivotOrder (the old layout duplicated it per pivot); ordered plans
+  // still carry one per pivot.
+  EXPECT_EQ(plan.orders.size(), 1u);
+  EXPECT_EQ(plan::CompileClause(p.clauses()[0], plan::PlanMode::kOrdered)
+                .orders.size(),
+            3u);
 }
 
 TEST(ClausePlanTest, ProbePositionsCoverConstantsAndBoundSlots) {

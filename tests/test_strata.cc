@@ -1,0 +1,353 @@
+// Unit tests for the strata subsystem (plan/strata.h): SCC condensation
+// and topological layering of the head-predicate dependency graph, the
+// PlanCache's strata caching, the thread-pool primitive, and the parallel
+// engine's determinism on hand-built programs (the broad randomized
+// differential sweep lives in test_join_differential.cc).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "constraint/canonical.h"
+#include "core/thread_pool.h"
+#include "maintenance/batch.h"
+#include "plan/plan_cache.h"
+#include "plan/strata.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::ParseOrDie;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+// Group membership as "pred,pred" strings per stratum, for readable
+// assertions that ignore nothing.
+std::vector<std::set<std::string>> Layers(const plan::StrataInfo& info) {
+  std::vector<std::set<std::string>> out;
+  for (const plan::Stratum& s : info.strata) {
+    std::set<std::string> groups;
+    for (const plan::PredGroup& g : s.groups) {
+      std::string members;
+      for (size_t i = 0; i < g.preds.size(); ++i) {
+        if (i > 0) members += ',';
+        members += g.preds[i].name();
+      }
+      if (g.recursive) members += '*';
+      groups.insert(members);
+    }
+    out.push_back(std::move(groups));
+  }
+  return out;
+}
+
+TEST(StrataTest, ChainLayersInDependencyOrder) {
+  Program p = ParseOrDie(
+      "p1(X) <- true || p0(X).\n"
+      "p2(X) <- true || p1(X).\n"
+      "p3(X) <- true || p2(X).\n"
+      "p0(X) <- X = 1.\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  EXPECT_EQ(info.group_count, 4u);
+  ASSERT_EQ(info.strata.size(), 4u);
+  EXPECT_EQ(Layers(info), (std::vector<std::set<std::string>>{
+                              {"p0"}, {"p1"}, {"p2"}, {"p3"}}));
+  EXPECT_EQ(info.StratumOf("p0"), 0);
+  EXPECT_EQ(info.StratumOf("p3"), 3);
+  EXPECT_EQ(info.StratumOf("edb_only"), -1);
+}
+
+TEST(StrataTest, DisconnectedPredicatesShareOneStratum) {
+  // a and b never feed each other: both land in stratum 0, two groups —
+  // the parallel executor's independence unit.
+  Program p = ParseOrDie(
+      "a(X) <- true || e1(X).\n"
+      "b(X) <- true || e2(X).\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  ASSERT_EQ(info.strata.size(), 1u);
+  EXPECT_EQ(Layers(info)[0],
+            (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(info.group_count, 2u);
+}
+
+TEST(StrataTest, SelfLoopIsARecursiveSingletonGroup) {
+  Program p = ParseOrDie(
+      "tc(X, Y) <- true || e(X, Y).\n"
+      "tc(X, Z) <- true || tc(X, Y), e(Y, Z).\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  ASSERT_EQ(info.strata.size(), 1u);
+  EXPECT_EQ(Layers(info)[0], (std::set<std::string>{"tc*"}));
+  const plan::PredGroup& g = info.strata[0].groups[0];
+  EXPECT_TRUE(g.recursive);
+  EXPECT_EQ(g.clauses, (std::vector<size_t>{0, 1}));
+}
+
+TEST(StrataTest, MutualRecursionCollapsesIntoOneGroup) {
+  Program p = ParseOrDie(
+      "even(X) <- true || odd(X).\n"
+      "odd(X) <- true || even(X).\n"
+      "top(X) <- true || even(X).\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  EXPECT_EQ(info.group_count, 2u);
+  ASSERT_EQ(info.strata.size(), 2u);
+  EXPECT_EQ(Layers(info), (std::vector<std::set<std::string>>{
+                              {"even,odd*"}, {"top"}}));
+  EXPECT_EQ(info.StratumOf("even"), info.StratumOf("odd"));
+}
+
+TEST(StrataTest, DiamondDependenciesLayerByLongestPath) {
+  Program p = ParseOrDie(
+      "b(X) <- true || a(X).\n"
+      "c(X) <- true || a(X).\n"
+      "d(X) <- true || b(X), c(X).\n"
+      "a(X) <- X = 1.\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  ASSERT_EQ(info.strata.size(), 3u);
+  EXPECT_EQ(Layers(info), (std::vector<std::set<std::string>>{
+                              {"a"}, {"b", "c"}, {"d"}}));
+}
+
+TEST(StrataTest, FactsOnlyProgramIsOneStratumOfLeaves) {
+  Program p = ParseOrDie("f(X) <- X = 1.\ng(X) <- X = 2.\n");
+  plan::StrataInfo info = plan::ComputeStrata(p);
+  ASSERT_EQ(info.strata.size(), 1u);
+  EXPECT_EQ(info.group_count, 2u);
+  EXPECT_TRUE(plan::ComputeStrata(Program()).strata.empty());
+}
+
+TEST(StrataTest, DeterministicAcrossRecomputation) {
+  Rng rng(11);
+  workload::RandomProgramOptions o;
+  o.base_preds = 3;
+  o.derived_preds = 4;
+  Program p = workload::MakeRandomProgram(&rng, o);
+  EXPECT_EQ(plan::ComputeStrata(p).ToString(),
+            plan::ComputeStrata(p).ToString());
+}
+
+TEST(StrataTest, PlanCacheCachesAndInvalidatesStrata) {
+  Program p = ParseOrDie(
+      "b(X) <- true || a(X).\n"
+      "a(X) <- X = 1.\n");
+  plan::PlanCache cache;
+  std::shared_ptr<const plan::StrataInfo> first = cache.StrataFor(p);
+  EXPECT_EQ(first.get(), cache.StrataFor(p).get());  // cached
+
+  // Appending a clause keeps the program identity but must rebuild the
+  // strata: the dependency graph changed.
+  {
+    Clause c;
+    c.head_pred = "c";
+    VarId x = p.factory()->Fresh();
+    c.head_args = {Term::Var(x)};
+    c.body.push_back(BodyAtom{"b", {Term::Var(x)}});
+    p.AddClause(std::move(c));
+  }
+  std::shared_ptr<const plan::StrataInfo> grown = cache.StrataFor(p);
+  EXPECT_NE(first.get(), grown.get());
+  EXPECT_EQ(grown->strata.size(), 3u);
+
+  // A copied program is a different identity: the cache flushes.
+  Program copy = p;
+  std::shared_ptr<const plan::StrataInfo> other = cache.StrataFor(copy);
+  EXPECT_NE(grown.get(), other.get());
+  EXPECT_EQ(other->ToString(), grown->ToString());
+}
+
+// ---- thread pool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForRunsEveryItemExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ThreadPool::Global().ParallelFor(hits.size(), 8,
+                                   [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadAndEmptyBatchesRunInline) {
+  int calls = 0;
+  ThreadPool::Global().ParallelFor(0, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ThreadPool::Global().ParallelFor(5, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackInline) {
+  std::atomic<int> inner_total{0};
+  ThreadPool::Global().ParallelFor(4, 4, [&](size_t) {
+    ThreadPool::Global().ParallelFor(3, 4,
+                                     [&](size_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+// ---- parallel engine on hand-built programs -------------------------------
+
+std::multiset<std::string> Canon(const View& v) {
+  std::multiset<std::string> out;
+  for (const ViewAtom& a : v.atoms()) {
+    out.insert(CanonicalAtomString(a.pred, a.args, a.constraint));
+  }
+  return out;
+}
+
+std::multiset<std::string> Sups(const View& v) {
+  std::multiset<std::string> out;
+  for (const ViewAtom& a : v.atoms()) out.insert(a.support.ToString());
+  return out;
+}
+
+TEST(ParallelStrataTest, GuardedMultiChainMatchesSequentialByteForByte) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeGuardedMultiChain(/*chains=*/4, /*depth=*/4,
+                                              /*width=*/5);
+  FixpointOptions opts;
+  FixpointStats seq;
+  View sequential = Unwrap(Materialize(p, w.domains.get(), opts, &seq));
+  for (int threads : {2, 3, 8}) {
+    opts.num_threads = threads;
+    FixpointStats par;
+    View parallel = Unwrap(Materialize(p, w.domains.get(), opts, &par));
+    EXPECT_EQ(Canon(sequential), Canon(parallel)) << threads << " threads";
+    EXPECT_EQ(Sups(sequential), Sups(parallel)) << threads << " threads";
+    EXPECT_EQ(seq.atoms_created, par.atoms_created);
+    EXPECT_EQ(seq.duplicates_suppressed, par.duplicates_suppressed);
+    EXPECT_EQ(seq.derivations_attempted, par.derivations_attempted);
+    EXPECT_EQ(seq.iterations, par.iterations);
+    // The atom ORDER is part of the parallel merge contract (clause index,
+    // then enumeration order — the sequential append order), not just the
+    // multiset: assert it positionally via supports.
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(sequential.atoms()[i].support.ToString(),
+                parallel.atoms()[i].support.ToString())
+          << "position " << i;
+    }
+    // Run-to-run determinism is STRONGER than sequential equivalence:
+    // two parallel runs at the same thread count must agree on the whole
+    // rendered view, fresh-variable numbering included (the merge assigns
+    // real ids in replay order, never in scheduling order).
+    View again = Unwrap(Materialize(p, w.domains.get(), opts));
+    EXPECT_EQ(parallel.ToString(), again.ToString()) << threads << " threads";
+  }
+}
+
+// Regression: the staging budget counts PRE-dedup atoms, so a capped
+// parallel pass may stop before derivations the sequential engine (which
+// caps on the deduped view size) would still reach. Such runs must report
+// truncated=true — silently returning an incomplete view as complete is
+// the one way the parallel engine could lie.
+TEST(ParallelStrataTest, StagingBudgetCutoffIsFlaggedTruncated) {
+  TestWorld w = TestWorld::Make();
+  std::ostringstream os;
+  for (int i = 0; i < 10; ++i) {
+    os << "a(X) <- X = " << i << ".\n";
+    os << "b(X) <- X = " << 100 + i << ".\n";
+  }
+  os << "z(X) <- X = 500.\n";       // second derived group, so the round
+  os << "g(X) <- true || z(X).\n";  // actually runs the parallel path
+  os << "e(X) <- true || a(X).\n";
+  os << "e(X) <- true || a(X).\n";  // canonical duplicates under kSet
+  os << "e(X) <- true || b(X).\n";
+  Program p = ParseOrDie(os.str());
+  FixpointOptions opts;
+  opts.semantics = DupSemantics::kSet;
+  opts.num_threads = 4;
+  // 21 facts + a 12-atom staging budget: the e-task stages 10 uniques and
+  // 2 canonical duplicates, caps, and never reaches e <- b — while the
+  // MERGED view lands at 32 < max_atoms, so only the capped-sink flag can
+  // report the cutoff (the view-size cap never fires).
+  opts.max_atoms = 33;
+  FixpointStats stats;
+  View v = Unwrap(Materialize(p, w.domains.get(), opts, &stats));
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LT(v.size(), 33u);
+}
+
+TEST(ParallelStrataTest, NaiveJoinModeIgnoresThreadCount) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeGuardedChain(3, 4);
+  FixpointOptions opts;
+  opts.join_mode = JoinMode::kNaive;
+  opts.num_threads = 8;  // must silently run the sequential oracle
+  FixpointStats stats;
+  View v = Unwrap(Materialize(p, w.domains.get(), opts, &stats));
+  EXPECT_EQ(stats.index_probes, 0);
+  opts.join_mode = JoinMode::kIndexed;
+  opts.num_threads = 1;
+  View s = Unwrap(Materialize(p, w.domains.get(), opts));
+  EXPECT_EQ(Canon(s), Canon(v));
+}
+
+// StDel's parallel step-3 lift checks: a burst of deletions through
+// ApplyBatch must leave the canonically identical view (and identical
+// propagation counters) whatever num_threads says.
+TEST(ParallelStrataTest, ParallelStepThreeMatchesSequential) {
+  TestWorld w = TestWorld::Make();
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    Program p = workload::MakeGuardedMultiChain(
+        /*chains=*/3, /*depth=*/static_cast<int>(rng.Int(2, 5)),
+        /*width=*/static_cast<int>(rng.Int(3, 6)));
+    std::vector<maint::Update> burst;
+    for (int i = 0; i < 4; ++i) {
+      maint::UpdateAtom req;
+      req.pred = "c" + std::to_string(rng.Int(0, 2)) + "_p0";
+      VarId x = p.factory()->Fresh();
+      req.args = {Term::Var(x)};
+      req.constraint.Add(Primitive::Eq(
+          Term::Var(x), Term::Const(Value(rng.Int(0, 5)))));
+      burst.push_back(maint::Update{maint::Update::Kind::kDelete,
+                                    std::move(req)});
+    }
+    auto run = [&](int threads, maint::BatchStats* stats) {
+      FixpointOptions opts;
+      opts.num_threads = threads;
+      View v = Unwrap(Materialize(p, w.domains.get(), opts));
+      Status s = maint::ApplyBatch(p, &v, burst, w.domains.get(), opts,
+                                   stats);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      return v;
+    };
+    maint::BatchStats seq_stats, par_stats;
+    View sequential = run(1, &seq_stats);
+    View parallel = run(8, &par_stats);
+    EXPECT_EQ(Canon(sequential), Canon(parallel)) << "seed " << seed;
+    EXPECT_EQ(Sups(sequential), Sups(parallel)) << "seed " << seed;
+    EXPECT_EQ(seq_stats.replacements, par_stats.replacements);
+    EXPECT_EQ(seq_stats.step3_replacements, par_stats.step3_replacements);
+    EXPECT_EQ(seq_stats.removed_unsolvable, par_stats.removed_unsolvable);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// ---- option plumbing ------------------------------------------------------
+
+TEST(ParallelStrataTest, ParseThreadsFailsLoudly) {
+  EXPECT_EQ(*ParseThreads("1"), 1);
+  EXPECT_EQ(*ParseThreads("8"), 8);
+  EXPECT_EQ(*ParseThreads("4096"), 4096);
+  for (const char* bad : {"", "0", "-1", "two", "8x", "99999", "1.5"}) {
+    Result<int> r = ParseThreads(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_NE(r.status().message().find("unknown thread count"),
+              std::string::npos);
+  }
+}
+
+TEST(ParallelStrataTest, ThreadsFromEnvDefaultsToSequential) {
+  if (std::getenv("MMV_THREADS") == nullptr) {
+    EXPECT_EQ(*ThreadsFromEnv(), 1);
+  } else {
+    EXPECT_TRUE(ThreadsFromEnv().ok());  // CI exports a valid count
+  }
+}
+
+}  // namespace
+}  // namespace mmv
