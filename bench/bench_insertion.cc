@@ -401,6 +401,96 @@ void BM_Continuation_GuardedMultiChain(benchmark::State& state) {
   ExportJoinCounters(state, fs);
 }
 
+// Transitive closure with a DCA-guarded recursive clause — ONE recursive
+// predicate, so the whole program is a single SCC and the strata axis
+// offers no parallelism at all: any speedup here comes from intra-SCC
+// delta partitioning alone. The K delta edges e(n+j, 0) all land in one
+// frozen pivot window of the recursive clause, which the engine shards
+// across workers; the arith guard makes each candidate pay a real
+// solver + domain evaluation on the worker, the regime partitioning is
+// for. Thread-paired like GuardedMultiChain: trailing arg 0 = 1 thread,
+// 1 = every hardware thread, and the derived-atom counters must match
+// across the pair byte for byte (CI diffs them; partitions_run shows how
+// many shards actually ran). {n, K, threads flag}.
+void BM_Continuation_TransitiveClosureThreads(benchmark::State& state) {
+  World w = World::Make();
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  Program p;
+  for (int i = 0; i + 1 < n; ++i) {  // the chain edges e(i, i+1)
+    Clause c;
+    c.head_pred = "e";
+    VarId x = p.factory()->Fresh(), y = p.factory()->Fresh();
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.constraint.Add(Primitive::Eq(Term::Var(x), Term::Const(Value(i))));
+    c.constraint.Add(
+        Primitive::Eq(Term::Var(y), Term::Const(Value(i + 1))));
+    p.AddClause(std::move(c));
+  }
+  {  // path(X,Y) <- e(X,Y)
+    Clause c;
+    VarId x = p.factory()->Fresh(), y = p.factory()->Fresh();
+    c.head_pred = "path";
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.body.push_back(BodyAtom{"e", {Term::Var(x), Term::Var(y)}});
+    p.AddClause(std::move(c));
+  }
+  {  // path(X,Y) <- in(S, arith:plus(X,Y)) || e(X,Z), path(Z,Y)
+    Clause c;
+    VarId x = p.factory()->Fresh(), y = p.factory()->Fresh(),
+          z = p.factory()->Fresh(), s = p.factory()->Fresh();
+    c.head_pred = "path";
+    c.head_args = {Term::Var(x), Term::Var(y)};
+    c.body.push_back(BodyAtom{"e", {Term::Var(x), Term::Var(z)}});
+    c.body.push_back(BodyAtom{"path", {Term::Var(z), Term::Var(y)}});
+    DomainCall call;
+    call.domain = "arith";
+    call.function = "plus";
+    call.args = {Term::Var(x), Term::Var(y)};
+    c.constraint.Add(Primitive::In(Term::Var(s), std::move(call)));
+    p.AddClause(std::move(c));
+  }
+  FixpointOptions opts = DefaultOptions();
+  opts.join_mode = JoinMode::kIndexed;
+  opts.num_threads = ThreadsArg(state.range(2));
+  plan::PlanCache plans(opts.plan_mode);
+  opts.plan_cache = &plans;
+  View base = MustMaterialize(p, w.domains.get(), opts);
+
+  FixpointStats fs;
+  size_t added = 0;
+  // Manual timing: the per-iteration copy of the closed view (O(n^2) path
+  // atoms) is setup, not the continuation being measured.
+  for (auto _ : state) {
+    View v = base;
+    size_t delta_begin = v.size();
+    int ext = 0;
+    // K fresh-source edges into node 0: each joins path(0, *) in round
+    // one, so the recursive clause sees a single K-atom pivot window
+    // fanning out to K * (n-1) guarded derivations.
+    for (int j = 0; j < k; ++j) {
+      ViewAtom a;
+      a.pred = "e";
+      a.args = {Term::Const(Value(n + j)), Term::Const(Value(0))};
+      a.support = Support(--ext);
+      v.Add(std::move(a));
+    }
+    fs = FixpointStats();
+    auto start = std::chrono::steady_clock::now();
+    Status s = ContinueFixpoint(p, &v, w.domains.get(), opts, &fs,
+                                delta_begin);
+    auto end = std::chrono::steady_clock::now();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+    added = v.size() - base.size();
+    benchmark::DoNotOptimize(added);
+  }
+  state.counters["atoms_added"] = static_cast<double>(added);
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  ExportJoinCounters(state, fs);
+}
+
 // A record chain: the same propagation shape as BM_Continuation_Chain but
 // with arity-3 atoms (id, attr, attr) — the realistic mediated-view case
 // where view atoms are records, not bare keys. Every extra column widens
@@ -583,6 +673,15 @@ BENCHMARK(BM_Continuation_GuardedMultiChain)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Continuation_IntervalChain)->Apply(IntervalContinuationArgs);
+BENCHMARK(BM_Continuation_TransitiveClosureThreads)
+    ->Args({64, 512, 0})
+    ->Args({64, 512, 1})
+    ->Args({128, 512, 0})
+    ->Args({128, 512, 1})
+    ->Args({256, 512, 0})
+    ->Args({256, 512, 1})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Continuation_TransitiveClosure)
     ->Args({32, 0})
     ->Args({32, 1})

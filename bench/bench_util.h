@@ -143,6 +143,16 @@ inline void ExportJoinCounters(benchmark::State& state,
       static_cast<double>(stats.probe_intersections);
   state.counters["plan_cache_hits"] =
       static_cast<double>(stats.plan_cache_hits);
+  // Fan-out shape counters: thread-count-DEPENDENT by design, so sidecar
+  // diffs across thread counts must not compare them (see
+  // scripts/compare_bench_modes.py) — they are exported to show how much
+  // partitioning a run actually did.
+  state.counters["partitions_run"] =
+      static_cast<double>(stats.partitions_run);
+  state.counters["partition_skipped_small"] =
+      static_cast<double>(stats.partition_skipped_small);
+  state.counters["evaluator_clones"] =
+      static_cast<double>(stats.evaluator_clones);
 }
 
 }  // namespace bench

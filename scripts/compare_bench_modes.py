@@ -26,7 +26,11 @@ import sys
 # declared ones, and the parallel engine memoizes solver outcomes per task.
 # The deletion-side counters (replacements, step3) are work product too:
 # StDel's parallel step-3 must replace exactly what the sequential sweep
-# replaces.
+# replaces. The fan-out shape counters (partitions_run,
+# partition_skipped_small, evaluator_clones) describe the parallel schedule
+# itself — they scale with the thread count BY DESIGN, so a 1-vs-8 sidecar
+# diff must leave them out; everything in COMPARED is a work-product
+# invariant that byte-identity guarantees across thread counts.
 COMPARED = (
     "atoms_added",
     "added",

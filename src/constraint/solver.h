@@ -128,6 +128,15 @@ class DcaEvaluator {
   /// clock's same-tick mutation counter.
   virtual int64_t StateEpoch() const { return 0; }
 
+  /// \brief True when concurrent Evaluate() calls are safe WITHOUT
+  /// external serialization, provided no writer mutates the backing state
+  /// for the duration (the same single-writer contract StateEpoch already
+  /// polices: parallel passes capture the epoch up front and fail loudly
+  /// on a mismatch). Defaults to false — unknown evaluators keep the
+  /// serialized MutexDcaEvaluator path; DomainManager reports true when
+  /// every registered domain is a pure reader and its call cache is off.
+  virtual bool ConcurrentReadSafe() const { return false; }
+
  private:
   uint64_t instance_id_;
 };
@@ -138,6 +147,12 @@ class DcaEvaluator {
 /// thread-safe). Outcomes are unchanged: the underlying evaluator's answers
 /// may not depend on call order within one state epoch — the same contract
 /// solver memos already rely on.
+///
+/// This is the FALLBACK path for evaluators that do not report
+/// ConcurrentReadSafe(): parallel passes over a read-safe evaluator (the
+/// common DomainManager configuration) bypass the wrapper entirely. Once
+/// every evaluator in the tree answers the ConcurrentReadSafe() contract
+/// honestly this class can be retired.
 class MutexDcaEvaluator : public DcaEvaluator {
  public:
   explicit MutexDcaEvaluator(DcaEvaluator* inner) : inner_(inner) {}
@@ -150,6 +165,9 @@ class MutexDcaEvaluator : public DcaEvaluator {
   }
 
   int64_t StateEpoch() const override { return inner_->StateEpoch(); }
+
+  /// The whole point of the wrapper: safe to share across threads.
+  bool ConcurrentReadSafe() const override { return true; }
 
  private:
   DcaEvaluator* inner_;

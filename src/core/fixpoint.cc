@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
 #include "core/thread_pool.h"
+#include "plan/partition.h"
 #include "plan/plan_cache.h"
-#include "plan/strata.h"
 
 namespace mmv {
 
@@ -97,34 +99,45 @@ class ClauseRunner {
 
   // ---- kIndexed: constraint-aware plan executor -------------------------
 
+  /// \brief Resolves the pass's posting lists and hoisted seminaive
+  /// windows: the posting-list positions of delta_begin and delta_end per
+  /// body position, computed once per clause instead of per recursion
+  /// step. Appends during derivation only push indices >= delta_end, so
+  /// the cut positions stay correct throughout. Returns false when the
+  /// pass cannot derive — a body predicate with no atoms at all, or one
+  /// with no atoms below delta_end (every window empty; atoms past
+  /// delta_end exist when an EARLIER clause of this round already
+  /// appended, and cutting on the windowed count keeps pass-level
+  /// counters identical between the sequential engine and parallel
+  /// workers reading the frozen prefix). Pure read: writes no stats, so
+  /// the parallel round can screen clauses before its go/no-go decision.
+  bool PreparePass(const Clause& c, size_t delta_begin, size_t delta_end,
+                   std::vector<const std::vector<size_t>*>* lists,
+                   std::vector<std::pair<size_t, size_t>>* cut) const {
+    size_t n = c.body.size();
+    lists->assign(n, nullptr);
+    cut->assign(n, {0, 0});
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
+      if (list.empty()) return false;  // no candidates at all
+      (*lists)[i] = &list;
+      (*cut)[i] = {LowerBoundPos(list, delta_begin),
+                   LowerBoundPos(list, delta_end)};
+      if ((*cut)[i].second == 0) return false;
+    }
+    return true;
+  }
+
   Status RunPlanned(const Clause& c, const plan::ClausePlan& plan,
                     size_t delta_begin, size_t delta_end, int round) {
     size_t n = c.body.size();
     feedback_due_ = false;
-    std::vector<const std::vector<size_t>*> lists(n);
-    // Hoisted seminaive windows: the posting-list positions of delta_begin
-    // and delta_end per body position, computed once per clause instead of
-    // per recursion step. Appends during derivation only push indices
-    // >= delta_end, so the cut positions stay correct throughout.
-    std::vector<std::pair<size_t, size_t>> cut(n);
-    for (size_t i = 0; i < n; ++i) {
-      const std::vector<size_t>& list = view_.AtomsFor(c.body[i].pred);
-      if (list.empty()) return Status::OK();  // no candidates at all
-      lists[i] = &list;
-      cut[i] = {LowerBoundPos(list, delta_begin),
-                LowerBoundPos(list, delta_end)};
-      // No atoms below delta_end: every window of this position is empty,
-      // so the pass cannot derive — skip it. (Atoms past delta_end exist
-      // when an EARLIER clause of this round already appended; cutting on
-      // the windowed count keeps pass-level counters identical between the
-      // sequential engine and parallel workers reading the frozen prefix.)
-      if (cut[i].second == 0) return Status::OK();
+    std::vector<const std::vector<size_t>*> lists;
+    std::vector<std::pair<size_t, size_t>> cut;
+    if (!PreparePass(c, delta_begin, delta_end, &lists, &cut)) {
+      return Status::OK();
     }
-    feedback_due_ = true;
-    bound_.assign(static_cast<size_t>(plan.num_slots), BoundRef{});
-    undo_.clear();
-    cand_.assign(n, 0);
-    acc_.assign(n, 0);
+    BeginPass(plan, n);
     std::vector<size_t> chosen(n);
     Status status = Status::OK();
     for (size_t pivot = 0; pivot < n; ++pivot) {
@@ -135,6 +148,128 @@ class ClauseRunner {
       if (sink_->Full()) break;
     }
     return status;
+  }
+
+  // ---- parallel slice entry points --------------------------------------
+  //
+  // A parallel round decomposes RunPlanned's pivot loop: each nonempty
+  // (clause, pivot) runs as its own pass — sound for the same reason the
+  // pivot loop needs no barriers: every pivot's windows read only the
+  // frozen prefix below delta_end. A pivot whose delta window is large
+  // enough is split further into contiguous shards of its depth-0
+  // candidate sequence (plan/partition.h).
+
+  /// \brief One whole (clause, pivot) pass: RunPlanned minus the pivot
+  /// loop. Counts its own depth-0 probes, exactly once, like sequential.
+  Status RunPivotPass(const Clause& c, const plan::ClausePlan& plan,
+                      const std::vector<const std::vector<size_t>*>& lists,
+                      const std::vector<std::pair<size_t, size_t>>& cut,
+                      size_t pivot, size_t delta_begin, size_t delta_end,
+                      int round) {
+    BeginPass(plan, c.body.size());
+    std::vector<size_t> chosen(c.body.size());
+    return RecursePlanned(c, plan, plan.order(pivot), lists, cut, pivot, 0,
+                          delta_begin, delta_end, round, &chosen);
+  }
+
+  /// \brief Replays a sharded pivot's depth-0 probe selection, appending
+  /// the pivot window's candidate atom indices to \p out in exactly the
+  /// order a whole-pivot pass would enumerate them (ascending atom
+  /// index). Runs ONCE per (clause, pivot) on the engine thread — it
+  /// counts index_probes / probe_intersections into the bound stats, and
+  /// shards then enumerate contiguous subranges without re-probing, so
+  /// the probe counters stay identical to num_threads=1 whatever the
+  /// shard count. Precondition: the pivot's execution order starts at the
+  /// pivot itself (plan.order(pivot).steps[0].decl_pos == pivot), which
+  /// also means no binding slots are live at depth 0 — only clause
+  /// constants can be ground probe positions here.
+  void MaterializePivotCandidates(
+      const Clause& c, const plan::ClausePlan& plan,
+      const std::vector<const std::vector<size_t>*>& lists,
+      const std::vector<std::pair<size_t, size_t>>& cut, size_t pivot,
+      size_t delta_begin, size_t delta_end, std::vector<size_t>* out) {
+    const plan::PivotOrder& order = plan.order(pivot);
+    size_t pos = order.steps[0].decl_pos;
+    const std::vector<plan::PlanArg>& pattern = plan.body[pos];
+    const std::vector<size_t>* hits = nullptr;
+    const std::vector<size_t>* vars = nullptr;
+    size_t win_i = 0, win_i_end = 0, win_j = 0, win_j_end = 0;
+    bool have_windows = false;
+    size_t best_size = 0;
+    int ground_positions = 0;
+    for (uint16_t k : order.steps[0].probe_positions) {
+      const plan::PlanArg& a = pattern[k];
+      if (!a.is_const) continue;  // depth 0: no slot is bound yet
+      ++ground_positions;
+      const std::vector<size_t>& h =
+          view_.AtomsForArgValue(c.body[pos].pred, k, a.value);
+      const std::vector<size_t>& w =
+          view_.AtomsForNonConstArg(c.body[pos].pred, k);
+      if (!plan.multi_probe) {
+        hits = &h;
+        vars = &w;
+        break;
+      }
+      size_t i = LowerBoundPos(h, delta_begin);
+      size_t i_end = LowerBoundPos(h, delta_end);
+      size_t j = LowerBoundPos(w, delta_begin);
+      size_t j_end = LowerBoundPos(w, delta_end);
+      size_t size = (i_end - i) + (j_end - j);
+      if (hits == nullptr || size < best_size) {
+        hits = &h;
+        vars = &w;
+        best_size = size;
+        win_i = i;
+        win_i_end = i_end;
+        win_j = j;
+        win_j_end = j_end;
+        have_windows = true;
+      }
+    }
+    if (ground_positions >= 2) stats_->probe_intersections++;
+    if (hits != nullptr) {
+      stats_->index_probes++;
+      size_t i = have_windows ? win_i : LowerBoundPos(*hits, delta_begin);
+      size_t i_end =
+          have_windows ? win_i_end : LowerBoundPos(*hits, delta_end);
+      size_t j = have_windows ? win_j : LowerBoundPos(*vars, delta_begin);
+      size_t j_end =
+          have_windows ? win_j_end : LowerBoundPos(*vars, delta_end);
+      while (i < i_end || j < j_end) {
+        if (j >= j_end || (i < i_end && (*hits)[i] < (*vars)[j])) {
+          out->push_back((*hits)[i++]);
+        } else {
+          out->push_back((*vars)[j++]);
+        }
+      }
+      return;
+    }
+    const std::vector<size_t>& list = *lists[pos];
+    for (size_t i = cut[pos].first; i < cut[pos].second; ++i) {
+      out->push_back(list[i]);
+    }
+  }
+
+  /// \brief One shard of a partitioned pivot pass: unifies the
+  /// materialized candidates in [begin, end) at depth 0, recursing into
+  /// deeper steps exactly as the whole pass would. Does NOT count
+  /// depth-0 probes — MaterializePivotCandidates already did.
+  Status RunPivotSlice(const Clause& c, const plan::ClausePlan& plan,
+                       const std::vector<const std::vector<size_t>*>& lists,
+                       const std::vector<std::pair<size_t, size_t>>& cut,
+                       size_t pivot, const std::vector<size_t>& candidates,
+                       size_t begin, size_t end, size_t delta_begin,
+                       size_t delta_end, int round) {
+    BeginPass(plan, c.body.size());
+    const plan::PivotOrder& order = plan.order(pivot);
+    std::vector<size_t> chosen(c.body.size());
+    for (size_t i = begin; i < end; ++i) {
+      MMV_RETURN_NOT_OK(TryCandidate(c, plan, order, lists, cut, pivot,
+                                     /*depth=*/0, delta_begin, delta_end,
+                                     round, &chosen, candidates[i]));
+      if (sink_->Full()) return Status::OK();
+    }
+    return Status::OK();
   }
 
   // ---- shared derivation tail -------------------------------------------
@@ -209,6 +344,16 @@ class ClauseRunner {
   }
 
  private:
+  // Resets the binding slots, undo log and feedback counters for one
+  // planned pass (a whole clause, one pivot, or one shard of one).
+  void BeginPass(const plan::ClausePlan& plan, size_t body_size) {
+    feedback_due_ = true;
+    bound_.assign(static_cast<size_t>(plan.num_slots), BoundRef{});
+    undo_.clear();
+    cand_.assign(body_size, 0);
+    acc_.assign(body_size, 0);
+  }
+
   // A ground binding: which chosen instance argument bound the slot. Atom
   // indices stay valid across view appends (unlike pointers into the atom
   // vector, which reallocates).
@@ -510,16 +655,28 @@ struct StagedAtom {
   CanonicalKey key;  ///< precomputed dedup key (kSet only)
 };
 
-// Everything one parallel clause pass hands back to the round's merge.
-struct ClauseOutcome {
+// Everything one parallel slice — a (clause, pivot[, shard]) pass — hands
+// back to the round's merge.
+struct SliceOutcome {
   std::vector<StagedAtom> atoms;  ///< enumeration order
   std::vector<int64_t> cand, acc;
-  bool feedback_due = false;
   bool capped = false;  ///< the staging budget cut this pass short
-  bool ran = false;
   Status status;
   FixpointStats stats;  ///< pass-local counters (summed at merge)
   SolveStats solver;    ///< pass-local solver counters
+};
+
+// One schedulable unit of a parallel round. Slices are built in (clause,
+// pivot, shard) order, so merging them in list order with each slice's
+// atoms in enumeration order replays the exact sequential append order.
+struct RoundSlice {
+  size_t clause = 0;  ///< clause index in program order
+  size_t pivot = 0;   ///< declared seminaive pivot position
+  bool sharded = false;  ///< enumerate pool[begin, end) instead of the
+                         ///  whole pivot window
+  size_t pool = 0;       ///< index into the round's candidate pools
+  size_t begin = 0, end = 0;  ///< shard range within the pool
+  SolveCache* cache = nullptr;  ///< persistent per-slice solver memo
 };
 
 // Stages derivations per clause; canonical dedup keys are computed here in
@@ -591,12 +748,17 @@ class StagingSink : public DeriveSink {
 // round's clause passes run CONCURRENTLY: the round's delta window is
 // frozen before any pass starts — sequential rounds never see intra-round
 // derivations either, since every window is capped at delta_end — so the
-// passes share the view read-only. Work is scheduled per head-predicate
-// group of the program's strata (plan/strata.h); every pass stages its
-// derivations with a private staging factory for fresh variables, and one
-// merge per round replays them into the view in (clause index, enumeration)
-// order — exactly the sequential append order — doing dedup, counters and
-// plan feedback on the engine thread. Hence canonical atom sets, support
+// passes share the view read-only. Work is scheduled per (clause, pivot)
+// slice — clause passes are mutually independent because every one reads
+// only below delta_end, and the pivots within one pass are independent for
+// the same reason — and a pivot whose frozen delta window clears the
+// partition threshold (plan/partition.h) is split further into contiguous
+// shards of its depth-0 candidate sequence, so even a single recursive
+// clause fans out. Every slice stages its derivations with a private
+// staging factory for fresh variables, and one merge per round replays
+// them into the view in (clause, pivot, shard, enumeration) order —
+// exactly the sequential append order — doing dedup, counters and plan
+// feedback on the engine thread. Hence canonical atom sets, support
 // multisets and derivation counters are identical to the sequential
 // engine's; only fresh-variable numbering and solver-memo hit counts are
 // scheduling-free but not sequential-identical.
@@ -669,15 +831,12 @@ class Engine {
       stats_->iterations = round;
       size_t size_at_round_start = view_.size();
 
-      // Parallel rounds need (a) more than one head-predicate group —
-      // with a single group (e.g. one big transitive closure) the round
-      // would pay staging, merge and variable remap for zero fan-out —
-      // and (b) the real factory well clear of the staging base, so
-      // staged ids stay recognizable. Both conditions are deterministic,
-      // so the choice never shows in any output.
-      if (parallel_ && !tasks_built_) BuildTasks();
-      if (parallel_ && tasks_.size() > 1 &&
-          factory_.issued() < kStagingVarBase / 2) {
+      // Parallel rounds need the real factory well clear of the staging
+      // base, so staged ids stay recognizable. The round decides its own
+      // fan-out from the frozen windows — including an inline sequential
+      // fallback when fewer than two slices would run. Both decisions are
+      // deterministic, so the choice never shows in any output.
+      if (parallel_ && factory_.issued() < kStagingVarBase / 2) {
         MMV_RETURN_NOT_OK(RunRoundParallel(delta_begin, delta_end, round));
         if (Capped()) return Finish();
       } else {
@@ -758,35 +917,28 @@ class Engine {
     return status;
   }
 
-  // ---- parallel strata round --------------------------------------------
+  // ---- parallel round ---------------------------------------------------
 
-  // Task list: one task per head-predicate group, in (stratum, group)
-  // order; each task runs its group's non-fact clauses in clause order.
-  // Within a round ALL groups are mutually independent — every pass reads
-  // only below the frozen delta_end — so the strata do not need barriers
-  // between them; they prove the independence and fix the schedule.
-  void BuildTasks() {
-    tasks_built_ = true;
-    std::shared_ptr<const plan::StrataInfo> strata =
-        plans_->StrataFor(program_);
-    for (const plan::Stratum& s : strata->strata) {
-      for (const plan::PredGroup& g : s.groups) {
-        std::vector<size_t> task;
-        for (size_t ci : g.clauses) {
-          if (!program_.clauses()[ci].IsFact()) task.push_back(ci);
-        }
-        if (!task.empty()) tasks_.push_back(std::move(task));
-      }
-    }
-    // One solver memo per task, reused across ALL rounds of the run (the
-    // evaluator state is fixed for the run — the memo's validity
-    // contract): hit counts stay deterministic because each cache belongs
-    // to a task index, not a thread, and the sequential engine's own
-    // cross-round memo is matched instead of being thrown away per round.
-    task_caches_.reserve(tasks_.size());
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      task_caches_.push_back(std::make_unique<SolveCache>());
-    }
+  // Per-clause window prep of one parallel round (PreparePass output plus
+  // the shard count chosen per pivot).
+  struct ClausePrep {
+    bool runnable = false;  ///< passed PreparePass's screens
+    std::vector<const std::vector<size_t>*> lists;
+    std::vector<std::pair<size_t, size_t>> cut;
+    std::vector<int> parts;  ///< shards per pivot (0: empty window)
+  };
+
+  // The persistent solver memo of one (clause, pivot, shard) slice,
+  // reused across ALL rounds of the run (the evaluator state is fixed for
+  // the run — the memo's validity contract): hit counts stay
+  // scheduling-independent because each cache belongs to a slice key, not
+  // a thread, and the sequential engine's own cross-round memo is matched
+  // instead of being thrown away per round.
+  SolveCache* SliceCache(size_t clause, size_t pivot, int shard) {
+    std::unique_ptr<SolveCache>& slot =
+        slice_caches_[std::make_tuple(clause, pivot, shard)];
+    if (slot == nullptr) slot = std::make_unique<SolveCache>();
+    return slot.get();
   }
 
   Status RunRoundParallel(size_t delta_begin, size_t delta_end, int round) {
@@ -794,7 +946,9 @@ class Engine {
     // Prefetch the round's plans on the engine thread — the same PlanFor
     // sequence (clause order, once per round) the sequential engine
     // issues, so cache evolution and hit counters match it exactly; the
-    // workers then share the immutable plans read-only.
+    // workers then share the immutable plans read-only. The inline
+    // fallback below reuses these plans instead of re-entering PlanFor,
+    // for the same reason.
     if (plans_prefetched_.size() != clauses.size()) {
       plans_prefetched_.resize(clauses.size());
     }
@@ -802,89 +956,215 @@ class Engine {
       if (clauses[ci].IsFact()) continue;
       plans_prefetched_[ci] = plans_->PlanFor(program_, clauses[ci]);
     }
-    if (evaluator_ != nullptr && locked_evaluator_ == nullptr) {
-      locked_evaluator_ = std::make_unique<MutexDcaEvaluator>(evaluator_);
-    }
-    DcaEvaluator* worker_evaluator =
-        evaluator_ != nullptr ? locked_evaluator_.get() : nullptr;
 
-    std::vector<ClauseOutcome> outcomes(clauses.size());
-    auto run_task = [&](size_t t) {
-      // Per-task solver memo (see BuildTasks): outcomes are identical to
-      // any shared memo's (fixed evaluator state), and a task-owned one
-      // keeps the pass free of cross-thread coordination AND its hit
-      // counters deterministic (they depend on the task's own solve
-      // sequence, not on scheduling). Never share a memo across threads —
-      // even a caller-provided one (options.solver.cache /
-      // options.solve_cache) is swapped out here; SolveCache is not
-      // synchronized.
+    // Stage 1 — slice the round. Pure reads of the frozen windows (no
+    // stats writes), so the go/no-go decision below cannot skew any
+    // counter: a pivot is shardable when its execution order starts at
+    // the pivot itself (then depth 0 is a plain candidate sequence with
+    // no live binding slots), and worth sharding when its frozen window
+    // clears the partition threshold.
+    std::vector<ClausePrep> prep(clauses.size());
+    size_t total_slices = 0;
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+      const Clause& c = clauses[ci];
+      if (c.IsFact()) continue;
+      ClausePrep& p = prep[ci];
+      p.runnable =
+          runner_.PreparePass(c, delta_begin, delta_end, &p.lists, &p.cut);
+      if (!p.runnable) continue;
+      const plan::ClausePlan& plan = *plans_prefetched_[ci];
+      p.parts.assign(c.body.size(), 0);
+      for (size_t pivot = 0; pivot < c.body.size(); ++pivot) {
+        if (p.cut[pivot].first == p.cut[pivot].second) continue;
+        size_t window = p.cut[pivot].second - p.cut[pivot].first;
+        bool shardable = plan.order(pivot).steps[0].decl_pos == pivot;
+        p.parts[pivot] =
+            shardable
+                ? plan::PartitionCountFor(window, options_.num_threads)
+                : 1;
+        total_slices += static_cast<size_t>(p.parts[pivot]);
+      }
+    }
+
+    // Nothing worth fanning out: run the round sequentially in place
+    // (prefetched plans, same feedback and error semantics as the
+    // sequential clause loop; Run()'s Capped() finishes the view).
+    if (total_slices < 2) {
+      for (size_t ci = 0; ci < clauses.size(); ++ci) {
+        if (clauses[ci].IsFact()) continue;
+        Status status = runner_.RunPlanned(
+            clauses[ci], *plans_prefetched_[ci], delta_begin, delta_end,
+            round);
+        if (runner_.feedback_due()) {
+          plans_->Feedback(clauses[ci].number, runner_.candidates(),
+                           runner_.accepted());
+        }
+        MMV_RETURN_NOT_OK(status);
+        if (Capped()) return Status::OK();
+      }
+      return Status::OK();
+    }
+
+    // Stage 2 — materialize sharded pivots' candidate sequences and build
+    // the slice list. Depth-0 probe counters for sharded pivots are
+    // counted here, once per (clause, pivot), on the engine thread.
+    std::vector<std::vector<size_t>> pools;
+    std::vector<RoundSlice> slices;
+    slices.reserve(total_slices);
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+      if (clauses[ci].IsFact() || !prep[ci].runnable) continue;
+      const Clause& c = clauses[ci];
+      ClausePrep& p = prep[ci];
+      for (size_t pivot = 0; pivot < c.body.size(); ++pivot) {
+        int parts = p.parts[pivot];
+        if (parts == 0) continue;  // empty delta window
+        if (parts == 1) {
+          bool shardable =
+              plans_prefetched_[ci]->order(pivot).steps[0].decl_pos == pivot;
+          if (shardable) stats_->partition_skipped_small++;
+          RoundSlice s;
+          s.clause = ci;
+          s.pivot = pivot;
+          s.cache = SliceCache(ci, pivot, 0);
+          slices.push_back(s);
+          continue;
+        }
+        stats_->partitions_run += parts;
+        pools.emplace_back();
+        runner_.MaterializePivotCandidates(c, *plans_prefetched_[ci],
+                                           p.lists, p.cut, pivot,
+                                           delta_begin, delta_end,
+                                           &pools.back());
+        size_t items = pools.back().size();
+        for (int shard = 0; shard < parts; ++shard) {
+          auto [begin, end] = plan::PartitionRange(items, parts, shard);
+          RoundSlice s;
+          s.clause = ci;
+          s.pivot = pivot;
+          s.sharded = true;
+          s.pool = pools.size() - 1;
+          s.begin = begin;
+          s.end = end;
+          s.cache = SliceCache(ci, pivot, shard);
+          slices.push_back(s);
+        }
+      }
+    }
+
+    // Thread-safe domain path: when the evaluator vouches for concurrent
+    // pure reads the workers call it directly — lock-free — and the
+    // epoch check after the fan-out polices the single-writer contract
+    // that claim rests on. Anything else keeps the serialized
+    // MutexDcaEvaluator fallback.
+    DcaEvaluator* worker_evaluator = nullptr;
+    int64_t epoch_before = 0;
+    if (evaluator_ != nullptr) {
+      epoch_before = evaluator_->StateEpoch();
+      if (evaluator_->ConcurrentReadSafe()) {
+        worker_evaluator = evaluator_;
+        stats_->evaluator_clones += static_cast<int64_t>(slices.size());
+      } else {
+        if (locked_evaluator_ == nullptr) {
+          locked_evaluator_ = std::make_unique<MutexDcaEvaluator>(evaluator_);
+        }
+        worker_evaluator = locked_evaluator_.get();
+      }
+    }
+
+    std::vector<SliceOutcome> outcomes(slices.size());
+    auto run_slice = [&](size_t si) {
+      const RoundSlice& s = slices[si];
+      const Clause& c = clauses[s.clause];
+      const plan::ClausePlan& plan = *plans_prefetched_[s.clause];
+      const ClausePrep& p = prep[s.clause];
+      SliceOutcome& out = outcomes[si];
+      // Per-slice solver memo (see SliceCache): outcomes are identical
+      // to any shared memo's (fixed evaluator state), and a slice-owned
+      // one keeps the pass free of cross-thread coordination. Never
+      // share a memo across threads — even a caller-provided one
+      // (options.solver.cache / options.solve_cache) is swapped out
+      // here; SolveCache is not synchronized.
       SolverOptions solver_options = options_.solver;
-      solver_options.cache = task_caches_[t].get();
+      solver_options.cache = s.cache;
       Solver solver(worker_evaluator, solver_options);
       VarFactory factory;
       factory.ReserveAbove(kStagingVarBase);
       StagingSink sink(options_, view_.size());
+      sink.SetTarget(&out.atoms);
       ClauseRunner runner(view_, options_, &solver, &factory);
-      for (size_t ci : tasks_[t]) {
-        ClauseOutcome& out = outcomes[ci];
-        // The staging budget is exhausted: stop the task between clauses
-        // (the sequential engine's per-clause Capped() stop), recording
-        // the cutoff so the merge flags the run truncated even when the
-        // pass that filled the budget never queried Full() itself.
-        if (sink.Full()) {
-          out.capped = true;
-          out.ran = true;
-          break;
-        }
-        sink.SetTarget(&out.atoms);
-        runner.Bind(&out.stats, &sink);
-        out.status = runner.RunPlanned(clauses[ci], *plans_prefetched_[ci],
-                                       delta_begin, delta_end, round);
-        out.cand = runner.candidates();
-        out.acc = runner.accepted();
-        out.feedback_due = runner.feedback_due();
-        out.capped = sink.capped();
-        out.solver = solver.stats();
-        solver.ResetStats();
-        out.ran = true;
-        if (!out.status.ok()) break;  // merge stops at this clause anyway
+      runner.Bind(&out.stats, &sink);
+      if (s.sharded) {
+        out.status = runner.RunPivotSlice(c, plan, p.lists, p.cut, s.pivot,
+                                          pools[s.pool], s.begin, s.end,
+                                          delta_begin, delta_end, round);
+      } else {
+        out.status = runner.RunPivotPass(c, plan, p.lists, p.cut, s.pivot,
+                                         delta_begin, delta_end, round);
       }
+      out.cand = runner.candidates();
+      out.acc = runner.accepted();
+      out.capped = sink.capped();
+      out.solver = solver.stats();
     };
-    ThreadPool::Global().ParallelFor(tasks_.size(), options_.num_threads,
-                                     run_task);
+    ThreadPool::Global().ParallelFor(slices.size(), options_.num_threads,
+                                     run_slice);
 
-    // Deterministic merge: clause order, then each pass's enumeration
-    // order — the exact order the sequential engine appends in. Dedup,
-    // counters and plan feedback all happen here on the engine thread.
+    // The lock-free path reads the external state unguarded; a writer
+    // slipping in mid-round would have produced silently inconsistent
+    // derivations. Fail loudly instead of merging them.
+    if (evaluator_ != nullptr && evaluator_->StateEpoch() != epoch_before) {
+      return Status::Internal(
+          "external state changed under a parallel fixpoint round "
+          "(evaluator epoch " + std::to_string(epoch_before) + " -> " +
+          std::to_string(evaluator_->StateEpoch()) +
+          "); concurrent evaluation requires a quiescent external "
+          "database");
+    }
+
+    // Deterministic merge: clause order, then pivot, then shard, then
+    // each slice's enumeration order — the exact order the sequential
+    // engine appends in. Dedup, counters and plan feedback all happen
+    // here on the engine thread. Feedback sums each clause's counters
+    // over its slices (a runnable clause whose windows were all empty
+    // still reports zeros, like the sequential pass).
+    size_t si = 0;
     for (size_t ci = 0; ci < clauses.size(); ++ci) {
-      if (clauses[ci].IsFact()) continue;
-      ClauseOutcome& out = outcomes[ci];
-      if (!out.ran) continue;  // its task stopped at an earlier clause,
-                               // whose error returns below first
-      stats_->derivations_attempted += out.stats.derivations_attempted;
-      stats_->unsat_pruned += out.stats.unsat_pruned;
-      stats_->index_probes += out.stats.index_probes;
-      stats_->ground_rejects += out.stats.ground_rejects;
-      stats_->rename_skipped += out.stats.rename_skipped;
-      stats_->probe_intersections += out.stats.probe_intersections;
-      parallel_solver_ += out.solver;
-      // A pass cut short by the staging budget may have stopped before
-      // derivations the sequential engine (capping on the DEDUPED view
-      // size) would still reach; if dedup then keeps the merged view under
-      // max_atoms the run would otherwise claim completeness while missing
-      // atoms — flag it truncated.
-      if (out.capped) stats_->truncated = true;
-      for (StagedAtom& staged : out.atoms) {
-        if (view_.size() >= options_.max_atoms) {
-          stats_->truncated = true;
-          return Status::OK();  // Run()'s Capped() finishes the view
+      if (clauses[ci].IsFact() || !prep[ci].runnable) continue;
+      size_t n = clauses[ci].body.size();
+      std::vector<int64_t> cand(n, 0), acc(n, 0);
+      Status clause_status = Status::OK();
+      for (; si < slices.size() && slices[si].clause == ci; ++si) {
+        SliceOutcome& out = outcomes[si];
+        stats_->derivations_attempted += out.stats.derivations_attempted;
+        stats_->unsat_pruned += out.stats.unsat_pruned;
+        stats_->index_probes += out.stats.index_probes;
+        stats_->ground_rejects += out.stats.ground_rejects;
+        stats_->rename_skipped += out.stats.rename_skipped;
+        stats_->probe_intersections += out.stats.probe_intersections;
+        parallel_solver_ += out.solver;
+        for (size_t pos = 0; pos < n; ++pos) {
+          cand[pos] += out.cand[pos];
+          acc[pos] += out.acc[pos];
         }
-        MergeStaged(std::move(staged));
+        // A slice cut short by the staging budget may have stopped before
+        // derivations the sequential engine (capping on the DEDUPED view
+        // size) would still reach; if dedup then keeps the merged view
+        // under max_atoms the run would otherwise claim completeness
+        // while missing atoms — flag it truncated.
+        if (out.capped) stats_->truncated = true;
+        if (clause_status.ok() && !out.status.ok()) {
+          clause_status = out.status;
+        }
+        for (StagedAtom& staged : out.atoms) {
+          if (view_.size() >= options_.max_atoms) {
+            stats_->truncated = true;
+            return Status::OK();  // Run()'s Capped() finishes the view
+          }
+          MergeStaged(std::move(staged));
+        }
       }
-      if (out.feedback_due) {
-        plans_->Feedback(clauses[ci].number, out.cand, out.acc);
-      }
-      MMV_RETURN_NOT_OK(out.status);
+      plans_->Feedback(clauses[ci].number, cand, acc);
+      MMV_RETURN_NOT_OK(clause_status);
     }
     return Status::OK();
   }
@@ -965,10 +1245,8 @@ class Engine {
   std::string canonical_scratch_;
 
   // Parallel-round state.
-  bool tasks_built_ = false;
-  std::vector<std::vector<size_t>> tasks_;  // clause indices per group
-  std::vector<std::unique_ptr<SolveCache>> task_caches_;  // per task, whole
-                                                          // run
+  std::map<std::tuple<size_t, size_t, int>, std::unique_ptr<SolveCache>>
+      slice_caches_;  // per (clause, pivot, shard), whole run
   std::vector<std::shared_ptr<const plan::ClausePlan>> plans_prefetched_;
   std::unique_ptr<MutexDcaEvaluator> locked_evaluator_;
   SolveStats parallel_solver_;  // workers' solver counters, merge order

@@ -99,19 +99,24 @@ struct FixpointOptions {
   bool derive_facts = true;
   /// Body-join strategy; kNaive is the differential-testing oracle.
   JoinMode join_mode = JoinMode::kIndexed;
-  /// Worker threads for the per-round clause passes (parallel strata,
-  /// see plan/strata.h). 1 (default) runs the engine exactly as before;
-  /// N > 1 runs each round's head-predicate groups concurrently against
-  /// the round's read-only delta window, staging derived atoms per clause
-  /// and merging them once per round in (clause index, enumeration) order
-  /// — the order the sequential engine appends in — so canonical atom
-  /// sets, support multisets and the derivation counters are identical to
-  /// num_threads=1 whatever the thread count. (Fresh-variable NUMBERING
-  /// and solver-memo hit counts may differ — the same non-contract PR-3
-  /// carved out between join modes. Truncated runs — max_atoms /
-  /// max_iterations — may cut off at different atoms.) Parallel execution
-  /// requires the kIndexed planned executor; naive-join or fallback
-  /// configurations run sequentially whatever this value says.
+  /// Worker threads for the per-round clause passes. 1 (default) runs the
+  /// engine exactly as before; N > 1 fans each round out along two axes:
+  /// every (clause, seminaive pivot) pass is its own task, and a pivot
+  /// whose frozen delta window is large enough (plan/partition.h) is
+  /// hash-range-split further into up to N shards — so even a single
+  /// recursive clause (one SCC, where the old per-head-group strata
+  /// degenerated to one task) parallelizes. Each task runs against the
+  /// round's read-only delta window with a private staging sink, solver
+  /// and fresh-var factory; staged atoms merge once per round in (clause,
+  /// pivot, shard, enumeration) order — exactly the sequential append
+  /// order — so canonical atom sets, support multisets and the derivation
+  /// counters are identical to num_threads=1 whatever the thread count.
+  /// (Fresh-variable NUMBERING and solver-memo hit counts may differ —
+  /// the same non-contract PR-3 carved out between join modes. Truncated
+  /// runs — max_atoms / max_iterations — may cut off at different atoms.)
+  /// Parallel execution requires the kIndexed planned executor;
+  /// naive-join or fallback configurations run sequentially whatever this
+  /// value says.
   int num_threads = 1;
   /// Clause-plan ordering strategy of the kIndexed executor. kOrdered
   /// selectivity-orders body atoms per seminaive pivot and picks the
@@ -157,6 +162,16 @@ struct FixpointStats {
                                     ///  arg-value buckets and took the
                                     ///  smallest (multi-position probes)
   int64_t plan_cache_hits = 0;    ///< clause plans served without compiling
+  // The three counters below describe the parallel fan-out itself, so they
+  // DEPEND on num_threads (unlike every counter above, which is part of
+  // the byte-identity contract across thread counts).
+  int64_t partitions_run = 0;     ///< delta-window shards executed as their
+                                  ///  own tasks (0 when sequential)
+  int64_t partition_skipped_small = 0;  ///< shardable pivot windows left
+                                        ///  whole: below the size threshold
+  int64_t evaluator_clones = 0;   ///< tasks served by the lock-free
+                                  ///  concurrent-read evaluator path
+                                  ///  instead of MutexDcaEvaluator
   bool truncated = false;         ///< hit max_iterations / max_atoms
   SolveStats solver;              ///< aggregated solver counters
                                   ///  (solver.cache_hits: memo hits)

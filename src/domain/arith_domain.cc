@@ -94,6 +94,9 @@ class ArithDomain : public Domain {
             "mod", "abs", "min", "max"};
   }
 
+  // Stateless: pure arithmetic on the arguments.
+  bool ConcurrentCallSafe() const override { return true; }
+
  private:
   static Result<DcaResult> Singleton(double v, bool integral) {
     if (integral && v == std::floor(v)) {

@@ -52,7 +52,7 @@ Result<DcaResult> DomainManager::EvaluateAt(const std::string& domain,
     }
   }
   MMV_ASSIGN_OR_RETURN(Domain * d, Get(domain));
-  call_count_++;
+  call_count_.fetch_add(1, std::memory_order_relaxed);
   MMV_ASSIGN_OR_RETURN(DcaResult result, d->CallAt(function, args, tick));
   if (cacheable) call_cache_[key] = result;
   return result;

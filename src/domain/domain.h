@@ -8,6 +8,7 @@
 #ifndef MMV_DOMAIN_DOMAIN_H_
 #define MMV_DOMAIN_DOMAIN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -44,6 +45,15 @@ class Domain {
 
   /// \brief Names of the functions this domain implements.
   virtual std::vector<std::string> Functions() const = 0;
+
+  /// \brief True when Call()/CallAt() never mutate domain state — pure
+  /// reads of the backing store — so concurrent evaluations are safe while
+  /// no writer runs (the single-writer window StateEpoch validates).
+  /// Defaults to false: a domain must opt in explicitly, because a wrong
+  /// answer here is a data race, not a wrong result. Note this is a claim
+  /// about the EVALUATION path only; registration-time mutators
+  /// (AddMap/AddAddress-style setup) stay writer-side as ever.
+  virtual bool ConcurrentCallSafe() const { return false; }
 
   /// \brief Count of domain-LOCAL state mutations: writes that change
   /// Call() results but go through neither the catalog nor the clock
@@ -135,8 +145,26 @@ class DomainManager : public DcaEvaluator {
   rel::Clock* clock() { return clock_; }
 
   /// \brief Total number of domain calls evaluated (for benchmarks).
-  int64_t call_count() const { return call_count_; }
-  void ResetCallCount() { call_count_ = 0; }
+  int64_t call_count() const {
+    return call_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCount() { call_count_.store(0, std::memory_order_relaxed); }
+
+  /// \brief DcaEvaluator hook: concurrent evaluation is safe exactly when
+  /// every registered domain's evaluation path is a pure read AND the call
+  /// cache is off (EvaluateAt fills call_cache_ when enabled — a write).
+  /// The call counter is atomic, so it is not a disqualifier. Parallel
+  /// passes that get true here evaluate through this manager directly,
+  /// without the MutexDcaEvaluator serialization, under the single-writer
+  /// epoch contract (StateEpoch captured before the fan-out, re-checked
+  /// after, loud failure on mismatch).
+  bool ConcurrentReadSafe() const override {
+    if (cache_enabled_) return false;
+    for (const auto& [name, domain] : domains_) {
+      if (!domain->ConcurrentCallSafe()) return false;
+    }
+    return true;
+  }
 
   /// \brief Enables memoization of *historical* evaluations (tick strictly
   /// before the clock's now — those snapshots are immutable, so the cache
@@ -157,7 +185,9 @@ class DomainManager : public DcaEvaluator {
   rel::Clock* clock_;
   std::unordered_map<std::string, std::unique_ptr<Domain>> domains_;
   int64_t pinned_ = -1;
-  int64_t call_count_ = 0;
+  // Atomic so the ConcurrentReadSafe() fast path can count calls from
+  // worker threads; relaxed ordering is enough for a statistics counter.
+  std::atomic<int64_t> call_count_{0};
   bool cache_enabled_ = false;
   int64_t cache_hits_ = 0;
   std::unordered_map<std::string, DcaResult> call_cache_;

@@ -58,6 +58,10 @@ class FaceDomain : public Domain {
     return {"segmentface", "matchface", "findface", "findname"};
   }
 
+  /// Evaluation only reads the backing catalog tables (RowsAt replays);
+  /// the Add/Remove mutators are writer-side.
+  bool ConcurrentCallSafe() const override { return true; }
+
  private:
   FaceDomain(std::string name, rel::Catalog* catalog)
       : Domain(std::move(name)), catalog_(catalog) {}

@@ -102,6 +102,10 @@ class RelationalDomain : public Domain {
     return {"select_eq", "select_range", "scan", "project", "field", "count"};
   }
 
+  // Evaluation only reads catalog tables; SelectEq's lazy index build is
+  // RW-locked inside Table, so concurrent readers are safe.
+  bool ConcurrentCallSafe() const override { return true; }
+
  private:
   static Result<DcaResult> Field(const std::vector<Value>& args) {
     if (args.size() != 2 || !args[0].is_list() || !args[1].is_int()) {
@@ -168,6 +172,9 @@ class TupleDomain : public Domain {
   std::vector<std::string> Functions() const override {
     return {"get", "size"};
   }
+
+  // Stateless: pure projection of the argument tuple.
+  bool ConcurrentCallSafe() const override { return true; }
 };
 
 }  // namespace

@@ -40,6 +40,10 @@ class SpatialDomain : public Domain {
     return {"locateaddress", "range", "distance"};
   }
 
+  /// Call() only reads maps_/addresses_; AddMap/AddAddress are setup-time
+  /// writers, outside the single-writer evaluation window.
+  bool ConcurrentCallSafe() const override { return true; }
+
   /// \brief The deterministic synthetic geocode of an address key:
   /// hash-derived coordinates in [0, 1000) x [0, 1000).
   static std::pair<double, double> SyntheticGeocode(const std::string& key);

@@ -39,6 +39,10 @@ class TextDomain : public Domain {
     return {"match", "words"};
   }
 
+  /// Evaluation only reads the backing catalog table (Scan/RowsAt and the
+  /// RW-locked lazy index); AddDocument/RemoveDocument are writer-side.
+  bool ConcurrentCallSafe() const override { return true; }
+
  private:
   TextDomain(std::string name, rel::Catalog* catalog)
       : Domain(std::move(name)), catalog_(catalog) {}

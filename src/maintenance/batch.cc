@@ -194,6 +194,9 @@ Status ApplyBatch(const Program& program, View* view,
       stats->step3_replacements += s.step3_replacements();
       stats->removed_unsolvable += s.removed_unsolvable;
       stats->plan_cache_hits += s.plan_cache_hits;
+      stats->partitions_run += s.partitions_run;
+      stats->partition_skipped_small += s.partition_skipped_small;
+      stats->evaluator_clones += s.evaluator_clones;
     } else {
       InsertStats s;
       MMV_RETURN_NOT_OK(InsertBatch(program, view, requests, evaluator,
@@ -205,6 +208,9 @@ Status ApplyBatch(const Program& program, View* view,
       stats->plan_reorders += s.plan_reorders;
       stats->probe_intersections += s.probe_intersections;
       stats->plan_cache_hits += s.plan_cache_hits;
+      stats->partitions_run += s.partitions_run;
+      stats->partition_skipped_small += s.partition_skipped_small;
+      stats->evaluator_clones += s.evaluator_clones;
     }
     i = j;
   }

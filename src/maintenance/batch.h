@@ -104,6 +104,12 @@ struct BatchStats {
   int64_t plan_cache_hits = 0;      ///< plans served without compiling
   int64_t solve_epoch_flushes = 0;  ///< caller solver memo flushed because
                                     ///  the external database's epoch moved
+  // Parallel fan-out shape, summed over the batch's delete and insert
+  // passes (thread-count-dependent, see FixpointStats — every counter
+  // above is identical across thread counts, these are not).
+  int64_t partitions_run = 0;
+  int64_t partition_skipped_small = 0;
+  int64_t evaluator_clones = 0;
 };
 
 /// \brief Applies \p updates to \p view through the coalescing pipeline

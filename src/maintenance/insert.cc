@@ -111,6 +111,9 @@ Status InsertBatch(const Program& program, View* view,
     stats->plan_reorders += fstats.plan_reorders;
     stats->probe_intersections += fstats.probe_intersections;
     stats->plan_cache_hits += fstats.plan_cache_hits;
+    stats->partitions_run += fstats.partitions_run;
+    stats->partition_skipped_small += fstats.partition_skipped_small;
+    stats->evaluator_clones += fstats.evaluator_clones;
     stats->unfold_solver += fstats.solver;
     stats->truncated = stats->truncated || fstats.truncated;
     flush_begin = view->size();

@@ -26,6 +26,10 @@ struct InsertStats {
   int64_t plan_reorders = 0;     ///< plan-layer counters, aggregated the
   int64_t probe_intersections = 0;  ///  same way (see FixpointStats)
   int64_t plan_cache_hits = 0;
+  // Parallel fan-out shape (thread-count-dependent, see FixpointStats).
+  int64_t partitions_run = 0;
+  int64_t partition_skipped_small = 0;
+  int64_t evaluator_clones = 0;
   bool truncated = false;
   SolveStats solver;             ///< BuildAdd diffing solver counters
   SolveStats unfold_solver;      ///< continuation (fixpoint) solver counters

@@ -7,6 +7,7 @@
 #include "constraint/simplify.h"
 #include "constraint/solve_cache.h"
 #include "core/thread_pool.h"
+#include "plan/partition.h"
 #include "plan/plan_cache.h"
 
 namespace mmv {
@@ -192,9 +193,22 @@ Status DeleteStDelBatch(const Program& program, View* view,
   std::vector<std::pair<size_t, size_t>> parents;  // scratch, reused
   std::vector<LiftItem> lift_items;                // scratch, reused
   VarSet var_set;                                  // scratch, reused
+  // Lift checks only read external state, so an evaluator that vouches
+  // for concurrent pure reads is shared lock-free across the workers;
+  // anything else keeps the serialized MutexDcaEvaluator fallback. The
+  // epoch check after each fan-out polices the single-writer contract the
+  // lock-free claim rests on.
   std::unique_ptr<MutexDcaEvaluator> locked_evaluator;
+  DcaEvaluator* worker_evaluator = nullptr;
+  bool evaluator_direct = false;
   if (num_threads > 1 && evaluator != nullptr) {
-    locked_evaluator = std::make_unique<MutexDcaEvaluator>(evaluator);
+    if (evaluator->ConcurrentReadSafe()) {
+      worker_evaluator = evaluator;
+      evaluator_direct = true;
+    } else {
+      locked_evaluator = std::make_unique<MutexDcaEvaluator>(evaluator);
+      worker_evaluator = locked_evaluator.get();
+    }
   }
   SolveStats parallel_solver;  // lift-check counters, apply order
   for (size_t qi = 0; qi < pout.size(); ++qi) {
@@ -208,9 +222,19 @@ Status DeleteStDelBatch(const Program& program, View* view,
     // if the run's real factory ever nears kStagingVarBase (ids seeded
     // from the view's high-water mark), RemapStagingVars could rebind REAL
     // variables of the lifted constraint — fall back to the sequential
-    // sweep, mirroring the fixpoint engine's per-round guard.
+    // sweep, mirroring the fixpoint engine's per-round guard. Each fan-out
+    // is chunked into contiguous item shards (plan/partition.h, the same
+    // arithmetic the fixpoint round uses): one task per shard instead of
+    // one per item, and parent sweeps too small to amortize the staging
+    // overhead stay sequential.
+    int parts = 1;
     if (num_threads > 1 && parents.size() > 1 &&
         factory.issued() < kStagingVarBase / 2) {
+      parts = plan::PartitionCountFor(parents.size(), num_threads,
+                                      /*min_per_shard=*/2);
+      if (parts <= 1) stats->partition_skipped_small++;
+    }
+    if (parts > 1) {
       // Collect phase: marked / clause / arity screening and the plan-cache
       // lookups stay on this thread (PlanCache is not synchronized).
       lift_items.clear();
@@ -226,38 +250,59 @@ Status DeleteStDelBatch(const Program& program, View* view,
         lift_items.push_back(LiftItem{parent_idx, child_slot, clause,
                                       plans->PlanFor(program, *clause)});
       }
+      stats->partitions_run += parts;
+      if (evaluator_direct) {
+        stats->evaluator_clones += static_cast<int64_t>(lift_items.size());
+      }
+      int64_t epoch_before =
+          evaluator != nullptr ? evaluator->StateEpoch() : 0;
       std::vector<LiftOutcome> outcomes(lift_items.size());
       ThreadPool::Global().ParallelFor(
-          lift_items.size(), num_threads, [&](size_t i) {
-            const LiftItem& item = lift_items[i];
-            LiftOutcome& out = outcomes[i];
-            VarFactory staging;
-            staging.ReserveAbove(kStagingVarBase);
-            VarSet item_vars;
-            Clause renamed =
-                item.clause->RenameWith(item.plan->clause_vars, &staging);
-            const ViewAtom& parent = view->atoms()[item.parent_idx];
-            Constraint lifted;
-            if (!BuildLift(*view, original_constraints, pair, parent,
-                           item.child_slot, renamed, &staging, &item_vars,
-                           &lifted)) {
-              return;
+          static_cast<size_t>(parts), num_threads, [&](size_t shard) {
+            auto [item_begin, item_end] = plan::PartitionRange(
+                lift_items.size(), parts, static_cast<int>(shard));
+            for (size_t i = item_begin; i < item_end; ++i) {
+              const LiftItem& item = lift_items[i];
+              LiftOutcome& out = outcomes[i];
+              VarFactory staging;
+              staging.ReserveAbove(kStagingVarBase);
+              VarSet item_vars;
+              Clause renamed =
+                  item.clause->RenameWith(item.plan->clause_vars, &staging);
+              const ViewAtom& parent = view->atoms()[item.parent_idx];
+              Constraint lifted;
+              if (!BuildLift(*view, original_constraints, pair, parent,
+                             item.child_slot, renamed, &staging, &item_vars,
+                             &lifted)) {
+                continue;
+              }
+              if (lifted.is_false()) continue;
+              SolverOptions item_options = cached_options;
+              item_options.cache = nullptr;  // never share a memo across
+                                             // threads (not synchronized)
+              Solver item_solver(worker_evaluator, item_options);
+              SolveOutcome o = item_solver.Solve(lifted);  // condition (c)
+              out.solver = item_solver.stats();
+              if (o == SolveOutcome::kError) {
+                out.status = item_solver.last_status();
+                continue;
+              }
+              if (!IsSolvable(o)) continue;
+              out.applicable = true;
+              out.lifted = std::move(lifted);
             }
-            if (lifted.is_false()) return;
-            SolverOptions item_options = cached_options;
-            item_options.cache = nullptr;  // never share a memo across
-                                           // threads (not synchronized)
-            Solver item_solver(locked_evaluator.get(), item_options);
-            SolveOutcome o = item_solver.Solve(lifted);  // condition (c)
-            out.solver = item_solver.stats();
-            if (o == SolveOutcome::kError) {
-              out.status = item_solver.last_status();
-              return;
-            }
-            if (!IsSolvable(o)) return;
-            out.applicable = true;
-            out.lifted = std::move(lifted);
           });
+      // The lock-free path reads the external state unguarded; a writer
+      // slipping in mid-sweep would have produced silently inconsistent
+      // lift verdicts. Fail loudly instead of applying them.
+      if (evaluator != nullptr && evaluator->StateEpoch() != epoch_before) {
+        return Status::Internal(
+            "external state changed under a parallel StDel lift sweep "
+            "(evaluator epoch " + std::to_string(epoch_before) + " -> " +
+            std::to_string(evaluator->StateEpoch()) +
+            "); concurrent evaluation requires a quiescent external "
+            "database");
+      }
       // Apply phase: the sequential sweep's parent order.
       for (size_t i = 0; i < lift_items.size(); ++i) {
         LiftOutcome& out = outcomes[i];

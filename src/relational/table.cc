@@ -1,17 +1,20 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace mmv {
 namespace rel {
 
 void Table::IndexInsertedSlot(size_t slot) {
+  std::unique_lock lock(index_mu_);
   for (auto& [col, idx] : indexes_) {
     idx.emplace(slots_[slot].row[static_cast<size_t>(col)].Hash(), slot);
   }
 }
 
 void Table::IndexDeletedSlot(size_t slot) {
+  std::unique_lock lock(index_mu_);
   for (auto& [col, idx] : indexes_) {
     size_t h = slots_[slot].row[static_cast<size_t>(col)].Hash();
     auto [lo, hi] = idx.equal_range(h);
@@ -74,6 +77,14 @@ Result<int64_t> Table::DeleteWhere(const std::string& column,
 
 const std::unordered_multimap<size_t, size_t>& Table::IndexFor(
     int col) const {
+  {
+    std::shared_lock lock(index_mu_);
+    auto it = indexes_.find(col);
+    if (it != indexes_.end()) return it->second;
+  }
+  // Upgrade to exclusive for the lazy build; re-check because another
+  // reader may have built the index between the two locks.
+  std::unique_lock lock(index_mu_);
   auto it = indexes_.find(col);
   if (it != indexes_.end()) return it->second;
   auto& idx = indexes_[col];

@@ -10,6 +10,7 @@
 #define MMV_RELATIONAL_TABLE_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,14 @@ struct LogEntry {
 /// maintained incrementally: Insert appends one entry per materialized
 /// index, Delete/DeleteWhere erase the dead slot's entries. Mutations never
 /// drop the indexes wholesale.
+///
+/// Concurrency: the READ path (SelectEq/SelectRange/Scan/RowsAt/Diff) is
+/// safe to call from multiple threads while no mutator runs — the one
+/// hidden write, the lazy index build inside a const SelectEq, is guarded
+/// by an RW lock so two first-readers of a column cannot race. Mutators
+/// are NOT safe against concurrent readers (rows and the log are
+/// unguarded by design); parallel evaluation passes enforce that window
+/// externally via DomainManager::StateEpoch.
 class Table {
  public:
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
@@ -94,8 +103,14 @@ class Table {
   size_t live_count_ = 0;
   std::vector<LogEntry> log_;
   // column -> (value hash -> slot idx); collisions re-checked with ==.
+  // Guarded by index_mu_: shared for lookups, exclusive for the lazy
+  // build and the mutators' incremental maintenance. A returned inner
+  // multimap reference stays valid (and immutable) across other columns'
+  // builds — unordered_map never invalidates references on insert — so
+  // readers may keep using it after dropping the lock.
   mutable std::unordered_map<int, std::unordered_multimap<size_t, size_t>>
       indexes_;
+  mutable std::shared_mutex index_mu_;
 };
 
 }  // namespace rel

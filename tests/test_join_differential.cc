@@ -179,6 +179,34 @@ void RunRandomPrograms(DupSemantics semantics, uint64_t seed_base,
   }
 }
 
+// Directed single-SCC recursion through the same thread sweep: one
+// recursive predicate group, so the strata axis contributes nothing and
+// every bit of parallelism is intra-SCC delta partitioning. The chain
+// exercises many small rounds (slices below the partition threshold); the
+// star's 301-edge fact window clears it, so the pivot bucket is actually
+// sharded across workers.
+TEST(JoinDifferential, SingleSccRecursionThreadSweep) {
+  TestWorld w = TestWorld::Make();
+  for (DupSemantics semantics :
+       {DupSemantics::kDuplicate, DupSemantics::kSet}) {
+    FixpointOptions opts;
+    opts.semantics = semantics;
+    {
+      Program p =
+          workload::MakeTransitiveClosure(workload::ChainEdges(12));
+      ExpectThreadsAgree(p, w.domains.get(), opts, "chain TC");
+    }
+    {
+      std::vector<std::pair<int, int>> edges;
+      for (int j = 2; j <= 302; ++j) edges.push_back({j, 0});
+      edges.push_back({0, 1});
+      Program p = workload::MakeTransitiveClosure(edges);
+      ExpectThreadsAgree(p, w.domains.get(), opts, "star TC");
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
 TEST(JoinDifferential, RandomProgramsDuplicateSemantics) {
   RunRandomPrograms(DupSemantics::kDuplicate, 1, 100);
 }
