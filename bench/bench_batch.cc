@@ -11,8 +11,12 @@
 
 #include "bench_util.h"
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
+#include "core/snapshot.h"
 #include "maintenance/batch.h"
 #include "parser/view_io.h"
 
@@ -180,6 +184,71 @@ void BM_BulkLoadBurst_BatchThreads(benchmark::State& state) {
            /*pipelined=*/true, &opts);
 }
 
+// Snapshot serving (core/snapshot.h): a reader thread continuously pins
+// the latest epoch and enumerates it WHILE a K-update deletion burst
+// applies through ApplyBatch against a SnapshotStore. Manual time measures
+// the batch alone (the writer's cost with a concurrent reader attached);
+// `reader_qps` reports how many full-view snapshot reads the reader
+// completed per second of batch time. The reader is a plain std::thread so
+// the engine's ThreadPool stays free for the writer's parallel fan-out.
+// Work-product counters stay deterministic (the sidecar diff compares
+// them); snapshot_reads/reader_qps are timing-dependent by nature and are
+// excluded from COMPARED. {depth, K}.
+void BM_SnapshotReadDuringBatch(benchmark::State& state) {
+  int k = static_cast<int>(state.range(1));
+  Program p =
+      workload::MakeMultiChain(8, static_cast<int>(state.range(0)), k);
+  World w = World::Make();
+  FixpointOptions opts = DefaultOptions();
+  View base = MustMaterialize(p, w.domains.get(), opts);
+  std::vector<maint::Update> burst = ParseBurstOrAbort(DeletionBurstText(k),
+                                                       &p);
+
+  maint::BatchStats stats;
+  int64_t reads = 0;
+  double batch_seconds = 0.0;
+  for (auto _ : state) {
+    View v = base;
+    SnapshotStore store;
+    store.Publish(v);  // epoch 1 = the pre-burst view
+    std::atomic<bool> stop{false};
+    int64_t local_reads = 0;
+    std::thread reader([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        SnapshotHandle h = store.Pin();
+        Result<query::InstanceSet> r =
+            query::EnumerateView(h, w.domains.get());
+        if (!r.ok()) std::abort();
+        benchmark::DoNotOptimize(r->instances.size());
+        ++local_reads;
+      }
+    });
+    auto start = std::chrono::steady_clock::now();
+    Status s = maint::ApplyBatch(p, &v, burst, w.domains.get(), opts, &stats,
+                                 nullptr, &store);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.SetIterationTime(elapsed.count());
+    reads += local_reads;
+    batch_seconds += elapsed.count();
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.counters["updates"] = static_cast<double>(burst.size());
+  state.counters["coalesced"] = static_cast<double>(stats.coalesced_away);
+  state.counters["delete_passes"] = static_cast<double>(stats.delete_passes);
+  state.counters["insert_passes"] = static_cast<double>(stats.insert_passes);
+  state.counters["replacements"] = static_cast<double>(stats.replacements);
+  state.counters["step3"] = static_cast<double>(stats.step3_replacements);
+  state.counters["epochs_published"] =
+      static_cast<double>(stats.epochs_published);
+  state.counters["snapshot_reads"] = static_cast<double>(reads);
+  state.counters["reader_qps"] =
+      batch_seconds > 0 ? static_cast<double>(reads) / batch_seconds : 0.0;
+}
+
 void BM_CancellingBurst_Batch(benchmark::State& state) {
   int k = static_cast<int>(state.range(1));
   RunBurst(state, CancellingBurstText(k, k + 32),
@@ -224,6 +293,11 @@ BENCHMARK(BM_MixedBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_MixedBurst_Sequential)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Batch)->Apply(BurstArgs);
 BENCHMARK(BM_CancellingBurst_Sequential)->Apply(BurstArgs);
+BENCHMARK(BM_SnapshotReadDuringBatch)
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BulkLoadBurst_Batch)->Apply(BulkLoadArgs);
 BENCHMARK(BM_BulkLoadBurst_BatchThreads)->Apply(BulkLoadThreadArgs);
 

@@ -803,7 +803,7 @@ class Engine {
       VarId seed_bound = initial.MaxVarId();
       std::vector<ViewAtom> seeds = initial.TakeAtoms();
       for (ViewAtom& a : seeds) AddAtom(std::move(a), false);
-      view_.NoteExternalVars(seed_bound);  // TakeAtoms reset initial's mark
+      view_.NoteExternalVars(seed_bound);  // carry initial's mark to view_
     } else {
       stats_->atoms_created += initial.size();
       view_ = std::move(initial);

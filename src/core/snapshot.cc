@@ -1,0 +1,32 @@
+#include "core/snapshot.h"
+
+#include <utility>
+
+namespace mmv {
+
+SnapshotStore::SnapshotStore()
+    : current_(std::make_shared<const ViewSnapshot>()) {}
+
+SnapshotHandle SnapshotStore::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotStore::Publish(const View& live) {
+  // The deep copy happens OUTSIDE the lock: readers keep pinning the old
+  // epoch at full speed while the new image is built, and the swap itself
+  // is two pointer writes.
+  auto next = std::make_shared<ViewSnapshot>();
+  next->view = live;
+  std::lock_guard<std::mutex> lock(mu_);
+  next->epoch = current_->epoch + 1;
+  current_ = std::move(next);
+  return current_->epoch;
+}
+
+uint64_t SnapshotStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->epoch;
+}
+
+}  // namespace mmv

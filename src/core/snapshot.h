@@ -1,0 +1,87 @@
+// Epoch-pinned snapshot reads: the versioned-read layer that lets queries
+// run WHILE maintenance mutates the live view.
+//
+// The live View's indexes are mutated in place by RemoveIf / batch merges,
+// so a reader racing maint::ApplyBatch would see torn state. Instead, the
+// write side publishes an immutable ViewSnapshot per applied batch (a
+// double-buffered deep copy swapped atomically under a mutex), and readers
+// PIN an epoch: they grab a shared_ptr to the latest snapshot and run
+// query::Enumerate / EnumerateView against it for as long as they like —
+// the snapshot stays alive until the last reader drops its handle, however
+// many epochs the writer publishes in the meantime.
+//
+// Consistency contract:
+//   - A pinned snapshot NEVER changes: reads against it are byte-identical
+//     no matter what maintenance runs concurrently.
+//   - Publication is failure-atomic at the batch level: ApplyBatch
+//     publishes only after the whole burst applied cleanly, so readers
+//     never observe a half-applied batch (on error they keep serving the
+//     pre-batch epoch).
+//   - Epochs are strictly increasing, one per publication.
+//
+// This is the paper's Corollary-1 story made operational: a W_P view is
+// query-time solvable, so the only thing standing between a mediator and
+// always-answerable queries is a stable view image to enumerate — which is
+// exactly what an epoch pin provides.
+//
+// Snapshot extraction is a plain View copy. That copies the posting-list /
+// support / argument index maps as-is — the maps key on precomputed hash
+// values, so no Support tree or Value is ever re-hashed (Support caches
+// its hash at construction and copies are O(1) shared_ptr bumps).
+
+#ifndef MMV_CORE_SNAPSHOT_H_
+#define MMV_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/view.h"
+
+namespace mmv {
+
+/// \brief One immutable published version of a view.
+///
+/// Epoch 0 is the empty pre-publication snapshot every store starts with;
+/// published epochs start at 1.
+struct ViewSnapshot {
+  uint64_t epoch = 0;
+  View view;
+};
+
+/// \brief A reader's pin: holds the snapshot alive while in use.
+using SnapshotHandle = std::shared_ptr<const ViewSnapshot>;
+
+/// \brief The publication point between one writer and any number of
+/// readers. All members are thread-safe; the writer side (Publish) is
+/// single-writer by contract (maintenance is already serialized per view).
+class SnapshotStore {
+ public:
+  SnapshotStore();
+
+  /// \brief Pins the latest published epoch. Never null — before the
+  /// first Publish this is the empty epoch-0 snapshot. O(1); the returned
+  /// handle is valid indefinitely and independent of later publications.
+  SnapshotHandle Pin() const;
+
+  /// \brief Copies \p live into a new immutable snapshot with the next
+  /// epoch and swaps it in. Returns the published epoch. Readers pinned to
+  /// older epochs are unaffected.
+  uint64_t Publish(const View& live);
+
+  /// \brief The latest published epoch (0 before the first Publish).
+  uint64_t epoch() const;
+
+  /// \brief Total publications, for stats plumbing (== epoch()).
+  int64_t epochs_published() const {
+    return static_cast<int64_t>(epoch());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotHandle current_;  // guarded by mu_; payload immutable once set
+};
+
+}  // namespace mmv
+
+#endif  // MMV_CORE_SNAPSHOT_H_

@@ -93,7 +93,12 @@ std::vector<ViewAtom> View::TakeAtoms() {
   child_index_.clear();
   by_arg_value_.clear();
   by_arg_var_.clear();
-  max_var_ = -1;
+  // max_var_ is deliberately PRESERVED: the mark is monotone over the
+  // store's whole history (like RemoveIf, which never lowers it), and a
+  // taker that re-Adds the atoms elsewhere still reads MaxVarId() here to
+  // standardize apart. Resetting it would silently forget externally noted
+  // variable bounds (NoteExternalVars) that no surviving atom mentions —
+  // a capture footgun for any layer that clones or drains views.
   return out;
 }
 

@@ -50,6 +50,9 @@ class View {
   ViewAtom& MutableAtom(size_t i) { return atoms_[i]; }
 
   /// \brief Moves the atoms out (indexes reset); the view becomes empty.
+  /// The variable high-water mark (MaxVarId) is preserved — it stays the
+  /// monotone bound over everything the store ever held, including bounds
+  /// injected via NoteExternalVars that no atom mentions.
   std::vector<ViewAtom> TakeAtoms();
 
   /// \brief Indices of atoms with predicate \p pred (ascending). O(1).

@@ -127,7 +127,7 @@ BatchPlan PlanBatch(const Program& program,
 Status ApplyBatch(const Program& program, View* view,
                   const std::vector<Update>& updates, DcaEvaluator* evaluator,
                   const FixpointOptions& options, BatchStats* stats,
-                  int* ext_support_counter) {
+                  int* ext_support_counter, SnapshotStore* snapshots) {
   BatchStats local_stats;
   if (!stats) stats = &local_stats;
   *stats = BatchStats();
@@ -213,6 +213,13 @@ Status ApplyBatch(const Program& program, View* view,
       stats->evaluator_clones += s.evaluator_clones;
     }
     i = j;
+  }
+  // The epoch publication point: one immutable snapshot per cleanly
+  // applied burst. Errors above returned already — a failed batch
+  // publishes nothing, so concurrent readers keep the pre-batch epoch.
+  if (snapshots != nullptr) {
+    snapshots->Publish(*view);
+    stats->epochs_published++;
   }
   return Status::OK();
 }

@@ -22,6 +22,7 @@
 #ifndef MMV_MAINTENANCE_BATCH_H_
 #define MMV_MAINTENANCE_BATCH_H_
 
+#include "core/snapshot.h"
 #include "maintenance/insert.h"
 #include "maintenance/stdel.h"
 
@@ -104,6 +105,10 @@ struct BatchStats {
   int64_t plan_cache_hits = 0;      ///< plans served without compiling
   int64_t solve_epoch_flushes = 0;  ///< caller solver memo flushed because
                                     ///  the external database's epoch moved
+  // Snapshot layer.
+  int64_t epochs_published = 0;     ///< view epochs published to the
+                                    ///  snapshot store (1 per successful
+                                    ///  batch when a store is attached)
   // Parallel fan-out shape, summed over the batch's delete and insert
   // passes (thread-count-dependent, see FixpointStats — every counter
   // above is identical across thread counts, these are not).
@@ -137,11 +142,18 @@ struct BatchStats {
 /// batches (it revalidates against the program identity by itself); when
 /// absent, one batch-local instance spans this batch's delete and insert
 /// passes.
+///
+/// Snapshot publication: when \p snapshots is non-null, ONE new view epoch
+/// is published there after the whole burst applied cleanly (the epoch
+/// publication point for concurrent readers — see core/snapshot.h). On
+/// error nothing is published, so pinned readers keep serving the
+/// pre-batch epoch and never observe the partially maintained view.
 Status ApplyBatch(const Program& program, View* view,
                   const std::vector<Update>& updates, DcaEvaluator* evaluator,
                   const FixpointOptions& options = {},
                   BatchStats* stats = nullptr,
-                  int* ext_support_counter = nullptr);
+                  int* ext_support_counter = nullptr,
+                  SnapshotStore* snapshots = nullptr);
 
 /// \brief Replays \p updates one at a time in order (no coalescing, one
 /// StDel or insertion fixpoint per update). This is the paper's

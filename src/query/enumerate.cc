@@ -1,6 +1,7 @@
 #include "query/enumerate.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <functional>
 #include <sstream>
@@ -60,13 +61,30 @@ PositionDomain DomainOf(const VarDomainInfo& info) {
   // Interval-only domains are enumerable when integral and finite.
   if (info.interval.integral) {
     auto count = info.interval.IntegralCount();
-    if (count.has_value() && *count >= 0 && *count <= 2000000) {
+    if (count.has_value() && *count == 0) return out;  // provably empty
+    if (count.has_value() && *count > 0 && *count <= 2000000) {
       double lo = std::ceil(info.interval.lo);
-      if (info.interval.lo_strict && lo == info.interval.lo) lo += 1;
       double hi = std::floor(info.interval.hi);
-      if (info.interval.hi_strict && hi == info.interval.hi) hi -= 1;
-      for (double v = lo; v <= hi; v += 1) {
-        Value val(static_cast<int64_t>(v));
+      // The walk must use an int64_t cursor: at magnitudes >= 2^53 a
+      // double `v += 1` is a no-op (infinite loop) or skips integers even
+      // though the COUNT above is tiny. The endpoint doubles themselves
+      // are exact integers (ceil/floor), so the casts below are exact;
+      // bounds outside int64 range are unenumerable (the cast would be
+      // UB), so treat them as unbounded. 2^63 is the first double above
+      // the int64 range on both sides.
+      constexpr double kInt64Edge = 9223372036854775808.0;  // 2^63
+      if (lo < -kInt64Edge || hi >= kInt64Edge) {
+        out.unbounded = true;
+        return out;
+      }
+      int64_t lo_i = static_cast<int64_t>(lo);
+      int64_t hi_i = static_cast<int64_t>(hi);
+      // Strict-bound nudges happen in int64 too: at 2^53, `lo += 1` on the
+      // double rounds back to 2^53 and the open bound would be included.
+      if (info.interval.lo_strict && lo == info.interval.lo) ++lo_i;
+      if (info.interval.hi_strict && hi == info.interval.hi) --hi_i;
+      for (int64_t v = lo_i; v <= hi_i; ++v) {
+        Value val(v);
         bool excluded = std::find(info.excluded.begin(), info.excluded.end(),
                                   val) != info.excluded.end();
         if (!excluded) out.values.push_back(std::move(val));
@@ -232,8 +250,15 @@ Result<InstanceSet> EnumerateView(const View& view, DcaEvaluator* evaluator,
                                   const EnumerateOptions& options) {
   InstanceSet out;
   for (const ViewAtom& atom : view.atoms()) {
+    // Each atom gets only the REMAINING budget: handing every atom the
+    // full max_instances would let an N-atom view do ~N times the capped
+    // work (and overshoot the cap) before the union check below truncated.
+    // An atom capped at `remaining` adds at most `remaining` new
+    // instances, so the union can never exceed max_instances.
+    EnumerateOptions atom_options = options;
+    atom_options.max_instances = options.max_instances - out.instances.size();
     MMV_ASSIGN_OR_RETURN(InstanceSet one,
-                         EnumerateAtom(atom, evaluator, options));
+                         EnumerateAtom(atom, evaluator, atom_options));
     out.instances.insert(one.instances.begin(), one.instances.end());
     out.complete = out.complete && one.complete;
     out.approximate = out.approximate || one.approximate;
@@ -242,7 +267,14 @@ Result<InstanceSet> EnumerateView(const View& view, DcaEvaluator* evaluator,
       break;
     }
   }
+  assert(out.instances.size() <= options.max_instances);
   return out;
+}
+
+Result<InstanceSet> EnumerateView(const SnapshotHandle& snapshot,
+                                  DcaEvaluator* evaluator,
+                                  const EnumerateOptions& options) {
+  return EnumerateView(snapshot->view, evaluator, options);
 }
 
 }  // namespace query

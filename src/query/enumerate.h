@@ -11,6 +11,7 @@
 
 #include "common/interner.h"
 #include "constraint/solver.h"
+#include "core/snapshot.h"
 #include "core/view.h"
 
 namespace mmv {
@@ -57,6 +58,14 @@ Result<InstanceSet> EnumerateAtom(const ViewAtom& atom,
 
 /// \brief Enumerates [M]: the union of all atoms' solutions.
 Result<InstanceSet> EnumerateView(const View& view, DcaEvaluator* evaluator,
+                                  const EnumerateOptions& options = {});
+
+/// \brief Enumerates [M] against a pinned snapshot (core/snapshot.h): the
+/// epoch-consistent read path that is safe WHILE maintenance mutates the
+/// live view. The handle keeps the snapshot alive for the duration, so
+/// callers may drop their own pin immediately after the call.
+Result<InstanceSet> EnumerateView(const SnapshotHandle& snapshot,
+                                  DcaEvaluator* evaluator,
                                   const EnumerateOptions& options = {});
 
 }  // namespace query

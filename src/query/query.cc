@@ -32,13 +32,29 @@ Result<InstanceSet> QueryPred(const View& view, Symbol pred,
         }
       }
     }
+    // Thread the REMAINING budget, as in EnumerateView: handing every
+    // matching atom the full max_instances would let the union overshoot
+    // the cap.
+    EnumerateOptions atom_options = options;
+    atom_options.max_instances = options.max_instances - out.instances.size();
     MMV_ASSIGN_OR_RETURN(InstanceSet one,
-                         EnumerateAtom(restricted, evaluator, options));
+                         EnumerateAtom(restricted, evaluator, atom_options));
     out.instances.insert(one.instances.begin(), one.instances.end());
     out.complete = out.complete && one.complete;
     out.approximate = out.approximate || one.approximate;
+    if (out.instances.size() >= options.max_instances) {
+      out.complete = false;
+      break;
+    }
   }
   return out;
+}
+
+Result<InstanceSet> QueryPred(const SnapshotHandle& snapshot, Symbol pred,
+                              const TermVec& pattern,
+                              DcaEvaluator* evaluator,
+                              const EnumerateOptions& options) {
+  return QueryPred(snapshot->view, pred, pattern, evaluator, options);
 }
 
 Result<bool> Ask(const View& view, Symbol pred,
@@ -50,6 +66,12 @@ Result<bool> Ask(const View& view, Symbol pred,
   MMV_ASSIGN_OR_RETURN(InstanceSet result,
                        QueryPred(view, pred, pattern, evaluator, options));
   return !result.instances.empty();
+}
+
+Result<bool> Ask(const SnapshotHandle& snapshot, Symbol pred,
+                 const std::vector<Value>& values, DcaEvaluator* evaluator,
+                 const EnumerateOptions& options) {
+  return Ask(snapshot->view, pred, values, evaluator, options);
 }
 
 }  // namespace query

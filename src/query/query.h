@@ -19,8 +19,21 @@ Result<InstanceSet> QueryPred(const View& view, Symbol pred,
                               DcaEvaluator* evaluator,
                               const EnumerateOptions& options = {});
 
+/// \brief QueryPred against a pinned snapshot (core/snapshot.h) — the
+/// epoch-consistent read path, safe while maintenance runs on the live
+/// view.
+Result<InstanceSet> QueryPred(const SnapshotHandle& snapshot, Symbol pred,
+                              const TermVec& pattern,
+                              DcaEvaluator* evaluator,
+                              const EnumerateOptions& options = {});
+
 /// \brief True iff pred(values) is an instance of the view.
 Result<bool> Ask(const View& view, Symbol pred,
+                 const std::vector<Value>& values, DcaEvaluator* evaluator,
+                 const EnumerateOptions& options = {});
+
+/// \brief Ask against a pinned snapshot.
+Result<bool> Ask(const SnapshotHandle& snapshot, Symbol pred,
                  const std::vector<Value>& values, DcaEvaluator* evaluator,
                  const EnumerateOptions& options = {});
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "maintenance/batch.h"
 #include "test_util.h"
 #include "workload/generators.h"
@@ -138,11 +139,27 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
                  u.atom.ToString(p.names()) + "\n";
   }
 
+  // The batch runs against a SnapshotStore: a reader pinned to the
+  // pre-batch epoch must read byte-identically after the batch mutated the
+  // live view, and the published post-batch epoch must match the live
+  // result — the snapshot layer's consistency contract crossed with every
+  // random burst of this suite.
+  SnapshotStore snapshots;
+  snapshots.Publish(initial);  // epoch 1
+  SnapshotHandle pre_pin = snapshots.Pin();
+  auto initial_instances = Instances(initial, w.domains.get());
+
   View batch_view = initial;
   int batch_counter = 0;
   Status s = maint::ApplyBatch(p, &batch_view, burst, w.domains.get(),
-                               batch_fp, &out.batch_stats, &batch_counter);
+                               batch_fp, &out.batch_stats, &batch_counter,
+                               &snapshots);
   EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << out.trace;
+  EXPECT_EQ(out.batch_stats.epochs_published, 1) << out.trace;
+  EXPECT_EQ(pre_pin->epoch, 1u);
+  EXPECT_EQ(Instances(pre_pin->view, w.domains.get()), initial_instances)
+      << "pre-batch snapshot changed under maintenance\n"
+      << out.trace;
 
   View seq_view = initial;
   int seq_counter = 0;
@@ -154,6 +171,12 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
   auto seq_instances = Instances(seq_view, w.domains.get());
   EXPECT_EQ(batch_instances, seq_instances)
       << "pipeline diverged from sequential replay\n"
+      << out.trace;
+  // The published post-batch epoch equals the sequential-oracle result.
+  SnapshotHandle post_pin = snapshots.Pin();
+  EXPECT_EQ(post_pin->epoch, 2u);
+  EXPECT_EQ(Instances(post_pin->view, w.domains.get()), seq_instances)
+      << "published epoch diverged from the sequential oracle\n"
       << out.trace;
   if (FoldOracleApplies(p, burst)) {
     View oracle = testutil::FoldRecompute(p, burst, w.domains.get(), fp);

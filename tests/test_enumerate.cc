@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "query/query.h"
 #include "test_util.h"
 
@@ -119,6 +123,58 @@ TEST(EnumerateTest, SplitsOnChainedDomainCalls) {
   EXPECT_TRUE(s.complete);
 }
 
+TEST(EnumerateTest, IntegralIntervalAtDoublePrecisionEdge) {
+  // Regression: DomainOf used to walk integral intervals with a double
+  // cursor (`for (double v = lo; v <= hi; v += 1)`). At lo = 2^53 the
+  // increment is a no-op on a double, so enumeration spun forever even
+  // though IntegralCount was 3. The walk must use an int64_t cursor.
+  constexpr int64_t kLo = 9007199254740992;  // 2^53
+  TestWorld w = TestWorld::Make();
+  Constraint c;
+  c.Add(Primitive::In(V(0), DomainCall{"arith", "between",
+                                       {C(kLo), C(kLo + 2)}}));
+  c.Add(Primitive::Neq(V(0), C(kLo + 1)));  // exclusion keys on int64 too
+  query::InstanceSet s = Unwrap(
+      query::EnumerateAtom(MakeAtom("p", {V(0)}, c), w.domains.get()));
+  std::set<std::string> got;
+  for (const auto& i : s.instances) got.insert(i.ToString());
+  EXPECT_EQ(got, (std::set<std::string>{"p(" + std::to_string(kLo) + ")",
+                                        "p(" + std::to_string(kLo + 2) +
+                                            ")"}));
+  EXPECT_TRUE(s.complete);
+}
+
+TEST(EnumerateTest, ViewUnionNeverOvershootsMaxInstances) {
+  // Regression: EnumerateView handed every atom the FULL max_instances
+  // budget and only checked the cap between atoms, so an N-atom view could
+  // do ~N times the capped work and the union overshot the limit (three
+  // 7-instance atoms at cap 10 yielded 14 before truncation). Each atom
+  // must get only the remaining budget.
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    a(X) <- in(X, arith:between(0, 6)).
+    a(X) <- in(X, arith:between(10, 16)).
+    a(X) <- in(X, arith:between(20, 26)).
+  )");
+  View v = MaterializeOrDie(p, w.domains.get());
+  ASSERT_EQ(v.size(), 3u);
+  query::EnumerateOptions opts;
+  opts.max_instances = 10;
+  query::InstanceSet s =
+      Unwrap(query::EnumerateView(v, w.domains.get(), opts));
+  EXPECT_EQ(s.instances.size(), 10u);  // exactly the cap, never above
+  EXPECT_FALSE(s.complete);
+
+  // An uncapped read sees all 21; the capped one is a strict prefix-like
+  // subset of it.
+  query::InstanceSet full = Unwrap(query::EnumerateView(v, w.domains.get()));
+  EXPECT_EQ(full.instances.size(), 21u);
+  EXPECT_TRUE(full.complete);
+  for (const query::Instance& i : s.instances) {
+    EXPECT_EQ(full.instances.count(i), 1u);
+  }
+}
+
 TEST(EnumerateTest, MaxInstancesTruncates) {
   TestWorld w = TestWorld::Make();
   Constraint c;
@@ -175,6 +231,73 @@ TEST(QueryTest, Ask) {
   EXPECT_TRUE(Unwrap(query::Ask(v, "e", {Value(1)}, w.domains.get())));
   EXPECT_FALSE(Unwrap(query::Ask(v, "e", {Value(2)}, w.domains.get())));
   EXPECT_FALSE(Unwrap(query::Ask(v, "zzz", {Value(1)}, w.domains.get())));
+}
+
+// A value pool dense in cross-kind collisions: mixed int/double encodings
+// of the same number (1 vs 1.0), the 2^53 double-precision edge, bools,
+// strings, and nested lists of all of those.
+Value RandomValue(Rng* rng, int depth) {
+  constexpr int64_t kEdge = 9007199254740992;  // 2^53
+  switch (rng->Int(0, depth > 0 ? 8 : 6)) {
+    case 0:
+      return Value(rng->Int(0, 3));
+    case 1:
+      return Value(static_cast<double>(rng->Int(0, 3)));
+    case 2:
+      return Value(static_cast<double>(rng->Int(0, 3)) + 0.5);
+    case 3:
+      return Value(kEdge + rng->Int(0, 2));
+    case 4:
+      return Value(rng->Chance(0.5));
+    case 5:
+      return Value(std::string(1, static_cast<char>('a' + rng->Int(0, 2))));
+    case 6:
+      return Value();  // null
+    default: {
+      ValueList list;
+      int n = static_cast<int>(rng->Int(0, 2));
+      for (int i = 0; i < n; ++i) {
+        list.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value(std::move(list));
+    }
+  }
+}
+
+TEST(InstanceTest, OrderingInducesTheSameEquivalenceAsEquality) {
+  // std::set<Instance> dedups on operator<'s equivalence while the rest of
+  // the system compares with operator== (numeric across int/double). The
+  // two must agree, or a set could hold "equal" duplicates — e.g. p(1)
+  // and p(1.0) — or collapse unequal instances. Both comparators widen
+  // mixed numerics identically (int-int exact, otherwise via double), so
+  // the equivalences coincide; this pins it. (NaN payloads would break
+  // strict-weak ordering, but no domain produces NaN Values.)
+  Rng rng(101);
+  std::vector<query::Instance> pool;
+  for (int i = 0; i < 60; ++i) {
+    query::Instance inst;
+    inst.pred = rng.Chance(0.5) ? "p" : "q";
+    int arity = static_cast<int>(rng.Int(0, 3));
+    for (int k = 0; k < arity; ++k) {
+      inst.values.push_back(RandomValue(&rng, 2));
+    }
+    pool.push_back(std::move(inst));
+  }
+  for (const query::Instance& a : pool) {
+    EXPECT_FALSE(a < a);  // irreflexive
+    for (const query::Instance& b : pool) {
+      bool lt_equivalent = !(a < b) && !(b < a);
+      EXPECT_EQ(a == b, lt_equivalent)
+          << "comparator mismatch on " << a.ToString() << " vs "
+          << b.ToString();
+    }
+  }
+  // The canonical pair the audit is about: mixed numeric encodings are one
+  // instance to the set.
+  std::set<query::Instance> dedup;
+  dedup.insert(query::Instance{"p", {Value(1)}});
+  dedup.insert(query::Instance{"p", {Value(1.0)}});
+  EXPECT_EQ(dedup.size(), 1u);
 }
 
 TEST(InstanceTest, OrderingAndToString) {

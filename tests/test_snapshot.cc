@@ -1,0 +1,262 @@
+// The epoch-pinned snapshot read layer (core/snapshot.h): unit tests for
+// SnapshotStore publication/pinning, the ApplyBatch publication point, and
+// the reader-vs-writer race the layer exists for — a reader thread pinning
+// and enumerating snapshots WHILE maintenance bursts apply on the live
+// view. The race test runs under the TSan CI job with MMV_THREADS=8, so
+// the reader crosses both the batch pipeline and its parallel fan-out.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "maintenance/batch.h"
+#include "query/query.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace mmv {
+namespace {
+
+using testutil::Instances;
+using testutil::ParseOrDie;
+using testutil::ParseUpdate;
+using testutil::TestWorld;
+using testutil::Unwrap;
+
+TEST(SnapshotStoreTest, StartsAtEmptyEpochZero) {
+  SnapshotStore store;
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_EQ(store.epochs_published(), 0);
+  SnapshotHandle h = store.Pin();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->epoch, 0u);
+  EXPECT_TRUE(h->view.empty());
+}
+
+TEST(SnapshotStoreTest, PublishBumpsEpochAndIsolatesOlderPins) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("a(X) <- X = 1.");
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+
+  SnapshotStore store;
+  EXPECT_EQ(store.Publish(live), 1u);
+  SnapshotHandle pinned = store.Pin();
+  EXPECT_EQ(pinned->epoch, 1u);
+  size_t pinned_size = pinned->view.size();
+
+  // Mutate the live view and publish again: the old pin must not move.
+  live.RemoveIf([](const ViewAtom&) { return true; });
+  EXPECT_EQ(store.Publish(live), 2u);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->view.size(), pinned_size);
+  EXPECT_EQ(store.Pin()->view.size(), 0u);
+
+  // A snapshot is a full deep copy: its indexes answer queries on their
+  // own, with no reference back to the live view.
+  EXPECT_EQ(pinned->view.AtomsFor("a").size(), pinned_size);
+}
+
+TEST(SnapshotStoreTest, ApplyBatchPublishesOneEpochPerCleanBurst) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("base(X) <- X = 0. d(X) <- base(X).");
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+
+  SnapshotStore store;
+  store.Publish(live);  // epoch 1 = the initial materialization
+
+  std::vector<maint::Update> burst;
+  burst.push_back(maint::Update::Insert(ParseUpdate("base(X) <- X = 1.", &p)));
+  burst.push_back(maint::Update::Insert(ParseUpdate("base(X) <- X = 2.", &p)));
+  maint::BatchStats stats;
+  ASSERT_TRUE(maint::ApplyBatch(p, &live, burst, w.domains.get(), {}, &stats,
+                                nullptr, &store)
+                  .ok());
+  EXPECT_EQ(stats.epochs_published, 1);  // one epoch per batch, not per pass
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_EQ(Instances(store.Pin()->view, w.domains.get()),
+            Instances(live, w.domains.get()));
+
+  // Without a store attached nothing is published.
+  maint::BatchStats stats2;
+  ASSERT_TRUE(maint::ApplyBatch(p, &live, burst, w.domains.get(), {}, &stats2)
+                  .ok());
+  EXPECT_EQ(stats2.epochs_published, 0);
+  EXPECT_EQ(store.epoch(), 2u);
+}
+
+TEST(SnapshotStoreTest, FailedBatchPublishesNothing) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie("base(X) <- X = 0. d(X) <- base(X).");
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+  SnapshotStore store;
+  store.Publish(live);  // epoch 1
+
+  // A constraint over an unregistered domain makes the insertion
+  // continuation's solvability check fail, so the batch errors out after
+  // the view was already touched — readers must keep the pre-batch epoch.
+  std::vector<maint::Update> burst;
+  burst.push_back(
+      maint::Update::Insert(ParseUpdate("base(X) <- in(X, nosuch:f(1)).", &p)));
+  maint::BatchStats stats;
+  Status s = maint::ApplyBatch(p, &live, burst, w.domains.get(), {}, &stats,
+                               nullptr, &store);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(stats.epochs_published, 0);
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.Pin()->epoch, 1u);
+}
+
+TEST(SnapshotQueryTest, SnapshotHandleOverloadsMatchLiveReads) {
+  TestWorld w = TestWorld::Make();
+  Program p = ParseOrDie(R"(
+    e(X, Y) <- X = 1 & Y = 2.
+    e(X, Y) <- X = 1 & Y = 3.
+  )");
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+  SnapshotStore store;
+  store.Publish(live);
+  SnapshotHandle h = store.Pin();
+
+  query::InstanceSet via_handle =
+      Unwrap(query::EnumerateView(h, w.domains.get()));
+  query::InstanceSet via_view =
+      Unwrap(query::EnumerateView(live, w.domains.get()));
+  EXPECT_EQ(via_handle, via_view);
+
+  query::InstanceSet q = Unwrap(query::QueryPred(
+      h, "e", {Term::Const(Value(1)), Term::Var(0)}, w.domains.get()));
+  EXPECT_EQ(q.instances.size(), 2u);
+  EXPECT_TRUE(Unwrap(query::Ask(h, "e", {Value(1), Value(2)},
+                                w.domains.get())));
+  EXPECT_FALSE(Unwrap(query::Ask(h, "e", {Value(9), Value(9)},
+                                 w.domains.get())));
+}
+
+// The tentpole differential: a reader thread continuously pins the latest
+// epoch and enumerates it while the writer applies a sequence of K-update
+// bursts through ApplyBatch (honoring $MMV_THREADS, so the TSan job runs
+// the batch's parallel fan-out underneath the reader). Every read the
+// reader takes — whatever instant it raced — must be byte-identical to the
+// sequential-oracle view of the epoch it pinned, and the final epoch must
+// equal ApplyUpdatesSequential's result.
+//
+// The reader is a plain std::thread rather than a ThreadPool item: the
+// engine's ParallelFor batches never nest, so occupying the pool with a
+// long-running reader would silently degrade the writer's fan-out to
+// inline execution — the exact concurrency this test exists to cross.
+TEST(SnapshotConcurrency, ReaderPinsStableEpochsDuringBatches) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeMultiChain(/*chains=*/4, /*depth=*/4,
+                                       /*width=*/12);
+
+  FixpointOptions fp;
+  {
+    Result<int> env_threads = ThreadsFromEnv();
+    ASSERT_TRUE(env_threads.ok()) << env_threads.status().ToString();
+    fp.num_threads = *env_threads;
+  }
+  View initial = Unwrap(Materialize(p, w.domains.get(), fp));
+
+  // Bursts: clear chain 0's base facts, re-insert them, then mixed
+  // delete+insert — each burst is one published epoch.
+  std::vector<std::vector<maint::Update>> bursts;
+  {
+    std::vector<maint::Update> del, ins, mixed;
+    for (int i = 0; i < 12; ++i) {
+      del.push_back(maint::Update::Delete(
+          ParseUpdate("c0_p0(X) <- X = " + std::to_string(i) + ".", &p)));
+      ins.push_back(maint::Update::Insert(
+          ParseUpdate("c0_p0(X) <- X = " + std::to_string(i) + ".", &p)));
+    }
+    for (int i = 0; i < 6; ++i) {
+      mixed.push_back(maint::Update::Delete(
+          ParseUpdate("c1_p0(X) <- X = " + std::to_string(i) + ".", &p)));
+      mixed.push_back(maint::Update::Insert(
+          ParseUpdate("c2_p0(X) <- X = " + std::to_string(100 + i) + ".",
+                      &p)));
+    }
+    bursts.push_back(std::move(del));
+    bursts.push_back(std::move(ins));
+    bursts.push_back(std::move(mixed));
+  }
+
+  // Per-epoch oracle: epoch 0 is the empty store, epoch 1 the initial
+  // view, epoch 1+k the sequential replay of the first k bursts.
+  std::vector<std::set<std::string>> expected;
+  expected.push_back({});  // epoch 0
+  {
+    View oracle = initial;
+    int counter = 0;
+    expected.push_back(Instances(oracle, w.domains.get()));  // epoch 1
+    for (const auto& burst : bursts) {
+      ASSERT_TRUE(maint::ApplyUpdatesSequential(p, &oracle, burst,
+                                                w.domains.get(), {}, nullptr,
+                                                &counter)
+                      .ok());
+      expected.push_back(Instances(oracle, w.domains.get()));
+    }
+  }
+
+  SnapshotStore store;
+  store.Publish(initial);  // epoch 1
+
+  // The reader shares the evaluator with the writer: the standard domains
+  // are ConcurrentCallSafe and the call cache is off, so DomainManager is
+  // ConcurrentReadSafe — the production serving configuration.
+  std::atomic<bool> stop{false};
+  std::vector<std::pair<uint64_t, std::set<std::string>>> observed;
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      SnapshotHandle h = store.Pin();
+      Result<query::InstanceSet> r =
+          query::EnumerateView(h, w.domains.get());
+      if (!r.ok()) {
+        reader_failed.store(true);
+        return;
+      }
+      std::set<std::string> strings;
+      for (const query::Instance& i : r->instances) {
+        strings.insert(i.ToString());
+      }
+      observed.emplace_back(h->epoch, std::move(strings));
+    }
+  });
+
+  View live = initial;
+  int counter = 0;
+  for (const auto& burst : bursts) {
+    ASSERT_TRUE(maint::ApplyBatch(p, &live, burst, w.domains.get(), fp,
+                                  nullptr, &counter, &store)
+                    .ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_FALSE(reader_failed.load());
+
+  // Every read, whenever it raced, saw exactly its pinned epoch's
+  // sequential-oracle instances.
+  ASSERT_FALSE(observed.empty());
+  for (const auto& [epoch, strings] : observed) {
+    ASSERT_LT(epoch, expected.size());
+    EXPECT_EQ(strings, expected[epoch])
+        << "snapshot read at epoch " << epoch
+        << " diverged from the sequential oracle";
+  }
+
+  // The post-batch epoch equals the sequential-oracle result.
+  SnapshotHandle final_pin = store.Pin();
+  EXPECT_EQ(final_pin->epoch, 1 + bursts.size());
+  EXPECT_EQ(Instances(final_pin->view, w.domains.get()), expected.back());
+  EXPECT_EQ(Instances(live, w.domains.get()), expected.back());
+}
+
+}  // namespace
+}  // namespace mmv

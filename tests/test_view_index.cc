@@ -244,6 +244,31 @@ TEST(ViewIndexProperty, MaxVarIdIsMonotoneUpperBound) {
   }
 }
 
+TEST(ViewIndexProperty, TakeAtomsPreservesVariableHighWaterMark) {
+  // The high-water mark is monotone over the store's WHOLE history:
+  // TakeAtoms drains the atoms and indexes but must not forget the bound —
+  // especially an externally noted one (NoteExternalVars) that no atom
+  // mentions, which a cloning/draining layer could otherwise capture
+  // against.
+  Rng rng(23);
+  View v;
+  for (int i = 0; i < 10; ++i) v.Add(RandomAtom(&rng, i));
+  VarId atom_bound = v.MaxVarId();
+  ASSERT_GE(atom_bound, 0);
+  VarId external_bound = atom_bound + 1000;
+  v.NoteExternalVars(external_bound);
+  ASSERT_EQ(v.MaxVarId(), external_bound);
+
+  std::vector<ViewAtom> atoms = v.TakeAtoms();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.MaxVarId(), external_bound)
+      << "TakeAtoms must preserve the variable high-water mark";
+
+  // Re-adding the drained atoms keeps the external bound dominant.
+  for (ViewAtom& a : atoms) v.Add(std::move(a));
+  EXPECT_EQ(v.MaxVarId(), external_bound);
+}
+
 TEST(ViewIndexProperty, TakeAtomsResetsTheStore) {
   Rng rng(11);
   View v;
