@@ -1,0 +1,209 @@
+// Durability costs: what the WAL adds to a burst, what a checkpoint of a
+// view costs, and how cold-start recovery scales with view size and WAL
+// tail length. Everything runs on MemFs so the numbers isolate the
+// serialization / framing / replay work from disk latency; the replay half
+// of RecoverColdStart exercises the same maint::ApplyBatch pipeline the
+// live system runs.
+//
+// Work-product counters (wal_records, wal_bytes, checkpoints, replayed,
+// view_atoms) are deterministic functions of the workload — identical
+// across join modes, plan modes and thread counts — so the sidecar diff in
+// CI compares them like the other bench binaries' derived-atom counts.
+
+#include "bench_util.h"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "durability/durable_log.h"
+#include "durability/fs.h"
+#include "maintenance/batch.h"
+#include "parser/view_io.h"
+
+namespace mmv {
+namespace bench {
+namespace {
+
+std::vector<maint::Update> ParseBurstOrAbort(const std::string& text,
+                                             Program* p) {
+  Result<std::vector<parser::ParsedUpdate>> parsed =
+      parser::ParseBurst(text, p);
+  if (!parsed.ok()) std::abort();
+  std::vector<maint::Update> burst;
+  burst.reserve(parsed->size());
+  for (parser::ParsedUpdate& u : *parsed) {
+    maint::UpdateAtom atom{std::move(u.atom.pred), std::move(u.atom.args),
+                           std::move(u.atom.constraint)};
+    burst.push_back(u.is_delete ? maint::Update::Delete(std::move(atom))
+                                : maint::Update::Insert(std::move(atom)));
+  }
+  return burst;
+}
+
+// K fresh base facts: each ripples through every chain level, so the burst
+// is real maintenance work, not a no-op append.
+std::string InsertBurstText(int k, int width, int generation) {
+  std::ostringstream os;
+  for (int i = 0; i < k; ++i) {
+    os << "ins p0(X) <- X = " << (width + generation * k + i) << ".\n";
+  }
+  return os.str();
+}
+
+// One K-update burst through ApplyBatch, with or without a DurableLog
+// attached. The paired cases share the workload, so .../0 vs .../1 in one
+// sidecar is the WAL's marginal cost (serialize + frame + CRC + append).
+void RunWalOverhead(benchmark::State& state, bool logged) {
+  int depth = static_cast<int>(state.range(1));
+  int k = static_cast<int>(state.range(2));
+  int width = 64;
+  World w = World::Make();
+  Program p = workload::MakeChain(depth, width);
+  FixpointOptions opts = DefaultOptions();
+  View base = MustMaterialize(p, w.domains.get(), opts);
+  std::vector<maint::Update> burst =
+      ParseBurstOrAbort(InsertBurstText(k, width, 0), &p);
+
+  durability::MemFs fs;
+  SnapshotStore snapshots;
+  snapshots.Publish(base);
+  std::unique_ptr<durability::DurableLog> log;
+  if (logged) {
+    // Cadence 0: the WAL append alone, never a checkpoint. The view is
+    // reset every iteration but the log keeps appending — MemFs makes the
+    // growing segment an O(1) concern.
+    auto created = durability::DurableLog::Create(
+        &fs, "state", p, base, snapshots.epoch(), /*ext_counter=*/0, {});
+    if (!created.ok()) std::abort();
+    log = std::move(*created);
+  }
+
+  maint::BatchStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    View v = base;
+    state.ResumeTiming();
+    Status s = maint::ApplyBatch(p, &v, burst, w.domains.get(), opts,
+                                 &stats, log ? log->ext_counter() : nullptr,
+                                 &snapshots, log.get());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.counters["updates"] = static_cast<double>(burst.size());
+  state.counters["added"] = static_cast<double>(stats.insertion_pass_atoms);
+  state.counters["wal_records"] = static_cast<double>(stats.wal_records);
+  state.counters["wal_bytes"] = static_cast<double>(stats.wal_bytes);
+  state.counters["wal_syncs"] = static_cast<double>(stats.wal_syncs);
+}
+
+// {logged, depth, K}. The logged flag is the FIRST arg on purpose: the
+// sidecar comparator pairs names ending in /0 vs /1 as same-work twins,
+// and a logged run's wal_records/wal_bytes legitimately differ from the
+// unlogged run's zeros.
+void BM_WalOverhead(benchmark::State& state) {
+  RunWalOverhead(state, state.range(0) != 0);
+}
+BENCHMARK(BM_WalOverhead)
+    ->Args({0, 4, 16})
+    ->Args({1, 4, 16})
+    ->Args({0, 4, 64})
+    ->Args({1, 4, 64})
+    ->Unit(benchmark::kMillisecond);
+
+// A full canonical checkpoint (SerializeView + header + CRC + tmp + atomic
+// rename + segment roll) of a width-parameterized chain view.
+void BM_CheckpointWrite(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  World w = World::Make();
+  Program p = workload::MakeChain(4, width);
+  FixpointOptions opts = DefaultOptions();
+  View view = MustMaterialize(p, w.domains.get(), opts);
+
+  durability::MemFs fs;
+  auto log = durability::DurableLog::Create(&fs, "state", p, view,
+                                            /*initial_epoch=*/1,
+                                            /*ext_counter=*/0, {});
+  if (!log.ok()) std::abort();
+
+  for (auto _ : state) {
+    // Epoch never advances, so every iteration atomically replaces the
+    // same ckpt file — steady state, no file accumulation.
+    Status s = (*log)->Checkpoint(view);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["view_atoms"] = static_cast<double>(view.size());
+}
+BENCHMARK(BM_CheckpointWrite)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold-start recovery vs view size and WAL tail: build a state directory
+// (initial checkpoint of a width-wide chain view + `tail` committed bursts
+// of 4 updates each, cadence off so the tail really is replayed), then
+// measure DurableLog::Recover — checkpoint validation, view
+// deserialization and ApplyBatch replay of the tail.
+void BM_RecoverColdStart(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  int tail = static_cast<int>(state.range(1));
+  World w = World::Make();
+  Program p = workload::MakeChain(4, width);
+  FixpointOptions opts = DefaultOptions();
+  View view = MustMaterialize(p, w.domains.get(), opts);
+
+  durability::MemFs fs;
+  SnapshotStore snapshots;
+  snapshots.Publish(view);
+  {
+    auto log = durability::DurableLog::Create(
+        &fs, "state", p, view, snapshots.epoch(), /*ext_counter=*/0, {});
+    if (!log.ok()) std::abort();
+    for (int g = 0; g < tail; ++g) {
+      std::vector<maint::Update> burst =
+          ParseBurstOrAbort(InsertBurstText(4, width, g), &p);
+      Status s = maint::ApplyBatch(p, &view, burst, w.domains.get(), opts,
+                                   nullptr, (*log)->ext_counter(),
+                                   &snapshots, log->get());
+      if (!s.ok()) std::abort();
+    }
+  }
+
+  // Recovery never mutates a clean MemFs image (no torn tail to truncate,
+  // no orphan tmp), so re-recovering the same directory is idempotent.
+  durability::RecoveryInfo info;
+  View recovered;
+  for (auto _ : state) {
+    SnapshotStore rec_snapshots;
+    auto rec = durability::DurableLog::Recover(&fs, "state", &p,
+                                               w.domains.get(), opts,
+                                               &rec_snapshots, &info);
+    if (!rec.ok()) {
+      state.SkipWithError(rec.status().ToString().c_str());
+      break;
+    }
+    recovered = (*rec)->TakeRecoveredView();
+    benchmark::DoNotOptimize(recovered.size());
+  }
+  state.counters["view_atoms"] = static_cast<double>(recovered.size());
+  state.counters["replayed"] = static_cast<double>(info.replayed_bursts);
+  state.counters["replay_added"] =
+      static_cast<double>(info.replay_stats.insertion_pass_atoms);
+  state.counters["checkpoint_epoch"] =
+      static_cast<double>(info.checkpoint_epoch);
+}
+// {width, tail}: tail 0 isolates checkpoint load; tail 8 adds replay.
+BENCHMARK(BM_RecoverColdStart)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmv

@@ -46,6 +46,17 @@ COMPARED = (
     # join mode, plan mode or thread count; the reader-side counters
     # (snapshot_reads, reader_qps) are timing-dependent and stay excluded.
     "epochs_published",
+    # Durability is a function of the burst text, not the engine: the WAL
+    # record framing, the replayed-burst count and the checkpoint lineage
+    # must be byte-for-byte identical whatever join/plan/thread mode
+    # applied the bursts. wal_syncs is policy-driven (one per committed
+    # batch under kEveryBatch), so it is an invariant too.
+    "wal_records",
+    "wal_bytes",
+    "wal_syncs",
+    "replayed",
+    "replay_added",
+    "checkpoint_epoch",
 )
 
 

@@ -1,0 +1,33 @@
+#include "common/crc32c.h"
+
+namespace mmv {
+
+namespace {
+
+// 256-entry table for the reflected Castagnoli polynomial, built once on
+// first use (constant thereafter; thread-safe per C++11 static init).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  static const Crc32cTable table;
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = table.entries[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mmv

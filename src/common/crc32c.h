@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every durability artifact — WAL record frames and
+// checkpoint files (src/durability/). Software slice-by-one table
+// implementation; fast enough for the line-oriented text payloads the
+// durability layer frames (the hot path is the maintenance pipeline, not
+// the log append).
+
+#ifndef MMV_COMMON_CRC32C_H_
+#define MMV_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mmv {
+
+/// \brief Extends a running CRC32C over \p data. Seed new computations
+/// with crc = 0; the result of one call is the seed of the next, so a
+/// checksum can be accumulated across non-contiguous chunks.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// \brief CRC32C of \p data in one call.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+}  // namespace mmv
+
+#endif  // MMV_COMMON_CRC32C_H_

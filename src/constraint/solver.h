@@ -14,6 +14,7 @@
 #ifndef MMV_CONSTRAINT_SOLVER_H_
 #define MMV_CONSTRAINT_SOLVER_H_
 
+#include <cassert>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -155,7 +156,14 @@ class DcaEvaluator {
 /// honestly this class can be retired.
 class MutexDcaEvaluator : public DcaEvaluator {
  public:
-  explicit MutexDcaEvaluator(DcaEvaluator* inner) : inner_(inner) {}
+  explicit MutexDcaEvaluator(DcaEvaluator* inner) : inner_(inner) {
+    // Wrapping a read-safe evaluator is never wrong, but it serializes a
+    // fan-out that could run lock-free — every engine checks
+    // ConcurrentReadSafe() before falling back here, so reaching this
+    // line with a read-safe inner is a missed check on the retirement
+    // path (tracked by the mutex_evaluator_engaged counters).
+    assert(inner == nullptr || !inner->ConcurrentReadSafe());
+  }
 
   Result<DcaResult> Evaluate(const std::string& domain,
                              const std::string& function,

@@ -1068,6 +1068,8 @@ class Engine {
           locked_evaluator_ = std::make_unique<MutexDcaEvaluator>(evaluator_);
         }
         worker_evaluator = locked_evaluator_.get();
+        stats_->mutex_evaluator_engaged +=
+            static_cast<int64_t>(slices.size());
       }
     }
 

@@ -172,6 +172,11 @@ struct FixpointStats {
   int64_t evaluator_clones = 0;   ///< tasks served by the lock-free
                                   ///  concurrent-read evaluator path
                                   ///  instead of MutexDcaEvaluator
+  int64_t mutex_evaluator_engaged = 0;  ///< tasks that fell back to the
+                                        ///  serialized MutexDcaEvaluator
+                                        ///  wrapper (retirement-path
+                                        ///  telemetry: 0 for every
+                                        ///  read-safe evaluator)
   bool truncated = false;         ///< hit max_iterations / max_atoms
   SolveStats solver;              ///< aggregated solver counters
                                   ///  (solver.cache_hits: memo hits)

@@ -24,6 +24,14 @@ uint64_t SnapshotStore::Publish(const View& live) {
   return current_->epoch;
 }
 
+void SnapshotStore::RestoreAt(const View& live, uint64_t epoch) {
+  auto next = std::make_shared<ViewSnapshot>();
+  next->view = live;
+  next->epoch = epoch;
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(next);
+}
+
 uint64_t SnapshotStore::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_->epoch;

@@ -69,6 +69,13 @@ class SnapshotStore {
   /// older epochs are unaffected.
   uint64_t Publish(const View& live);
 
+  /// \brief Re-seats the store at an EXPLICIT epoch — the recovery entry
+  /// point (durability::DurableLog::Recover). Publishes a snapshot of
+  /// \p live at exactly \p epoch, so a recovered store continues the
+  /// pre-crash epoch sequence instead of restarting at 1. Like Publish,
+  /// readers pinned to an older handle are unaffected.
+  void RestoreAt(const View& live, uint64_t epoch);
+
   /// \brief The latest published epoch (0 before the first Publish).
   uint64_t epoch() const;
 

@@ -1,0 +1,362 @@
+#include "durability/durable_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "parser/view_io.h"
+
+namespace mmv {
+namespace durability {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<parser::ParsedUpdate> ToParsed(
+    const std::vector<maint::Update>& updates) {
+  std::vector<parser::ParsedUpdate> parsed;
+  parsed.reserve(updates.size());
+  for (const maint::Update& u : updates) {
+    parser::ParsedUpdate p;
+    p.is_delete = u.kind == maint::Update::Kind::kDelete;
+    p.atom = parser::ParsedAtom{u.atom.pred, u.atom.args, u.atom.constraint};
+    parsed.push_back(std::move(p));
+  }
+  return parsed;
+}
+
+std::vector<maint::Update> ToUpdates(
+    std::vector<parser::ParsedUpdate> parsed) {
+  std::vector<maint::Update> updates;
+  updates.reserve(parsed.size());
+  for (parser::ParsedUpdate& p : parsed) {
+    maint::UpdateAtom atom{std::move(p.atom.pred), std::move(p.atom.args),
+                           std::move(p.atom.constraint)};
+    updates.push_back(p.is_delete
+                          ? maint::Update::Delete(std::move(atom))
+                          : maint::Update::Insert(std::move(atom)));
+  }
+  return updates;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableLog>> DurableLog::Create(
+    Fs* fs, const std::string& dir, const Program& program,
+    const View& initial, uint64_t initial_epoch, int ext_counter,
+    const DurabilityOptions& options) {
+  MMV_RETURN_NOT_OK(fs->CreateDir(dir));
+  MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  for (const std::string& name : names) {
+    if (ParseCheckpointFileName(name).ok() ||
+        ParseWalSegmentFileName(name).ok()) {
+      return Status::AlreadyExists(
+          "state directory '" + dir + "' already holds durability file '" +
+          name + "' — Recover it instead of re-initializing");
+    }
+  }
+  std::unique_ptr<DurableLog> log(new DurableLog(
+      fs, dir, Crc32c(program.ToString()), options));
+  log->ext_counter_ = ext_counter;
+  log->next_seq_ = initial_epoch + 1;
+  // The initial checkpoint is the recovery floor: even a directory that
+  // crashes before its first burst recovers to a well-defined state.
+  MMV_RETURN_NOT_OK(log->Checkpoint(initial));
+  return log;
+}
+
+Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
+    Fs* fs, const std::string& dir, Program* program,
+    DcaEvaluator* evaluator, const FixpointOptions& fixpoint_options,
+    SnapshotStore* snapshots, RecoveryInfo* info,
+    const DurabilityOptions& options) {
+  RecoveryInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = RecoveryInfo();
+
+  std::unique_ptr<DurableLog> log(new DurableLog(
+      fs, dir, Crc32c(program->ToString()), options));
+
+  MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<std::pair<uint64_t, std::string>> ckpts;  // epoch, name
+  std::vector<std::pair<uint64_t, std::string>> segs;   // base, name
+  for (const std::string& name : names) {
+    if (EndsWith(name, ".tmp")) {
+      // An in-flight checkpoint image the crash orphaned; it was never
+      // renamed, so it was never state.
+      MMV_RETURN_NOT_OK(fs->Remove(log->PathFor(name)));
+      continue;
+    }
+    if (Result<uint64_t> e = ParseCheckpointFileName(name); e.ok()) {
+      ckpts.emplace_back(*e, name);
+    } else if (Result<uint64_t> b = ParseWalSegmentFileName(name); b.ok()) {
+      segs.emplace_back(*b, name);
+    }
+    // Foreign files are ignored, not deleted.
+  }
+  if (ckpts.empty()) {
+    return Status::NotFound("durability recovery: no checkpoint in '" +
+                            dir + "'");
+  }
+  std::sort(ckpts.begin(), ckpts.end());
+  std::sort(segs.begin(), segs.end());
+  // The newest epoch ANY checkpoint file claims in its name, valid or
+  // not: recovery must reach at least this epoch or fail loudly — falling
+  // back to an older checkpoint is only legal when the WAL bridges the
+  // distance.
+  const uint64_t newest_claimed = ckpts.back().first;
+
+  // Load the newest checkpoint that validates end to end.
+  CheckpointMeta meta;
+  std::string body;
+  bool loaded = false;
+  for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+    MMV_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(log->PathFor(it->second)));
+    Result<CheckpointMeta> decoded = DecodeCheckpoint(data, &body);
+    if (!decoded.ok()) {
+      ++info->checkpoints_skipped;
+      continue;
+    }
+    meta = *decoded;
+    loaded = true;
+    break;
+  }
+  if (!loaded) {
+    return Status::ParseError(
+        "durability recovery failed: none of the " +
+        std::to_string(ckpts.size()) + " checkpoint(s) in '" + dir +
+        "' validates");
+  }
+  if (meta.program_crc != log->program_crc_) {
+    return Status::InvalidArgument(
+        "durability recovery refused: checkpoint was written for a "
+        "different program (clause-set fingerprint mismatch)");
+  }
+
+  MMV_ASSIGN_OR_RETURN(View view, parser::DeserializeView(body, program));
+  log->ext_counter_ = meta.ext_counter;
+  log->next_seq_ = meta.epoch + 1;
+  log->last_checkpoint_epoch_ = meta.epoch;
+  info->checkpoint_epoch = meta.epoch;
+  if (snapshots != nullptr) {
+    // Re-seat the store at the checkpoint epoch; each replayed burst then
+    // publishes the next epoch, finishing exactly where the pre-crash
+    // store stood.
+    snapshots->RestoreAt(view, meta.epoch);
+  }
+
+  // Replay: segments below the loaded checkpoint hold only records it
+  // already covers (a segment closes at the checkpoint that starts its
+  // successor), so the scan starts at base == meta.epoch. Only the final
+  // segment may end in a torn record.
+  std::vector<std::pair<uint64_t, std::string>> relevant;
+  for (const auto& s : segs) {
+    if (s.first >= meta.epoch) relevant.push_back(s);
+  }
+  uint64_t expected = meta.epoch + 1;
+  uint64_t open_base = meta.epoch;
+  uint64_t open_bytes = 0;
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    const bool is_last = i + 1 == relevant.size();
+    const std::string path = log->PathFor(relevant[i].second);
+    MMV_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+    MMV_ASSIGN_OR_RETURN(
+        WalScan scan,
+        ScanWalSegment(data, relevant[i].second, /*tolerate_torn_tail=*/is_last));
+    if (scan.torn_bytes > 0) {
+      // Physically drop the torn tail so the reopened segment appends
+      // over clean bytes.
+      MMV_RETURN_NOT_OK(fs->Truncate(path, scan.valid_bytes));
+      info->torn_tail_bytes += scan.torn_bytes;
+    }
+    for (WalRecord& record : scan.records) {
+      if (record.seq <= meta.epoch) {
+        // The checkpoint already contains this burst's effect (it was
+        // written AFTER the record, before the old segment closed).
+        ++info->skipped_records;
+        continue;
+      }
+      if (record.seq != expected) {
+        return Status::ParseError(
+            "WAL corruption in " + relevant[i].second +
+            ": expected seq " + std::to_string(expected) + ", found " +
+            std::to_string(record.seq));
+      }
+      MMV_ASSIGN_OR_RETURN(std::vector<parser::ParsedUpdate> parsed,
+                           parser::ParseBurst(record.payload, program));
+      maint::BatchStats batch_stats;
+      MMV_RETURN_NOT_OK(maint::ApplyBatch(
+          *program, &view, ToUpdates(std::move(parsed)), evaluator,
+          fixpoint_options, &batch_stats, &log->ext_counter_, snapshots,
+          /*log=*/nullptr));
+      info->replay_stats += batch_stats;
+      ++info->replayed_bursts;
+      ++expected;
+    }
+    open_base = relevant[i].first;
+    open_bytes = scan.valid_bytes;
+  }
+  log->next_seq_ = expected;
+  info->recovered_epoch = expected - 1;
+  info->ext_counter = log->ext_counter_;
+  info->replay_stats.recovery_replayed_bursts = info->replayed_bursts;
+
+  if (info->recovered_epoch < newest_claimed) {
+    return Status::ParseError(
+        "durability recovery failed: newest checkpoint file claims epoch " +
+        std::to_string(newest_claimed) + " but checkpoint + WAL only " +
+        "reach epoch " + std::to_string(info->recovered_epoch) +
+        " — refusing to silently lose committed bursts");
+  }
+
+  MMV_RETURN_NOT_OK(log->OpenSegment(open_base, open_bytes));
+  log->records_since_checkpoint_ =
+      info->recovered_epoch - log->last_checkpoint_epoch_;
+  log->bytes_since_checkpoint_ = log->wal_->end_offset();
+  log->recovered_view_ = std::move(view);
+  return log;
+}
+
+Status DurableLog::LogBurst(const std::vector<maint::Update>& updates) {
+  if (poisoned_) {
+    return Status::Internal(
+        "durable log poisoned by an earlier IO failure — Recover() the "
+        "state directory before applying further bursts");
+  }
+  if (pending_) {
+    return Status::Internal("durable log already holds a pending burst");
+  }
+  std::string payload = parser::SerializeBurst(ToParsed(updates));
+  MMV_RETURN_NOT_OK(wal_->Append(next_seq_, payload));
+  pending_ = true;
+  return Status::OK();
+}
+
+Status DurableLog::CommitBurst(const View& view, maint::BatchStats* stats) {
+  if (!pending_) {
+    return Status::Internal("durable log has no pending burst to commit");
+  }
+  uint64_t bytes = 0;
+  bool synced = false;
+  Status committed = wal_->Commit(&bytes, &synced);
+  pending_ = false;
+  if (!committed.ok()) {
+    // The record's durability is unknown (e.g. the sync failed after the
+    // append): refuse further logging until recovery re-establishes it.
+    poisoned_ = true;
+    return committed;
+  }
+  ++next_seq_;
+  ++records_since_checkpoint_;
+  bytes_since_checkpoint_ += bytes;
+  if (stats != nullptr) {
+    stats->wal_records += 1;
+    stats->wal_bytes += static_cast<int64_t>(bytes);
+    stats->wal_syncs += synced ? 1 : 0;
+  }
+  const bool checkpoint_due =
+      (options_.checkpoint_every_records > 0 &&
+       records_since_checkpoint_ >= options_.checkpoint_every_records) ||
+      (options_.checkpoint_every_bytes > 0 &&
+       bytes_since_checkpoint_ >= options_.checkpoint_every_bytes);
+  if (checkpoint_due) {
+    MMV_RETURN_NOT_OK(Checkpoint(view));
+    if (stats != nullptr) stats->checkpoints_written += 1;
+  }
+  return Status::OK();
+}
+
+void DurableLog::AbortBurst() {
+  if (!pending_) return;
+  pending_ = false;
+  Status rolled_back = wal_->Abort();
+  if (!rolled_back.ok()) {
+    // The segment tail is in an unknown state; appending more records
+    // over it could interleave garbage into the log.
+    poisoned_ = true;
+  }
+}
+
+Status DurableLog::Checkpoint(const View& view) {
+  if (pending_) {
+    return Status::Internal(
+        "checkpoint requested mid-batch: the image would not match the "
+        "committed record stream");
+  }
+  if (poisoned_) {
+    return Status::Internal(
+        "durable log poisoned by an earlier IO failure — Recover() first");
+  }
+  const uint64_t epoch = next_seq_ - 1;
+  CheckpointMeta meta;
+  meta.epoch = epoch;
+  meta.ext_counter = ext_counter_;
+  meta.program_crc = program_crc_;
+  meta.wal_offset = wal_ != nullptr ? wal_->end_offset() : 0;
+  meta.atoms = view.atoms().size();
+  std::string file = EncodeCheckpoint(meta, parser::SerializeView(view));
+
+  const std::string final_path = PathFor(CheckpointFileName(epoch));
+  const std::string tmp_path = final_path + ".tmp";
+  MMV_RETURN_NOT_OK(fs_->WriteFile(tmp_path, file));
+  MMV_RETURN_NOT_OK(fs_->Sync(tmp_path));
+  // The publication point: a crash before this rename leaves the previous
+  // checkpoint + WAL authoritative, a crash after it leaves the new one.
+  MMV_RETURN_NOT_OK(fs_->Rename(tmp_path, final_path));
+
+  MMV_RETURN_NOT_OK(OpenSegment(epoch, 0));
+  last_checkpoint_epoch_ = epoch;
+  records_since_checkpoint_ = 0;
+  bytes_since_checkpoint_ = 0;
+  ++checkpoints_written_;
+  return CollectGarbage();
+}
+
+Status DurableLog::OpenSegment(uint64_t base, uint64_t existing_bytes) {
+  const std::string path = PathFor(WalSegmentFileName(base));
+  if (existing_bytes == 0) {
+    // Materialize the empty segment eagerly so the directory always names
+    // the segment its newest checkpoint starts.
+    MMV_RETURN_NOT_OK(fs_->WriteFile(path, ""));
+  }
+  wal_ = std::make_unique<Wal>(fs_, path, options_.sync, options_.sync_bytes,
+                               existing_bytes);
+  return Status::OK();
+}
+
+Status DurableLog::CollectGarbage() {
+  MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->List(dir_));
+  std::vector<uint64_t> ckpt_epochs;
+  std::vector<std::pair<uint64_t, std::string>> segs;
+  for (const std::string& name : names) {
+    if (Result<uint64_t> e = ParseCheckpointFileName(name); e.ok()) {
+      ckpt_epochs.push_back(*e);
+    } else if (Result<uint64_t> b = ParseWalSegmentFileName(name); b.ok()) {
+      segs.emplace_back(*b, name);
+    }
+  }
+  std::sort(ckpt_epochs.begin(), ckpt_epochs.end());
+  const size_t keep = static_cast<size_t>(
+      std::max(1, options_.keep_checkpoints));
+  if (ckpt_epochs.size() <= keep) return Status::OK();
+  // Everything below the OLDEST retained checkpoint is collectable: its
+  // checkpoints are superseded and its segments hold only records the
+  // retained checkpoints already cover.
+  const uint64_t floor = ckpt_epochs[ckpt_epochs.size() - keep];
+  for (size_t i = 0; i + keep < ckpt_epochs.size(); ++i) {
+    MMV_RETURN_NOT_OK(fs_->Remove(PathFor(CheckpointFileName(ckpt_epochs[i]))));
+  }
+  for (const auto& [base, name] : segs) {
+    if (base < floor) {
+      MMV_RETURN_NOT_OK(fs_->Remove(PathFor(name)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace mmv

@@ -1,0 +1,281 @@
+#include "durability/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mmv {
+namespace durability {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " '" + path + "': " + std::strerror(errno));
+}
+
+// Writes all of `data` through stdio and closes; reports the first error.
+Status WriteStream(std::FILE* f, const std::string& path,
+                   std::string_view data, const char* op) {
+  if (f == nullptr) return Errno(op, path);
+  size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_err = std::fclose(f);
+  if (written != data.size() || close_err != 0) return Errno(op, path);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- PosixFs ---------------------------------------------------------------
+
+Result<std::string> PosixFs::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Errno("read", path);
+  return out;
+}
+
+Result<bool> PosixFs::Exists(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) return true;
+  if (errno == ENOENT) return false;
+  return Errno("stat", path);
+}
+
+Result<std::vector<std::string>> PosixFs::List(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return names;
+    return Errno("opendir", dir);
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status PosixFs::WriteFile(const std::string& path, std::string_view data) {
+  return WriteStream(std::fopen(path.c_str(), "wb"), path, data, "write");
+}
+
+Status PosixFs::Append(const std::string& path, std::string_view data) {
+  return WriteStream(std::fopen(path.c_str(), "ab"), path, data, "append");
+}
+
+Status PosixFs::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status PosixFs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::OK();
+}
+
+Status PosixFs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status PosixFs::Sync(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open-for-sync", path);
+  int err = ::fsync(fd);
+  ::close(fd);
+  if (err != 0) return Errno("fsync", path);
+  return Status::OK();
+}
+
+Status PosixFs::CreateDir(const std::string& dir) {
+  // Create each prefix in turn (mkdir -p).
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    std::string prefix = dir.substr(0, i);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+// ---- MemFs -----------------------------------------------------------------
+
+Result<std::string> MemFs::ReadFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+Result<bool> MemFs::Exists(const std::string& path) {
+  return files_.count(path) != 0;
+}
+
+Result<std::vector<std::string>> MemFs::List(const std::string& dir) {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') != std::string::npos) continue;  // nested dir
+    names.push_back(std::move(rest));
+  }
+  return names;  // map order == sorted
+}
+
+Status MemFs::WriteFile(const std::string& path, std::string_view data) {
+  files_[path] = std::string(data);
+  return Status::OK();
+}
+
+Status MemFs::Append(const std::string& path, std::string_view data) {
+  files_[path].append(data);
+  return Status::OK();
+}
+
+Status MemFs::Truncate(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (size > it->second.size()) {
+    return Status::InvalidArgument("truncate beyond end: " + path);
+  }
+  it->second.resize(size);
+  return Status::OK();
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemFs::Remove(const std::string& path) {
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status MemFs::Sync(const std::string&) { return Status::OK(); }
+
+Status MemFs::CreateDir(const std::string&) { return Status::OK(); }
+
+Status MemFs::Corrupt(const std::string& path, uint64_t offset,
+                      uint8_t mask) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second.size()) {
+    return Status::InvalidArgument("corrupt offset beyond end: " + path);
+  }
+  it->second[offset] = static_cast<char>(
+      static_cast<uint8_t>(it->second[offset]) ^ mask);
+  return Status::OK();
+}
+
+// ---- FaultFs ---------------------------------------------------------------
+
+bool FaultFs::CrashGate(bool tearable, bool* torn) {
+  *torn = false;
+  if (crashed_) return true;
+  if (plan_.crash_after_writes >= 0 &&
+      writes_done_ >= plan_.crash_after_writes) {
+    crashed_ = true;
+    *torn = tearable && plan_.tear_crashing_write;
+    return true;
+  }
+  ++writes_done_;
+  return false;
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+Result<bool> FaultFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+Result<std::vector<std::string>> FaultFs::List(const std::string& dir) {
+  return base_->List(dir);
+}
+
+Status FaultFs::WriteFile(const std::string& path, std::string_view data) {
+  bool torn;
+  if (CrashGate(/*tearable=*/true, &torn)) {
+    if (torn && !data.empty()) {
+      uint64_t keep =
+          std::min<uint64_t>(plan_.tear_keep_bytes, data.size() - 1);
+      (void)base_->WriteFile(path, data.substr(0, keep));
+    }
+    return CrashStatus();
+  }
+  return base_->WriteFile(path, data);
+}
+
+Status FaultFs::Append(const std::string& path, std::string_view data) {
+  bool torn;
+  if (CrashGate(/*tearable=*/true, &torn)) {
+    if (torn && !data.empty()) {
+      uint64_t keep =
+          std::min<uint64_t>(plan_.tear_keep_bytes, data.size() - 1);
+      (void)base_->Append(path, data.substr(0, keep));
+    }
+    return CrashStatus();
+  }
+  return base_->Append(path, data);
+}
+
+Status FaultFs::Truncate(const std::string& path, uint64_t size) {
+  bool torn;
+  if (CrashGate(/*tearable=*/false, &torn)) return CrashStatus();
+  return base_->Truncate(path, size);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  bool torn;
+  if (CrashGate(/*tearable=*/false, &torn)) return CrashStatus();
+  return base_->Rename(from, to);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  bool torn;
+  if (CrashGate(/*tearable=*/false, &torn)) return CrashStatus();
+  return base_->Remove(path);
+}
+
+Status FaultFs::Sync(const std::string& path) {
+  // Sync is not a mutation, but a crashed process cannot sync either.
+  if (crashed_) return CrashStatus();
+  return base_->Sync(path);
+}
+
+Status FaultFs::CreateDir(const std::string& dir) {
+  if (crashed_) return CrashStatus();
+  return base_->CreateDir(dir);
+}
+
+}  // namespace durability
+}  // namespace mmv

@@ -1,0 +1,179 @@
+// Filesystem seam of the durability layer (wal.h / checkpoint.h /
+// durable_log.h): every byte the WAL and checkpointer touch goes through
+// this interface, so the crash-recovery contract can be tested without a
+// real disk and with precisely injected faults.
+//
+// Three implementations:
+//   - PosixFs   — the real thing (stdio + POSIX fsync/rename), used by the
+//                 example binaries and any production embedding.
+//   - MemFs     — an in-memory file map for tests and the cold-start
+//                 recovery benchmark; supports targeted byte corruption.
+//   - FaultFs   — wraps another Fs and simulates a process/machine crash:
+//                 after a configured number of mutating operations every
+//                 further mutation fails (and is NOT applied), optionally
+//                 tearing the crashing write so only a prefix persists —
+//                 exactly the torn-final-record regime recovery must
+//                 tolerate.
+//
+// All methods return Status/Result; the durability layer propagates IO
+// errors loudly instead of limping on (a WAL that silently drops records
+// is worse than no WAL).
+
+#ifndef MMV_DURABILITY_FS_H_
+#define MMV_DURABILITY_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mmv {
+namespace durability {
+
+/// \brief Abstract filesystem. Paths are plain strings; directories are
+/// separated with '/'. Implementations need not be thread-safe — the
+/// durability layer is single-writer by contract (one DurableLog per
+/// state directory), matching maintenance itself.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// \brief Reads a whole file. NotFound if it does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// \brief True iff \p path names an existing file.
+  virtual Result<bool> Exists(const std::string& path) = 0;
+
+  /// \brief File NAMES (not paths) directly inside \p dir, sorted
+  /// ascending. Missing directory reads as empty.
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  /// \brief Creates or replaces \p path with \p data.
+  virtual Status WriteFile(const std::string& path,
+                           std::string_view data) = 0;
+
+  /// \brief Appends \p data to \p path, creating it if missing.
+  virtual Status Append(const std::string& path, std::string_view data) = 0;
+
+  /// \brief Truncates \p path to \p size bytes (size must not exceed the
+  /// current file size).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// \brief Atomically renames \p from to \p to (replacing \p to). The
+  /// checkpointer's publication primitive.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// \brief Removes \p path (OK if absent — retention GC is idempotent).
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// \brief Durability barrier: data previously written to \p path
+  /// survives a crash after Sync returns.
+  virtual Status Sync(const std::string& path) = 0;
+
+  /// \brief Creates \p dir (and parents). OK if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+};
+
+/// \brief Real-disk implementation (stdio + POSIX).
+class PosixFs : public Fs {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Sync(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+};
+
+/// \brief In-memory implementation for tests and benchmarks.
+class MemFs : public Fs {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Sync(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+
+  /// \brief XORs \p mask into the byte at \p offset of \p path — the
+  /// bit-flip fault of the recovery matrix. Fails if out of range.
+  Status Corrupt(const std::string& path, uint64_t offset, uint8_t mask);
+
+  /// \brief Total number of files held (for retention-GC assertions).
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  std::map<std::string, std::string> files_;  // sorted: List is a scan
+};
+
+/// \brief The crash plan of one FaultFs run.
+struct FaultPlan {
+  /// Mutating operations (WriteFile/Append/Truncate/Rename/Remove) allowed
+  /// to complete before the simulated crash; -1 = never crash. The
+  /// crashing operation itself FAILS and is not applied (except for the
+  /// torn-write variant below), and every mutation after it fails too.
+  int64_t crash_after_writes = -1;
+  /// When true and the crashing operation is a WriteFile/Append, a PREFIX
+  /// of its data persists before the failure — the torn final write.
+  bool tear_crashing_write = false;
+  /// Bytes of the crashing write that persist under tear_crashing_write
+  /// (clamped to [0, data.size())).
+  uint64_t tear_keep_bytes = 0;
+};
+
+/// \brief Wraps an Fs and injects the FaultPlan. Reads always pass
+/// through; after the crash point the wrapped state is frozen (mutations
+/// return Internal("simulated crash...")) — recovery then runs against the
+/// UNDERLYING fs, exactly like a restarted process against the disk image.
+class FaultFs : public Fs {
+ public:
+  FaultFs(Fs* base, FaultPlan plan) : base_(base), plan_(plan) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Sync(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+
+  /// \brief Mutating operations that completed successfully so far. A
+  /// dry run with crash_after_writes = -1 measures a workload's write
+  /// count; the crash-point sweep then iterates over [0, writes_done()].
+  int64_t writes_done() const { return writes_done_; }
+
+  /// \brief True once the simulated crash fired.
+  bool crashed() const { return crashed_; }
+
+ private:
+  // Returns true when the caller must fail WITHOUT applying the
+  // operation; `torn` additionally requests the prefix-persist path.
+  bool CrashGate(bool tearable, bool* torn);
+  Status CrashStatus() const {
+    return Status::Internal("simulated crash: durability fault injection");
+  }
+
+  Fs* base_;
+  FaultPlan plan_;
+  int64_t writes_done_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace durability
+}  // namespace mmv
+
+#endif  // MMV_DURABILITY_FS_H_

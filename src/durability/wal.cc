@@ -1,0 +1,151 @@
+#include "durability/wal.h"
+
+#include "common/crc32c.h"
+
+namespace mmv {
+namespace durability {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // u32 len + u32 crc
+constexpr size_t kSeqBytes = 8;     // u64 seq leads the body
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+uint32_t GetU32(std::string_view data, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+uint64_t GetU64(std::string_view data, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(uint64_t seq, std::string_view payload) {
+  std::string body;
+  body.reserve(kSeqBytes + payload.size());
+  PutU64(&body, seq);
+  body.append(payload);
+  std::string record;
+  record.reserve(kHeaderBytes + body.size());
+  PutU32(&record, static_cast<uint32_t>(body.size()));
+  PutU32(&record, Crc32c(body));
+  record.append(body);
+  return record;
+}
+
+Result<WalScan> ScanWalSegment(std::string_view data, const std::string& label,
+                               bool tolerate_torn_tail) {
+  WalScan scan;
+  size_t at = 0;
+  while (at < data.size()) {
+    size_t remaining = data.size() - at;
+    if (remaining < kHeaderBytes) {
+      // Partial frame header: a torn final append (only the final segment
+      // can legitimately end this way).
+      if (!tolerate_torn_tail) {
+        return Status::ParseError("WAL corruption in " + label +
+                                  ": partial record header at offset " +
+                                  std::to_string(at) +
+                                  " of a non-final segment");
+      }
+      scan.torn_bytes = remaining;
+      break;
+    }
+    uint64_t len = GetU32(data, at);
+    uint32_t crc = GetU32(data, at + 4);
+    if (len < kSeqBytes) {
+      // The length field was fully written when the record was appended
+      // (tears shorten, they do not alter), so an impossible length is
+      // corruption wherever it appears.
+      return Status::ParseError(
+          "WAL corruption in " + label + ": impossible record length " +
+          std::to_string(len) + " at offset " + std::to_string(at));
+    }
+    if (remaining - kHeaderBytes < len) {
+      if (!tolerate_torn_tail) {
+        return Status::ParseError("WAL corruption in " + label +
+                                  ": partial record body at offset " +
+                                  std::to_string(at) +
+                                  " of a non-final segment");
+      }
+      scan.torn_bytes = remaining;
+      break;
+    }
+    std::string_view body = data.substr(at + kHeaderBytes, len);
+    if (Crc32c(body) != crc) {
+      // A complete frame with a bad checksum cannot be a torn append:
+      // fail loudly, even on the final record.
+      return Status::ParseError("WAL corruption in " + label +
+                                ": checksum mismatch at offset " +
+                                std::to_string(at));
+    }
+    WalRecord record;
+    record.seq = GetU64(body, 0);
+    record.payload = std::string(body.substr(kSeqBytes));
+    if (!scan.records.empty() && record.seq <= scan.records.back().seq) {
+      return Status::ParseError(
+          "WAL corruption in " + label + ": non-increasing seq " +
+          std::to_string(record.seq) + " at offset " + std::to_string(at));
+    }
+    scan.records.push_back(std::move(record));
+    at += kHeaderBytes + len;
+    scan.valid_bytes = at;
+  }
+  return scan;
+}
+
+Status Wal::Append(uint64_t seq, std::string_view payload) {
+  if (pending_bytes_ != 0) {
+    return Status::Internal("WAL record already pending on " + path_);
+  }
+  std::string record = EncodeWalRecord(seq, payload);
+  MMV_RETURN_NOT_OK(fs_->Append(path_, record));
+  pending_bytes_ = record.size();
+  return Status::OK();
+}
+
+Status Wal::Commit(uint64_t* appended_bytes, bool* synced) {
+  if (appended_bytes != nullptr) *appended_bytes = pending_bytes_;
+  if (synced != nullptr) *synced = false;
+  end_offset_ += pending_bytes_;
+  unsynced_bytes_ += pending_bytes_;
+  pending_bytes_ = 0;
+  ++records_;
+  bool want_sync = sync_ == SyncPolicy::kEveryBatch ||
+                   (sync_ == SyncPolicy::kEveryBytes &&
+                    unsynced_bytes_ >= sync_bytes_);
+  if (want_sync) {
+    MMV_RETURN_NOT_OK(SyncNow());
+    if (synced != nullptr) *synced = true;
+  }
+  return Status::OK();
+}
+
+Status Wal::Abort() {
+  if (pending_bytes_ == 0) return Status::OK();
+  pending_bytes_ = 0;
+  return fs_->Truncate(path_, end_offset_);
+}
+
+Status Wal::SyncNow() {
+  MMV_RETURN_NOT_OK(fs_->Sync(path_));
+  unsynced_bytes_ = 0;
+  ++syncs_;
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace mmv

@@ -1,0 +1,125 @@
+// Burst write-ahead log: the append-only record stream DurableLog keeps
+// ahead of maint::ApplyBatch.
+//
+// One record per applied burst, framed as
+//
+//   [u32 body_len][u32 crc32c(body)][body]
+//   body = [u64 seq][burst text (parser::SerializeBurst)]
+//
+// (all integers little-endian). `seq` is the epoch the burst produces —
+// strictly increasing across the whole log — which makes replay idempotent
+// against checkpoints: recovery skips records whose seq the loaded
+// checkpoint already covers, so a crash BETWEEN checkpoint publication and
+// WAL truncation never double-applies a burst.
+//
+// The log is segmented: segment `wal-<base>.log` holds records with
+// seq > base, and each checkpoint at epoch E starts a fresh segment
+// `wal-<E>.log`. Older segments survive until retention GC drops them
+// together with their checkpoint, so recovery can fall back to the
+// previous checkpoint when the newest one is torn (written but never
+// renamed) without losing bursts.
+//
+// Scan semantics (the recovery-side contract):
+//   - a PARTIAL final record in the final segment — fewer bytes on disk
+//     than the frame announces — is a torn tail: scanning stops there and
+//     reports the bytes to drop. This is the only fault a crash can
+//     inject through the append-only write path.
+//   - a checksum mismatch over a COMPLETE frame is corruption (a torn
+//     append can shorten bytes but never alter them), anywhere in the
+//     log, final record included: the scan fails loudly.
+//   - a partial record anywhere EXCEPT the end of the final segment is
+//     corruption too (appends happened after it, so it cannot be a tear).
+
+#ifndef MMV_DURABILITY_WAL_H_
+#define MMV_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "durability/fs.h"
+
+namespace mmv {
+namespace durability {
+
+/// \brief When the WAL forces bytes to stable storage.
+enum class SyncPolicy : uint8_t {
+  kNone,       ///< never sync explicitly (crash may lose committed tails)
+  kEveryBatch, ///< sync after every committed burst (default)
+  kEveryBytes, ///< sync once at least sync_bytes accumulated unsynced
+};
+
+/// \brief One decoded WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;  ///< burst text (parser::SerializeBurst)
+};
+
+/// \brief Result of scanning one segment.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  ///< prefix holding complete valid records
+  uint64_t torn_bytes = 0;   ///< tail bytes dropped as a torn final record
+};
+
+/// \brief Encodes one framed record.
+std::string EncodeWalRecord(uint64_t seq, std::string_view payload);
+
+/// \brief Decodes a whole segment. \p tolerate_torn_tail is true only for
+/// the FINAL segment of the log; elsewhere a partial record is corruption.
+/// \p label names the segment in error messages.
+Result<WalScan> ScanWalSegment(std::string_view data, const std::string& label,
+                               bool tolerate_torn_tail);
+
+/// \brief Append-side handle over one WAL segment file. Records go
+/// through a reserve/commit/abort cycle so a burst that fails to APPLY
+/// leaves no record behind (batch failure atomicity), while a crash
+/// mid-apply leaves the record for recovery to replay.
+class Wal {
+ public:
+  /// \p existing_bytes: size of the segment on disk (0 for a new one).
+  Wal(Fs* fs, std::string path, SyncPolicy sync, uint64_t sync_bytes,
+      uint64_t existing_bytes)
+      : fs_(fs),
+        path_(std::move(path)),
+        sync_(sync),
+        sync_bytes_(sync_bytes),
+        end_offset_(existing_bytes) {}
+
+  /// \brief Frames and appends one record. The record is PENDING until
+  /// Commit() or Abort() — exactly one of which must follow.
+  Status Append(uint64_t seq, std::string_view payload);
+
+  /// \brief Makes the pending record permanent and applies the sync
+  /// policy. Returns the bytes this record added and whether a sync ran.
+  Status Commit(uint64_t* appended_bytes, bool* synced);
+
+  /// \brief Rolls the pending record back (the burst failed to apply).
+  Status Abort();
+
+  /// \brief Forces an explicit sync regardless of policy.
+  Status SyncNow();
+
+  const std::string& path() const { return path_; }
+  uint64_t end_offset() const { return end_offset_; }
+  int64_t records() const { return records_; }
+  int64_t syncs() const { return syncs_; }
+
+ private:
+  Fs* fs_;
+  std::string path_;
+  SyncPolicy sync_;
+  uint64_t sync_bytes_;
+  uint64_t end_offset_;       // committed bytes
+  uint64_t pending_bytes_ = 0;  // appended, not yet committed/aborted
+  uint64_t unsynced_bytes_ = 0;
+  int64_t records_ = 0;
+  int64_t syncs_ = 0;
+};
+
+}  // namespace durability
+}  // namespace mmv
+
+#endif  // MMV_DURABILITY_WAL_H_

@@ -127,7 +127,8 @@ BatchPlan PlanBatch(const Program& program,
 Status ApplyBatch(const Program& program, View* view,
                   const std::vector<Update>& updates, DcaEvaluator* evaluator,
                   const FixpointOptions& options, BatchStats* stats,
-                  int* ext_support_counter, SnapshotStore* snapshots) {
+                  int* ext_support_counter, SnapshotStore* snapshots,
+                  BurstLog* log) {
   BatchStats local_stats;
   if (!stats) stats = &local_stats;
   *stats = BatchStats();
@@ -135,6 +136,14 @@ Status ApplyBatch(const Program& program, View* view,
   if (!ext_support_counter) {
     local_counter = SeedExtCounter(*view);
     ext_support_counter = &local_counter;
+  }
+
+  // Log-ahead-of-apply: the EXACT requested burst (not the coalesced plan
+  // — replay re-plans, so the record stays meaningful if the planner
+  // changes) is journaled before the first pass touches the view. The
+  // record stays pending until the whole burst applied.
+  if (log != nullptr) {
+    MMV_RETURN_NOT_OK(log->LogBurst(updates));
   }
 
   BatchPlan plan = PlanBatch(program, updates);
@@ -173,46 +182,64 @@ Status ApplyBatch(const Program& program, View* view,
 
   // Execute maximal same-kind runs: one multi-atom StDel pass per delete
   // run, one Add pass + seminaive continuation per insert run.
-  size_t i = 0;
-  while (i < plan.ops.size()) {
-    size_t j = i;
-    while (j < plan.ops.size() && plan.ops[j].kind == plan.ops[i].kind) ++j;
-    std::vector<UpdateAtom> requests;
-    requests.reserve(j - i);
-    for (size_t k = i; k < j; ++k) requests.push_back(plan.ops[k].atom);
+  auto run_passes = [&]() -> Status {
+    size_t i = 0;
+    while (i < plan.ops.size()) {
+      size_t j = i;
+      while (j < plan.ops.size() && plan.ops[j].kind == plan.ops[i].kind) ++j;
+      std::vector<UpdateAtom> requests;
+      requests.reserve(j - i);
+      for (size_t k = i; k < j; ++k) requests.push_back(plan.ops[k].atom);
 
-    if (plan.ops[i].kind == Update::Kind::kDelete) {
-      StDelStats s;
-      MMV_RETURN_NOT_OK(DeleteStDelBatch(program, view, requests, evaluator,
-                                         delete_solver, &s,
-                                         batch_options.plan_cache,
-                                         batch_options.num_threads));
-      stats->delete_passes++;
-      stats->deletions_applied += requests.size();
-      stats->del_elements += s.del_elements;
-      stats->replacements += s.replacements;
-      stats->step3_replacements += s.step3_replacements();
-      stats->removed_unsolvable += s.removed_unsolvable;
-      stats->plan_cache_hits += s.plan_cache_hits;
-      stats->partitions_run += s.partitions_run;
-      stats->partition_skipped_small += s.partition_skipped_small;
-      stats->evaluator_clones += s.evaluator_clones;
-    } else {
-      InsertStats s;
-      MMV_RETURN_NOT_OK(InsertBatch(program, view, requests, evaluator,
-                                    batch_options, &s, ext_support_counter));
-      stats->insert_passes++;
-      stats->insertions_applied += requests.size();
-      stats->add_atoms += s.add_atoms;
-      stats->insertion_pass_atoms += s.atoms_added;
-      stats->plan_reorders += s.plan_reorders;
-      stats->probe_intersections += s.probe_intersections;
-      stats->plan_cache_hits += s.plan_cache_hits;
-      stats->partitions_run += s.partitions_run;
-      stats->partition_skipped_small += s.partition_skipped_small;
-      stats->evaluator_clones += s.evaluator_clones;
+      if (plan.ops[i].kind == Update::Kind::kDelete) {
+        StDelStats s;
+        MMV_RETURN_NOT_OK(DeleteStDelBatch(program, view, requests, evaluator,
+                                           delete_solver, &s,
+                                           batch_options.plan_cache,
+                                           batch_options.num_threads));
+        stats->delete_passes++;
+        stats->deletions_applied += requests.size();
+        stats->del_elements += s.del_elements;
+        stats->replacements += s.replacements;
+        stats->step3_replacements += s.step3_replacements();
+        stats->removed_unsolvable += s.removed_unsolvable;
+        stats->plan_cache_hits += s.plan_cache_hits;
+        stats->partitions_run += s.partitions_run;
+        stats->partition_skipped_small += s.partition_skipped_small;
+        stats->evaluator_clones += s.evaluator_clones;
+        stats->mutex_evaluator_engaged += s.mutex_evaluator_engaged;
+      } else {
+        InsertStats s;
+        MMV_RETURN_NOT_OK(InsertBatch(program, view, requests, evaluator,
+                                      batch_options, &s, ext_support_counter));
+        stats->insert_passes++;
+        stats->insertions_applied += requests.size();
+        stats->add_atoms += s.add_atoms;
+        stats->insertion_pass_atoms += s.atoms_added;
+        stats->plan_reorders += s.plan_reorders;
+        stats->probe_intersections += s.probe_intersections;
+        stats->plan_cache_hits += s.plan_cache_hits;
+        stats->partitions_run += s.partitions_run;
+        stats->partition_skipped_small += s.partition_skipped_small;
+        stats->evaluator_clones += s.evaluator_clones;
+        stats->mutex_evaluator_engaged += s.mutex_evaluator_engaged;
+      }
+      i = j;
     }
-    i = j;
+    return Status::OK();
+  };
+  Status applied = run_passes();
+  if (!applied.ok()) {
+    // A failed batch leaves NO record: recovery replays exactly the clean
+    // prefix of bursts, matching the snapshot layer's failure atomicity.
+    if (log != nullptr) log->AbortBurst();
+    return applied;
+  }
+  // Durable-commit point, deliberately BEFORE epoch publication: once a
+  // reader can pin the post-batch epoch the log must already own the
+  // burst, or a crash would roll the store behind what readers observed.
+  if (log != nullptr) {
+    MMV_RETURN_NOT_OK(log->CommitBurst(*view, stats));
   }
   // The epoch publication point: one immutable snapshot per cleanly
   // applied burst. Errors above returned already — a failed batch
@@ -222,6 +249,36 @@ Status ApplyBatch(const Program& program, View* view,
     stats->epochs_published++;
   }
   return Status::OK();
+}
+
+BatchStats& BatchStats::operator+=(const BatchStats& other) {
+  input_updates += other.input_updates;
+  coalesced_away += other.coalesced_away;
+  delete_passes += other.delete_passes;
+  insert_passes += other.insert_passes;
+  deletions_applied += other.deletions_applied;
+  insertions_applied += other.insertions_applied;
+  del_elements += other.del_elements;
+  replacements += other.replacements;
+  step3_replacements += other.step3_replacements;
+  removed_unsolvable += other.removed_unsolvable;
+  add_atoms += other.add_atoms;
+  insertion_pass_atoms += other.insertion_pass_atoms;
+  plan_reorders += other.plan_reorders;
+  probe_intersections += other.probe_intersections;
+  plan_cache_hits += other.plan_cache_hits;
+  solve_epoch_flushes += other.solve_epoch_flushes;
+  epochs_published += other.epochs_published;
+  wal_records += other.wal_records;
+  wal_bytes += other.wal_bytes;
+  wal_syncs += other.wal_syncs;
+  checkpoints_written += other.checkpoints_written;
+  recovery_replayed_bursts += other.recovery_replayed_bursts;
+  partitions_run += other.partitions_run;
+  partition_skipped_small += other.partition_skipped_small;
+  evaluator_clones += other.evaluator_clones;
+  mutex_evaluator_engaged += other.mutex_evaluator_engaged;
+  return *this;
 }
 
 Status ApplyUpdatesSequential(const Program& program, View* view,

@@ -81,6 +81,31 @@ struct BatchPlan {
 BatchPlan PlanBatch(const Program& program,
                     const std::vector<Update>& updates);
 
+struct BatchStats;
+
+/// \brief Write-ahead durability hook of ApplyBatch (implemented by
+/// durability::DurableLog; maintenance knows only this seam).
+///
+/// Protocol per batch: ApplyBatch calls LogBurst with the EXACT requested
+/// burst before touching the view (log-ahead-of-apply — a logging failure
+/// aborts the batch with the view untouched). After the burst fully
+/// applied it calls CommitBurst (which makes the record durable per the
+/// log's sync policy and may write a checkpoint of \p view); if any
+/// maintenance pass failed it calls AbortBurst instead, so a failed batch
+/// leaves NO record — recovery replays exactly the cleanly applied
+/// prefix, matching the snapshot layer's failure-atomicity contract. A
+/// crash mid-apply leaves the logged record behind on purpose: replay
+/// through the same pipeline reconstructs the interrupted batch.
+class BurstLog {
+ public:
+  virtual ~BurstLog() = default;
+  virtual Status LogBurst(const std::vector<Update>& updates) = 0;
+  /// Adds this batch's wal_records/wal_bytes/wal_syncs/
+  /// checkpoints_written contributions to \p stats (never null).
+  virtual Status CommitBurst(const View& view, BatchStats* stats) = 0;
+  virtual void AbortBurst() = 0;
+};
+
 /// \brief Per-phase counters of one batch application.
 struct BatchStats {
   // Planner.
@@ -109,12 +134,30 @@ struct BatchStats {
   int64_t epochs_published = 0;     ///< view epochs published to the
                                     ///  snapshot store (1 per successful
                                     ///  batch when a store is attached)
+  // Durability layer (filled through the BurstLog hook; all zero when no
+  // log is attached).
+  int64_t wal_records = 0;          ///< WAL records committed (1 per clean
+                                    ///  batch when a log is attached)
+  int64_t wal_bytes = 0;            ///< framed bytes those records added
+  int64_t wal_syncs = 0;            ///< explicit syncs the policy forced
+  int64_t checkpoints_written = 0;  ///< canonical snapshots written
+  int64_t recovery_replayed_bursts = 0;  ///< bursts replayed out of the
+                                         ///  WAL (recovery-side only; see
+                                         ///  durability::RecoveryInfo)
   // Parallel fan-out shape, summed over the batch's delete and insert
   // passes (thread-count-dependent, see FixpointStats — every counter
   // above is identical across thread counts, these are not).
   int64_t partitions_run = 0;
   int64_t partition_skipped_small = 0;
   int64_t evaluator_clones = 0;
+  int64_t mutex_evaluator_engaged = 0;  ///< parallel tasks that fell back
+                                        ///  to the serialized
+                                        ///  MutexDcaEvaluator wrapper
+                                        ///  (retirement-path telemetry)
+
+  /// Field-wise sum — recovery accumulates one BatchStats per replayed
+  /// burst into RecoveryInfo::replay_stats with this.
+  BatchStats& operator+=(const BatchStats& other);
 };
 
 /// \brief Applies \p updates to \p view through the coalescing pipeline
@@ -148,12 +191,24 @@ struct BatchStats {
 /// publication point for concurrent readers — see core/snapshot.h). On
 /// error nothing is published, so pinned readers keep serving the
 /// pre-batch epoch and never observe the partially maintained view.
+///
+/// Durability: when \p log is non-null the burst is journaled
+/// log-ahead-of-apply (see BurstLog): the record is appended BEFORE the
+/// first maintenance pass, committed durable after the whole burst
+/// applied, and rolled back if any pass failed. Commit precedes snapshot
+/// publication, so a reader can never pin an epoch the log might still
+/// lose. IO failures are loud: a LogBurst failure aborts the batch with
+/// the view untouched; a CommitBurst failure is returned after the view
+/// mutated but before the epoch published (the live view is ahead of both
+/// the log and the readers — callers should treat the session as
+/// poisoned, recover, and retry).
 Status ApplyBatch(const Program& program, View* view,
                   const std::vector<Update>& updates, DcaEvaluator* evaluator,
                   const FixpointOptions& options = {},
                   BatchStats* stats = nullptr,
                   int* ext_support_counter = nullptr,
-                  SnapshotStore* snapshots = nullptr);
+                  SnapshotStore* snapshots = nullptr,
+                  BurstLog* log = nullptr);
 
 /// \brief Replays \p updates one at a time in order (no coalescing, one
 /// StDel or insertion fixpoint per update). This is the paper's

@@ -114,6 +114,7 @@ Status InsertBatch(const Program& program, View* view,
     stats->partitions_run += fstats.partitions_run;
     stats->partition_skipped_small += fstats.partition_skipped_small;
     stats->evaluator_clones += fstats.evaluator_clones;
+    stats->mutex_evaluator_engaged += fstats.mutex_evaluator_engaged;
     stats->unfold_solver += fstats.solver;
     stats->truncated = stats->truncated || fstats.truncated;
     flush_begin = view->size();

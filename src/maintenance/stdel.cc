@@ -253,6 +253,9 @@ Status DeleteStDelBatch(const Program& program, View* view,
       stats->partitions_run += parts;
       if (evaluator_direct) {
         stats->evaluator_clones += static_cast<int64_t>(lift_items.size());
+      } else if (worker_evaluator != nullptr) {
+        stats->mutex_evaluator_engaged +=
+            static_cast<int64_t>(lift_items.size());
       }
       int64_t epoch_before =
           evaluator != nullptr ? evaluator->StateEpoch() : 0;

@@ -31,7 +31,8 @@ class SupportParser {
     MMV_ASSIGN_OR_RETURN(Support root, ParseOne());
     SkipSpace();
     if (pos_ != s_.size()) {
-      return Status::ParseError("trailing characters after support");
+      return Status::ParseError("trailing characters after support at " +
+                                Where());
     }
     return root;
   }
@@ -40,10 +41,11 @@ class SupportParser {
   void SkipSpace() {
     while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
   }
+  std::string Where() const { return "offset " + std::to_string(pos_); }
   Result<Support> ParseOne() {
     SkipSpace();
     if (pos_ >= s_.size() || s_[pos_] != '<') {
-      return Status::ParseError("expected '<' in support");
+      return Status::ParseError("expected '<' in support at " + Where());
     }
     ++pos_;
     SkipSpace();
@@ -54,7 +56,8 @@ class SupportParser {
       ++pos_;
     }
     if (pos_ >= s_.size() || !isdigit(static_cast<unsigned char>(s_[pos_]))) {
-      return Status::ParseError("expected clause number in support");
+      return Status::ParseError("expected clause number in support at " +
+                                Where());
     }
     int num = 0;
     while (pos_ < s_.size() && isdigit(static_cast<unsigned char>(s_[pos_]))) {
@@ -71,7 +74,7 @@ class SupportParser {
       SkipSpace();
     }
     if (pos_ >= s_.size() || s_[pos_] != '>') {
-      return Status::ParseError("expected '>' in support");
+      return Status::ParseError("expected '>' in support at " + Where());
     }
     ++pos_;
     return Support(num, std::move(children));
@@ -87,10 +90,24 @@ Result<Support> ParseSupport(std::string_view text) {
   return SupportParser(Trim(text)).Parse();
 }
 
+namespace {
+
+// Prefixes a parse failure with the 1-based line number it occurred on —
+// every malformed-input path of this module reports WHERE, so a corrupt
+// multi-thousand-line view or burst file is debuggable.
+Status AtLine(size_t line_no, const Status& error) {
+  return Status(error.code(),
+                "line " + std::to_string(line_no) + ": " + error.message());
+}
+
+}  // namespace
+
 Result<std::vector<ParsedUpdate>> ParseBurst(std::string_view text,
                                              Program* program) {
   std::vector<ParsedUpdate> updates;
+  size_t line_no = 0;
   for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
     std::string_view line = Trim(raw);
     if (line.empty() || line[0] == '%') continue;
 
@@ -100,13 +117,14 @@ Result<std::vector<ParsedUpdate>> ParseBurst(std::string_view text,
     } else if (line.rfind("ins ", 0) == 0) {
       is_delete = false;
     } else {
-      return Status::ParseError(
-          "burst line must start with 'del ' or 'ins ': " +
-          std::string(line));
+      return AtLine(line_no,
+                    Status::ParseError(
+                        "burst line must start with 'del ' or 'ins ': " +
+                        std::string(line)));
     }
-    MMV_ASSIGN_OR_RETURN(ParsedAtom atom,
-                         ParseConstrainedAtom(line.substr(4), program));
-    updates.push_back(ParsedUpdate{is_delete, std::move(atom)});
+    Result<ParsedAtom> atom = ParseConstrainedAtom(line.substr(4), program);
+    if (!atom.ok()) return AtLine(line_no, atom.status());
+    updates.push_back(ParsedUpdate{is_delete, std::move(*atom)});
   }
   return updates;
 }
@@ -127,7 +145,9 @@ std::string SerializeBurst(const std::vector<ParsedUpdate>& updates,
 
 Result<View> DeserializeView(std::string_view text, Program* program) {
   View view;
+  size_t line_no = 0;
   for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
     std::string_view line = Trim(raw);
     if (line.empty() || line[0] == '%') continue;
 
@@ -136,30 +156,40 @@ Result<View> DeserializeView(std::string_view text, Program* program) {
     size_t hash = line.rfind(" # ");
     if (hash != std::string_view::npos) {
       std::string d(Trim(line.substr(hash + 3)));
-      try {
-        depth = std::stoi(d);
-      } catch (...) {
-        return Status::ParseError("bad depth field: " + d);
+      // Strict decimal parse: std::stoi would silently accept trailing
+      // garbage ("3x" -> 3) and a corrupt depth would slip through.
+      bool neg = !d.empty() && d[0] == '-';
+      std::string_view digits = std::string_view(d).substr(neg ? 1 : 0);
+      bool valid = !digits.empty() && digits.size() <= 9;
+      for (char c : digits) {
+        if (c < '0' || c > '9') valid = false;
       }
+      if (!valid) {
+        return AtLine(line_no,
+                      Status::ParseError("bad depth field: '" + d + "'"));
+      }
+      for (char c : digits) depth = depth * 10 + (c - '0');
+      if (neg) depth = -depth;
       line = Trim(line.substr(0, hash));
     }
     size_t at = line.rfind(" @ ");
     if (at == std::string_view::npos) {
-      return Status::ParseError("missing ' @ <support>' in line: " +
-                                std::string(line));
+      return AtLine(line_no,
+                    Status::ParseError("missing ' @ <support>' in line: " +
+                                       std::string(line)));
     }
-    MMV_ASSIGN_OR_RETURN(Support support,
-                         ParseSupport(line.substr(at + 3)));
+    Result<Support> support = ParseSupport(line.substr(at + 3));
+    if (!support.ok()) return AtLine(line_no, support.status());
     std::string atom_text(Trim(line.substr(0, at)));
     atom_text += ".";
 
-    MMV_ASSIGN_OR_RETURN(ParsedAtom atom,
-                         ParseConstrainedAtom(atom_text, program));
+    Result<ParsedAtom> atom = ParseConstrainedAtom(atom_text, program);
+    if (!atom.ok()) return AtLine(line_no, atom.status());
     ViewAtom va;
-    va.pred = std::move(atom.pred);
-    va.args = std::move(atom.args);
-    va.constraint = std::move(atom.constraint);
-    va.support = std::move(support);
+    va.pred = std::move(atom->pred);
+    va.args = std::move(atom->args);
+    va.constraint = std::move(atom->constraint);
+    va.support = std::move(*support);
     va.depth = depth;
     view.Add(std::move(va));
   }

@@ -214,7 +214,10 @@ TEST(SnapshotConcurrency, ReaderPinsStableEpochsDuringBatches) {
   std::vector<std::pair<uint64_t, std::set<std::string>>> observed;
   std::atomic<bool> reader_failed{false};
   std::thread reader([&] {
-    while (!stop.load(std::memory_order_acquire)) {
+    // do-while: at least one read happens even if the OS schedules this
+    // thread only after the writer has finished every burst — the
+    // observed-reads assertion below must not depend on the schedule.
+    do {
       SnapshotHandle h = store.Pin();
       Result<query::InstanceSet> r =
           query::EnumerateView(h, w.domains.get());
@@ -227,7 +230,7 @@ TEST(SnapshotConcurrency, ReaderPinsStableEpochsDuringBatches) {
         strings.insert(i.ToString());
       }
       observed.emplace_back(h->epoch, std::move(strings));
-    }
+    } while (!stop.load(std::memory_order_acquire));
   });
 
   View live = initial;

@@ -8,6 +8,7 @@
 #include <set>
 #include <string>
 
+#include "constraint/canonical.h"
 #include "core/fixpoint.h"
 #include "domain/registry.h"
 #include "maintenance/batch.h"
@@ -88,6 +89,20 @@ inline View FoldRecompute(const Program& program,
     }
   }
   return Unwrap(maint::Recompute(rewritten, evaluator, options));
+}
+
+/// \brief Canonical state fingerprint of a view: the MULTISET of
+/// (canonical atom, support tree, depth) triples. Variable-renaming
+/// insensitive (DeserializeView legitimately re-numbers variables) but
+/// support- and duplicate-exact — the equality the durability layer's
+/// byte-identical-recovery contract is asserted with.
+inline std::multiset<std::string> CanonicalState(const View& view) {
+  std::multiset<std::string> out;
+  for (const ViewAtom& a : view.atoms()) {
+    out.insert(CanonicalAtomString(a.pred, a.args, a.constraint) + " @ " +
+               a.support.ToString() + " # " + std::to_string(a.depth));
+  }
+  return out;
 }
 
 /// \brief Instance strings of one predicate only.
