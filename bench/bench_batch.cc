@@ -112,6 +112,9 @@ void RunBurst(benchmark::State& state, const std::string& burst_text,
       static_cast<double>(stats.probe_intersections);
   state.counters["plan_cache_hits"] =
       static_cast<double>(stats.plan_cache_hits);
+  // The thread-safe-domain invariant: CI requires this zero everywhere.
+  state.counters["mutex_evaluator_engaged"] =
+      static_cast<double>(stats.mutex_evaluator_engaged);
 }
 
 // {depth, K}: 8 chains of K facts each; the burst clears chain 0.
@@ -244,9 +247,74 @@ void BM_SnapshotReadDuringBatch(benchmark::State& state) {
   state.counters["step3"] = static_cast<double>(stats.step3_replacements);
   state.counters["epochs_published"] =
       static_cast<double>(stats.epochs_published);
+  state.counters["snapshot_nodes_shared"] =
+      static_cast<double>(stats.snapshot_nodes_shared);
+  state.counters["snapshot_nodes_copied"] =
+      static_cast<double>(stats.snapshot_nodes_copied);
+  state.counters["mutex_evaluator_engaged"] =
+      static_cast<double>(stats.mutex_evaluator_engaged);
   state.counters["snapshot_reads"] = static_cast<double>(reads);
   state.counters["reader_qps"] =
       batch_seconds > 0 ? static_cast<double>(reads) / batch_seconds : 0.0;
+}
+
+// Snapshot PUBLICATION cost, copy-on-write vs the whole-view deep copy it
+// replaced: a K-update burst dirties chain 0 of an 8-chain view in
+// PauseTiming (alternating delete/re-insert keeps the view bounded), then
+// the timed region is JUST the publication step. Mode 1 extracts the
+// immutable image — the 28 untouched per-pred segments are re-pointed at
+// the previous epoch, only chain 0's 4 are copied — and publishes it;
+// mode 0 pays what SnapshotStore::Publish cost before images existed, a
+// full View copy. The cow flag is the FIRST arg on purpose (the sidecar
+// comparator pairs names ending in /0 vs /1 as same-work twins, and the
+// two modes' sharing counters legitimately differ). The priming full
+// extraction happens in setup, so snapshot_nodes_shared/copied report the
+// steady state of the LAST iteration — deterministic whatever iteration
+// count the harness picks. {cow, width, K}.
+void BM_SnapshotPublish(benchmark::State& state) {
+  const bool cow = state.range(0) != 0;
+  const int width = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  Program p = workload::MakeMultiChain(8, 4, width);
+  World w = World::Make();
+  FixpointOptions opts = DefaultOptions();
+  View live = MustMaterialize(p, w.domains.get(), opts);
+  const double base_atoms = static_cast<double>(live.size());
+
+  std::ostringstream ins;
+  for (int i = 0; i < k; ++i) ins << "ins c0_p0(X) <- X = " << i << ".\n";
+  std::vector<maint::Update> del_burst =
+      ParseBurstOrAbort(DeletionBurstText(k), &p);
+  std::vector<maint::Update> ins_burst = ParseBurstOrAbort(ins.str(), &p);
+
+  SnapshotStore store;
+  store.Publish(live);  // the priming (whole-view) extraction
+  View::ImageExtractStats last;
+  bool deleting = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::vector<maint::Update>& burst = deleting ? del_burst
+                                                       : ins_burst;
+    deleting = !deleting;
+    Status s = maint::ApplyBatch(p, &live, burst, w.domains.get(), opts,
+                                 nullptr);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.ResumeTiming();
+    if (cow) {
+      View::ImageExtractStats es;
+      store.PublishImage(live.ExtractImage(&es));
+      last = es;
+    } else {
+      View copy = live;  // the pre-CoW publication: copy everything
+      benchmark::DoNotOptimize(copy.size());
+    }
+  }
+  state.counters["updates"] = static_cast<double>(k);
+  state.counters["view_atoms"] = base_atoms;
+  state.counters["snapshot_nodes_shared"] =
+      static_cast<double>(last.segments_shared);
+  state.counters["snapshot_nodes_copied"] =
+      static_cast<double>(last.segments_copied);
 }
 
 void BM_CancellingBurst_Batch(benchmark::State& state) {
@@ -297,6 +365,17 @@ BENCHMARK(BM_SnapshotReadDuringBatch)
     ->Args({4, 64})
     ->Args({8, 64})
     ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+// {cow, width, K}: width facts per base pred (8 chains x 4 levels), burst
+// touches chain 0 only. The largest-width / smallest-K case is the
+// headline: publication cost must track the DELTA, not the view.
+BENCHMARK(BM_SnapshotPublish)
+    ->Args({0, 64, 8})
+    ->Args({1, 64, 8})
+    ->Args({0, 256, 8})
+    ->Args({1, 256, 8})
+    ->Args({0, 256, 64})
+    ->Args({1, 256, 64})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BulkLoadBurst_Batch)->Apply(BulkLoadArgs);
 BENCHMARK(BM_BulkLoadBurst_BatchThreads)->Apply(BulkLoadThreadArgs);

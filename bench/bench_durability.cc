@@ -96,6 +96,16 @@ void RunWalOverhead(benchmark::State& state, bool logged) {
   state.counters["wal_records"] = static_cast<double>(stats.wal_records);
   state.counters["wal_bytes"] = static_cast<double>(stats.wal_bytes);
   state.counters["wal_syncs"] = static_cast<double>(stats.wal_syncs);
+  // Both modes publish to the SnapshotStore, so the CoW sharing counters
+  // are twin-equal: the logged/unlogged pair shares one extraction path.
+  state.counters["snapshot_nodes_shared"] =
+      static_cast<double>(stats.snapshot_nodes_shared);
+  state.counters["snapshot_nodes_copied"] =
+      static_cast<double>(stats.snapshot_nodes_copied);
+  state.counters["checkpoint_delta_bytes"] =
+      static_cast<double>(stats.checkpoint_delta_bytes);
+  state.counters["mutex_evaluator_engaged"] =
+      static_cast<double>(stats.mutex_evaluator_engaged);
 }
 
 // {logged, depth, K}. The logged flag is the FIRST arg on purpose: the
@@ -112,33 +122,79 @@ BENCHMARK(BM_WalOverhead)
     ->Args({1, 4, 64})
     ->Unit(benchmark::kMillisecond);
 
-// A full canonical checkpoint (SerializeView + header + CRC + tmp + atomic
-// rename + segment roll) of a width-parameterized chain view.
+// One checkpoint frame, full vs delta: every iteration advances the epoch
+// with a paused 2-update burst on chain 0 of an 8-chain view, then times
+// ONE Checkpoint call. Mode 0 forces a full frame — serialize all 32
+// predicates, the pre-delta format and cost. Mode 1 writes a delta
+// against the previous frame's image: just the 4 chain-0 segments the
+// burst dirtied, plus the order runs. The delta flag is the FIRST arg on
+// purpose (the sidecar comparator pairs names ending in /0 vs /1 as
+// same-work twins, and checkpoint_bytes legitimately differs); widths
+// 16/64/256 keep the trailing arg out of twin territory. {delta, width}.
 void BM_CheckpointWrite(benchmark::State& state) {
-  int width = static_cast<int>(state.range(0));
+  const bool delta = state.range(0) != 0;
+  int width = static_cast<int>(state.range(1));
   World w = World::Make();
-  Program p = workload::MakeChain(4, width);
+  Program p = workload::MakeMultiChain(8, 4, width);
   FixpointOptions opts = DefaultOptions();
   View view = MustMaterialize(p, w.domains.get(), opts);
+  const double view_atoms = static_cast<double>(view.size());
+
+  std::ostringstream del, ins;
+  for (int i = 0; i < 2; ++i) {
+    del << "del c0_p0(X) <- X = " << i << ".\n";
+    ins << "ins c0_p0(X) <- X = " << i << ".\n";
+  }
+  std::vector<maint::Update> del_burst = ParseBurstOrAbort(del.str(), &p);
+  std::vector<maint::Update> ins_burst = ParseBurstOrAbort(ins.str(), &p);
 
   durability::MemFs fs;
+  // Cadence off: the timed Checkpoint calls are the only frames. Create
+  // wrote the initial full, so the first timed delta has a parent.
   auto log = durability::DurableLog::Create(&fs, "state", p, view,
                                             /*initial_epoch=*/1,
                                             /*ext_counter=*/0, {});
   if (!log.ok()) std::abort();
 
+  bool deleting = true;
+  int64_t frames = 0;
   for (auto _ : state) {
-    // Epoch never advances, so every iteration atomically replaces the
-    // same ckpt file — steady state, no file accumulation.
-    Status s = (*log)->Checkpoint(view);
+    state.PauseTiming();
+    if (delta && ++frames % 64 == 0) {
+      // A paused full keeps retention GC's directory scan bounded (GC
+      // runs after every frame; an ever-growing delta chain would bleed
+      // List() cost into the timed region). BEFORE the burst, so the
+      // timed frame below still sees an advanced epoch and stays a delta.
+      Status full = (*log)->Checkpoint(
+          view, durability::DurableLog::CheckpointKind::kFull);
+      if (!full.ok()) state.SkipWithError(full.ToString().c_str());
+    }
+    const std::vector<maint::Update>& burst = deleting ? del_burst
+                                                       : ins_burst;
+    deleting = !deleting;
+    Status s = maint::ApplyBatch(p, &view, burst, w.domains.get(), opts,
+                                 nullptr, (*log)->ext_counter(), nullptr,
+                                 log->get());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.ResumeTiming();
+    s = (*log)->Checkpoint(
+        view, delta ? durability::DurableLog::CheckpointKind::kDelta
+                    : durability::DurableLog::CheckpointKind::kFull);
     if (!s.ok()) state.SkipWithError(s.ToString().c_str());
   }
-  state.counters["view_atoms"] = static_cast<double>(view.size());
+  state.counters["view_atoms"] = view_atoms;
+  state.counters["checkpoint_bytes"] =
+      static_cast<double>((*log)->last_checkpoint_bytes());
+  state.counters["delta_checkpoints"] =
+      static_cast<double>((*log)->delta_checkpoints_written());
 }
 BENCHMARK(BM_CheckpointWrite)
-    ->Arg(16)
-    ->Arg(64)
-    ->Arg(256)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256})
     ->Unit(benchmark::kMillisecond);
 
 // Cold-start recovery vs view size and WAL tail: build a state directory
@@ -193,6 +249,10 @@ void BM_RecoverColdStart(benchmark::State& state) {
       static_cast<double>(info.replay_stats.insertion_pass_atoms);
   state.counters["checkpoint_epoch"] =
       static_cast<double>(info.checkpoint_epoch);
+  state.counters["delta_checkpoints_composed"] =
+      static_cast<double>(info.delta_checkpoints_composed);
+  state.counters["checkpoint_delta_bytes"] =
+      static_cast<double>(info.checkpoint_delta_bytes);
 }
 // {width, tail}: tail 0 isolates checkpoint load; tail 8 adds replay.
 BENCHMARK(BM_RecoverColdStart)

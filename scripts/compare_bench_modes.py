@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Diffs the derived-atom counters of two or more bench JSON sidecars.
 
-Usage: compare_bench_modes.py REFERENCE.json OTHER.json [OTHER2.json ...]
+Usage: compare_bench_modes.py [--require-zero COUNTER ...]
+           REFERENCE.json OTHER.json [OTHER2.json ...]
 
 Each input is the JSONL sidecar a bench binary writes (one object per case:
 name, real_ms, counters). The indexed join pipeline must derive EXACTLY the
@@ -13,6 +14,13 @@ both files the work-product counters must match bit-for-bit. The first
 file is the reference; every other file is diffed against it. Timing
 fields are ignored. Exits non-zero on any mismatch, and when nothing
 comparable was found (a silently empty comparison would defeat the check).
+
+--require-zero COUNTER (repeatable) additionally asserts the named counter
+is zero in EVERY case of EVERY sidecar that reports it — the CI gate for
+invariants like mutex_evaluator_engaged, which must never fire now that
+the standard domains evaluate thread-safely. A required-zero counter that
+no sidecar reports fails too: a filter change silently dropping the
+guarded cases would otherwise defeat the gate.
 """
 
 import json
@@ -57,6 +65,15 @@ COMPARED = (
     "replayed",
     "replay_added",
     "checkpoint_epoch",
+    # Copy-on-write publication is a function of the burst's dirty set,
+    # not the engine: which per-pred segments an extraction shares vs
+    # copies — and how many delta-frame bytes the checkpoint cadence
+    # writes — must match across join/plan/thread modes. (The benches that
+    # pit CoW against the deep-copy baseline put that mode flag FIRST, so
+    # these never land in a /0-vs-/1 twin pair.)
+    "snapshot_nodes_shared",
+    "snapshot_nodes_copied",
+    "checkpoint_delta_bytes",
 )
 
 
@@ -88,11 +105,24 @@ def diff(failures, label, a, b):
 
 
 def main():
-    if len(sys.argv) < 3:
+    argv = sys.argv[1:]
+    require_zero = []
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--require-zero":
+            if i + 1 >= len(argv):
+                sys.exit("--require-zero needs a counter name")
+            require_zero.append(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) < 2:
         sys.exit(__doc__)
-    reference_path = sys.argv[1]
+    reference_path = paths[0]
     reference = load(reference_path)
-    others = [(path, load(path)) for path in sys.argv[2:]]
+    others = [(path, load(path)) for path in paths[1:]]
     compared = 0
     failures = []
     # Env-driven cases: same name across the reference and each other file.
@@ -116,6 +146,25 @@ def main():
                     failures, f"{name} vs {twin} [{path}]",
                     cases[name], cases[twin]
                 )
+    # The zero gates: every sidecar, every case, no pairing involved.
+    for counter in require_zero:
+        seen = 0
+        for path, cases in [(reference_path, reference)] + others:
+            for name in sorted(cases):
+                counters = cases[name]
+                if counter in counters:
+                    seen += 1
+                    if counters[counter] != 0:
+                        failures.append(
+                            f"{name} [{path}]: {counter} ="
+                            f" {counters[counter]} (required zero)"
+                        )
+        if seen == 0:
+            failures.append(
+                f"required-zero counter {counter!r} never appeared in any"
+                " sidecar — check the bench filters"
+            )
+        compared += seen
     if failures:
         print("mode counter mismatches:")
         print("\n".join(failures))

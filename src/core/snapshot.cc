@@ -4,29 +4,41 @@
 
 namespace mmv {
 
-SnapshotStore::SnapshotStore()
-    : current_(std::make_shared<const ViewSnapshot>()) {}
+namespace {
+
+SnapshotHandle EmptySnapshot() {
+  auto s = std::make_shared<ViewSnapshot>();
+  s->image = std::make_shared<SnapshotImage>();
+  return s;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore() : current_(EmptySnapshot()) {}
 
 SnapshotHandle SnapshotStore::Pin() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;
 }
 
-uint64_t SnapshotStore::Publish(const View& live) {
-  // The deep copy happens OUTSIDE the lock: readers keep pinning the old
-  // epoch at full speed while the new image is built, and the swap itself
-  // is two pointer writes.
+uint64_t SnapshotStore::PublishImage(SnapshotImageHandle image) {
+  // Image extraction already happened OUTSIDE the lock (and was O(delta)
+  // thanks to structural sharing); the swap itself is two pointer writes,
+  // so readers keep pinning at full speed throughout.
   auto next = std::make_shared<ViewSnapshot>();
-  next->view = live;
+  next->image = image != nullptr ? std::move(image)
+                                 : std::make_shared<SnapshotImage>();
   std::lock_guard<std::mutex> lock(mu_);
   next->epoch = current_->epoch + 1;
   current_ = std::move(next);
   return current_->epoch;
 }
 
-void SnapshotStore::RestoreAt(const View& live, uint64_t epoch) {
+void SnapshotStore::RestoreAtImage(SnapshotImageHandle image,
+                                   uint64_t epoch) {
   auto next = std::make_shared<ViewSnapshot>();
-  next->view = live;
+  next->image = image != nullptr ? std::move(image)
+                                 : std::make_shared<SnapshotImage>();
   next->epoch = epoch;
   std::lock_guard<std::mutex> lock(mu_);
   current_ = std::move(next);

@@ -3,16 +3,20 @@
 //
 // The live View's indexes are mutated in place by RemoveIf / batch merges,
 // so a reader racing maint::ApplyBatch would see torn state. Instead, the
-// write side publishes an immutable ViewSnapshot per applied batch (a
-// double-buffered deep copy swapped atomically under a mutex), and readers
+// write side publishes an immutable SnapshotImage per applied batch
+// (core/snapshot_image.h — per-pred segments structurally SHARED with the
+// previous epoch, so publication costs O(delta), not O(view)), and readers
 // PIN an epoch: they grab a shared_ptr to the latest snapshot and run
-// query::Enumerate / EnumerateView against it for as long as they like —
-// the snapshot stays alive until the last reader drops its handle, however
-// many epochs the writer publishes in the meantime.
+// query::EnumerateView / QueryPred / Ask against it for as long as they
+// like — the pinned image (and every segment it shares) stays alive until
+// the last reader drops its handle, however many epochs the writer
+// publishes in the meantime.
 //
 // Consistency contract:
 //   - A pinned snapshot NEVER changes: reads against it are byte-identical
-//     no matter what maintenance runs concurrently.
+//     no matter what maintenance runs concurrently. Sharing is invisible
+//     to readers — a shared segment is immutable by construction, and the
+//     write side copies-on-first-write instead of mutating it.
 //   - Publication is failure-atomic at the batch level: ApplyBatch
 //     publishes only after the whole burst applied cleanly, so readers
 //     never observe a half-applied batch (on error they keep serving the
@@ -24,10 +28,10 @@
 // always-answerable queries is a stable view image to enumerate — which is
 // exactly what an epoch pin provides.
 //
-// Snapshot extraction is a plain View copy. That copies the posting-list /
-// support / argument index maps as-is — the maps key on precomputed hash
-// values, so no Support tree or Value is ever re-hashed (Support caches
-// its hash at construction and copies are O(1) shared_ptr bumps).
+// The same image doubles as the durability layer's checkpoint source
+// (durability::DurableLog pins it instead of deep-reading the live view,
+// and diffs consecutive images into delta checkpoints), so one extraction
+// per batch serves both readers and recovery.
 
 #ifndef MMV_CORE_SNAPSHOT_H_
 #define MMV_CORE_SNAPSHOT_H_
@@ -35,7 +39,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 
+#include "core/snapshot_image.h"
 #include "core/view.h"
 
 namespace mmv {
@@ -43,13 +49,14 @@ namespace mmv {
 /// \brief One immutable published version of a view.
 ///
 /// Epoch 0 is the empty pre-publication snapshot every store starts with;
-/// published epochs start at 1.
+/// published epochs start at 1. \p image is never null.
 struct ViewSnapshot {
   uint64_t epoch = 0;
-  View view;
+  SnapshotImageHandle image;
 };
 
-/// \brief A reader's pin: holds the snapshot alive while in use.
+/// \brief A reader's pin: holds the snapshot (and every segment its image
+/// shares with other epochs) alive while in use.
 using SnapshotHandle = std::shared_ptr<const ViewSnapshot>;
 
 /// \brief The publication point between one writer and any number of
@@ -64,17 +71,27 @@ class SnapshotStore {
   /// handle is valid indefinitely and independent of later publications.
   SnapshotHandle Pin() const;
 
-  /// \brief Copies \p live into a new immutable snapshot with the next
-  /// epoch and swaps it in. Returns the published epoch. Readers pinned to
-  /// older epochs are unaffected.
-  uint64_t Publish(const View& live);
+  /// \brief Publishes an already-extracted image as the next epoch and
+  /// returns it. Readers pinned to older epochs are unaffected. This is
+  /// ApplyBatch's entry point: it extracts ONE image per clean burst and
+  /// hands it to both the durable log and this store.
+  uint64_t PublishImage(SnapshotImageHandle image);
+
+  /// \brief Convenience: extracts \p live's image (O(delta) against the
+  /// view's previous extraction) and publishes it.
+  uint64_t Publish(const View& live) { return PublishImage(live.ExtractImage()); }
 
   /// \brief Re-seats the store at an EXPLICIT epoch — the recovery entry
-  /// point (durability::DurableLog::Recover). Publishes a snapshot of
-  /// \p live at exactly \p epoch, so a recovered store continues the
-  /// pre-crash epoch sequence instead of restarting at 1. Like Publish,
-  /// readers pinned to an older handle are unaffected.
-  void RestoreAt(const View& live, uint64_t epoch);
+  /// point (durability::DurableLog::Recover). Publishes \p image at
+  /// exactly \p epoch, so a recovered store continues the pre-crash epoch
+  /// sequence instead of restarting at 1. Like Publish, readers pinned to
+  /// an older handle are unaffected.
+  void RestoreAtImage(SnapshotImageHandle image, uint64_t epoch);
+
+  /// \brief Convenience form of RestoreAtImage over a live view.
+  void RestoreAt(const View& live, uint64_t epoch) {
+    RestoreAtImage(live.ExtractImage(), epoch);
+  }
 
   /// \brief The latest published epoch (0 before the first Publish).
   uint64_t epoch() const;

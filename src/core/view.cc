@@ -82,6 +82,7 @@ void View::CompactIndexes(const std::vector<int64_t>& remap) {
 void View::Add(ViewAtom atom) {
   max_var_ = std::max(max_var_, MaxVarOf(atom));
   atoms_.push_back(std::move(atom));
+  image_dirty_preds_.insert(atoms_.back().pred);
   IndexAtom(atoms_.size() - 1);
 }
 
@@ -93,6 +94,9 @@ std::vector<ViewAtom> View::TakeAtoms() {
   child_index_.clear();
   by_arg_value_.clear();
   by_arg_var_.clear();
+  last_image_.reset();
+  image_dirty_preds_.clear();
+  image_order_stale_ = false;
   // max_var_ is deliberately PRESERVED: the mark is monotone over the
   // store's whole history (like RemoveIf, which never lowers it), and a
   // taker that re-Adds the atoms elsewhere still reads MaxVarId() here to
@@ -147,7 +151,105 @@ std::vector<std::pair<size_t, size_t>> View::ParentsOfChildSupport(
 }
 
 void View::MarkAll(bool value) {
+  // Deliberately NOT an image-dirtying mutation: marks are StDel-internal
+  // scratch state, excluded from image semantics (serialization, queries
+  // and canonical comparison all ignore them). Dirtying every predicate
+  // here would defeat copy-on-write extraction for every deletion batch.
   for (ViewAtom& a : atoms_) a.marked = value;
+}
+
+namespace {
+
+// Reader overhead on ForEachAtom is O(chunks) in hash lookups; cap the
+// chunk list so arbitrarily long append-only runs stay cheap to scan.
+constexpr size_t kMaxOrderChunks = 128;
+
+void RebuildOrder(const std::vector<ViewAtom>& atoms, SnapshotImage* image) {
+  image->order.clear();
+  if (atoms.empty()) return;
+  auto runs = std::make_shared<std::vector<SnapshotImage::OrderRun>>();
+  for (const ViewAtom& a : atoms) {
+    if (!runs->empty() && runs->back().pred == a.pred) {
+      runs->back().count++;
+    } else {
+      runs->push_back({a.pred, 1});
+    }
+  }
+  image->order.push_back({std::move(runs), atoms.size()});
+}
+
+}  // namespace
+
+SnapshotImageHandle View::ExtractImage(ImageExtractStats* stats) const {
+  ImageExtractStats local;
+  if (stats == nullptr) stats = &local;
+
+  if (last_image_ != nullptr && image_dirty_preds_.empty() &&
+      !image_order_stale_ && last_image_->atom_count == atoms_.size()) {
+    // Nothing changed since the previous extraction: share it wholesale.
+    stats->segments_shared +=
+        static_cast<int64_t>(last_image_->segments.size());
+    stats->atoms_shared += static_cast<int64_t>(last_image_->atom_count);
+    return last_image_;
+  }
+
+  auto image = std::make_shared<SnapshotImage>();
+  image->atom_count = atoms_.size();
+  image->segments.reserve(by_pred_.size());
+  for (const auto& [pred, postings] : by_pred_) {
+    SnapshotImage::SegmentHandle shared;
+    if (last_image_ != nullptr && image_dirty_preds_.count(pred) == 0) {
+      auto it = last_image_->segments.find(pred);
+      if (it != last_image_->segments.end() &&
+          it->second->size() == postings.size()) {
+        shared = it->second;
+      }
+    }
+    if (shared != nullptr) {
+      stats->segments_shared++;
+      stats->atoms_shared += static_cast<int64_t>(shared->size());
+      image->segments.emplace(pred, std::move(shared));
+    } else {
+      auto seg = std::make_shared<SnapshotImage::Segment>();
+      seg->reserve(postings.size());
+      for (size_t idx : postings) seg->push_back(atoms_[idx]);
+      stats->segments_copied++;
+      stats->atoms_copied += static_cast<int64_t>(seg->size());
+      image->segments.emplace(
+          pred, SnapshotImage::SegmentHandle(std::move(seg)));
+    }
+  }
+
+  // Global order. When no atom was removed since the previous extraction
+  // the old order is a strict prefix of the new one: share its chunks and
+  // append ONE chunk covering the tail the batch added. Removals reorder
+  // nothing but shrink interior runs, so they force a full rebuild (one
+  // O(view) pred-id sweep — tiny next to the segment copies it replaces).
+  const bool share_order = !image_order_stale_ && last_image_ != nullptr &&
+                           last_image_->atom_count <= atoms_.size();
+  if (share_order) {
+    image->order = last_image_->order;
+    const size_t have = static_cast<size_t>(last_image_->atom_count);
+    if (have < atoms_.size()) {
+      auto runs = std::make_shared<std::vector<SnapshotImage::OrderRun>>();
+      for (size_t i = have; i < atoms_.size(); ++i) {
+        if (!runs->empty() && runs->back().pred == atoms_[i].pred) {
+          runs->back().count++;
+        } else {
+          runs->push_back({atoms_[i].pred, 1});
+        }
+      }
+      image->order.push_back({std::move(runs), atoms_.size() - have});
+    }
+    if (image->order.size() > kMaxOrderChunks) RebuildOrder(atoms_, image.get());
+  } else {
+    RebuildOrder(atoms_, image.get());
+  }
+
+  last_image_ = image;
+  image_dirty_preds_.clear();
+  image_order_stale_ = false;
+  return image;
 }
 
 View::IndexStats View::index_stats() const {

@@ -17,13 +17,16 @@
 #define MMV_CORE_VIEW_H_
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/interner.h"
+#include "core/snapshot_image.h"
 #include "core/view_atom.h"
 
 namespace mmv {
@@ -46,8 +49,14 @@ class View {
   /// \brief Mutable access for in-place constraint replacement / marking.
   ///
   /// pred, args and support are index keys: callers must not change them
-  /// (use RemoveIf + Add to re-key an atom).
-  ViewAtom& MutableAtom(size_t i) { return atoms_[i]; }
+  /// (use RemoveIf + Add to re-key an atom). Conservatively dirties the
+  /// atom's predicate for copy-on-write extraction — the caller may end up
+  /// only flipping the mark (which images ignore), but re-copying one
+  /// touched segment is cheaper than tracking which field changed.
+  ViewAtom& MutableAtom(size_t i) {
+    image_dirty_preds_.insert(atoms_[i].pred);
+    return atoms_[i];
+  }
 
   /// \brief Moves the atoms out (indexes reset); the view becomes empty.
   /// The variable high-water mark (MaxVarId) is preserved — it stays the
@@ -119,6 +128,7 @@ class View {
     for (size_t i = 0; i < before; ++i) {
       if (pred(atoms_[i])) {
         remap[i] = -1;
+        image_dirty_preds_.insert(atoms_[i].pred);
       } else {
         remap[i] = static_cast<int64_t>(kept.size());
         kept.push_back(std::move(atoms_[i]));
@@ -126,6 +136,7 @@ class View {
     }
     atoms_ = std::move(kept);
     if (atoms_.size() == before) return 0;  // indexes still valid
+    image_order_stale_ = true;  // the global order is no longer a prefix
     CompactIndexes(remap);
     return before - atoms_.size();
   }
@@ -147,6 +158,26 @@ class View {
   /// bound here, so later updates standardize apart against the true
   /// maximum and never capture those variables.
   void NoteExternalVars(VarId bound) { max_var_ = std::max(max_var_, bound); }
+
+  /// \brief What one ExtractImage call shared vs materialized.
+  struct ImageExtractStats {
+    int64_t segments_shared = 0;  ///< per-pred segments re-pointed at the
+                                  ///  previous image (zero copies)
+    int64_t segments_copied = 0;  ///< segments materialized fresh
+    int64_t atoms_shared = 0;     ///< atoms inside shared segments
+    int64_t atoms_copied = 0;     ///< atoms copied into fresh segments
+  };
+
+  /// \brief Extracts the immutable image of the current state, sharing
+  /// every per-pred segment (and order chunk) untouched since the previous
+  /// extraction — O(delta) for the incremental-maintenance steady state,
+  /// O(view) only on the first call or after wholesale churn.
+  ///
+  /// The returned image is safe to read from any thread; this view keeps a
+  /// reference so the NEXT extraction can share against it. Single-writer
+  /// like every other mutation path: callers must not race ExtractImage
+  /// with Add/RemoveIf/MutableAtom (ApplyBatch already serializes them).
+  SnapshotImageHandle ExtractImage(ImageExtractStats* stats = nullptr) const;
 
   /// \brief Sizes of the maintained indexes, for observability.
   struct IndexStats {
@@ -195,6 +226,17 @@ class View {
   std::unordered_map<uint64_t, std::vector<size_t>> by_arg_value_;
   std::unordered_map<uint64_t, std::vector<size_t>> by_arg_var_;
   VarId max_var_ = -1;
+
+  // Copy-on-write extraction state (core/snapshot_image.h). The dirty set
+  // names predicates whose segment in last_image_ may no longer match this
+  // view; order_stale_ records that atoms were removed, invalidating the
+  // shared global-order prefix. mutable because ExtractImage is logically
+  // const (it caches, never changes view semantics). Copying a View copies
+  // this cache too, which stays valid: the copy's atoms match the image
+  // exactly as much as the original's did.
+  mutable SnapshotImageHandle last_image_;
+  mutable std::unordered_set<Symbol> image_dirty_preds_;
+  mutable bool image_order_stale_ = false;
 };
 
 }  // namespace mmv

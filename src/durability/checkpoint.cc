@@ -11,6 +11,7 @@ namespace durability {
 namespace {
 
 constexpr char kMagic[] = "mmv-checkpoint v1";
+constexpr char kDeltaMagic[] = "mmv-checkpoint-delta v1";
 constexpr char kSeparator[] = "---\n";
 
 std::string Hex32(uint32_t v) {
@@ -170,8 +171,89 @@ Result<CheckpointMeta> DecodeCheckpoint(std::string_view file,
   return meta;
 }
 
+std::string EncodeDeltaCheckpoint(const DeltaCheckpointMeta& meta,
+                                  std::string_view body) {
+  std::string header;
+  header += kDeltaMagic;
+  header += '\n';
+  header += "epoch " + std::to_string(meta.epoch) + "\n";
+  header += "parent " + std::to_string(meta.parent) + "\n";
+  header += "ext_counter " + std::to_string(meta.ext_counter) + "\n";
+  header += "program " + Hex32(meta.program_crc) + "\n";
+  header += "wal_offset " + std::to_string(meta.wal_offset) + "\n";
+  header += "atoms " + std::to_string(meta.atoms) + "\n";
+  // Same whole-file checksum discipline as full checkpoints: every byte
+  // except the checksum line itself.
+  uint32_t crc = Crc32cExtend(Crc32cExtend(Crc32c(header), kSeparator), body);
+  std::string out;
+  out.reserve(header.size() + 16 + sizeof(kSeparator) + body.size());
+  out += header;
+  out += "checksum " + Hex32(crc) + "\n";
+  out += kSeparator;
+  out.append(body);
+  return out;
+}
+
+Result<DeltaCheckpointMeta> DecodeDeltaCheckpoint(std::string_view file,
+                                                  std::string* body) {
+  size_t at = 0;
+  size_t magic_eol = file.find('\n');
+  if (magic_eol == std::string_view::npos ||
+      file.substr(0, magic_eol) != kDeltaMagic) {
+    return Status::ParseError("not a delta checkpoint file (bad magic)");
+  }
+  at = magic_eol + 1;
+
+  DeltaCheckpointMeta meta;
+  MMV_ASSIGN_OR_RETURN(std::string epoch_s, TakeField(file, &at, "epoch"));
+  MMV_ASSIGN_OR_RETURN(meta.epoch, ToU64(epoch_s, "epoch"));
+  MMV_ASSIGN_OR_RETURN(std::string parent_s, TakeField(file, &at, "parent"));
+  MMV_ASSIGN_OR_RETURN(meta.parent, ToU64(parent_s, "parent"));
+  MMV_ASSIGN_OR_RETURN(std::string counter_s,
+                       TakeField(file, &at, "ext_counter"));
+  {
+    // The external-support counter is <= 0 by construction.
+    bool neg = !counter_s.empty() && counter_s[0] == '-';
+    MMV_ASSIGN_OR_RETURN(
+        uint64_t mag,
+        ToU64(neg ? counter_s.substr(1) : counter_s, "ext_counter"));
+    meta.ext_counter = neg ? -static_cast<int>(mag) : static_cast<int>(mag);
+  }
+  MMV_ASSIGN_OR_RETURN(std::string program_s,
+                       TakeField(file, &at, "program"));
+  MMV_ASSIGN_OR_RETURN(meta.program_crc, ToHex32(program_s, "program"));
+  MMV_ASSIGN_OR_RETURN(std::string offset_s,
+                       TakeField(file, &at, "wal_offset"));
+  MMV_ASSIGN_OR_RETURN(meta.wal_offset, ToU64(offset_s, "wal_offset"));
+  MMV_ASSIGN_OR_RETURN(std::string atoms_s, TakeField(file, &at, "atoms"));
+  MMV_ASSIGN_OR_RETURN(meta.atoms, ToU64(atoms_s, "atoms"));
+
+  size_t checksum_at = at;
+  MMV_ASSIGN_OR_RETURN(std::string checksum_s,
+                       TakeField(file, &at, "checksum"));
+  MMV_ASSIGN_OR_RETURN(uint32_t expected, ToHex32(checksum_s, "checksum"));
+
+  if (file.size() - at < sizeof(kSeparator) - 1 ||
+      file.compare(at, sizeof(kSeparator) - 1, kSeparator) != 0) {
+    return Status::ParseError("delta checkpoint missing '---' separator");
+  }
+  std::string_view tail = file.substr(at);  // "---\n" + body
+  uint32_t actual =
+      Crc32cExtend(Crc32c(file.substr(0, checksum_at)), tail);
+  if (actual != expected) {
+    return Status::ParseError(
+        "delta checkpoint checksum mismatch (file is torn or corrupt)");
+  }
+  *body = std::string(tail.substr(sizeof(kSeparator) - 1));
+  return meta;
+}
+
 std::string CheckpointFileName(uint64_t epoch) {
   return "ckpt-" + Padded(epoch) + ".mmv";
+}
+
+std::string DeltaCheckpointFileName(uint64_t epoch) {
+  return "dckpt-" + Padded(epoch) + ".mmv";
 }
 
 std::string WalSegmentFileName(uint64_t base) {
@@ -180,6 +262,10 @@ std::string WalSegmentFileName(uint64_t base) {
 
 Result<uint64_t> ParseCheckpointFileName(std::string_view name) {
   return ParseNamed(name, "ckpt-", ".mmv");
+}
+
+Result<uint64_t> ParseDeltaCheckpointFileName(std::string_view name) {
+  return ParseNamed(name, "dckpt-", ".mmv");
 }
 
 Result<uint64_t> ParseWalSegmentFileName(std::string_view name) {

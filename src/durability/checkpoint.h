@@ -20,6 +20,24 @@
 // favour of an older one. Files are written to a ".tmp" sibling and
 // atomically renamed, so a crash mid-write never shadows a good
 // checkpoint with a partial one.
+//
+// DELTA checkpoints ("dckpt-<epoch>.mmv") amortize the full image: between
+// full-image cadence boundaries the writer records only what changed since
+// the PARENT checkpoint (the immediately preceding one, full or delta).
+// Same header discipline plus a `parent <epoch>` field; the body is
+// line-oriented against the parent's composed image:
+//
+//   removed <pred>           -- the predicate vanished entirely
+//   seg <pred> <n>           -- the predicate's segment changed: the next
+//   <n atom lines>              n lines are its full new contents
+//   order keep <k>           -- the first k atoms of the parent's global
+//                               order survive unchanged...
+//   order run <pred> <n>     -- ...followed by these (pred, count) runs.
+//                               Within one pred the global order equals
+//                               segment order, so runs carry no offsets.
+//
+// Recovery composes newest full + descendant deltas + WAL tail; any
+// invalid member fails the whole chain, falling back to an older head.
 
 #ifndef MMV_DURABILITY_CHECKPOINT_H_
 #define MMV_DURABILITY_CHECKPOINT_H_
@@ -53,9 +71,33 @@ std::string EncodeCheckpoint(const CheckpointMeta& meta,
 Result<CheckpointMeta> DecodeCheckpoint(std::string_view file,
                                         std::string* body);
 
+/// \brief Header fields of one DELTA checkpoint file ("dckpt-*.mmv").
+struct DeltaCheckpointMeta {
+  uint64_t epoch = 0;
+  uint64_t parent = 0;  ///< epoch of the checkpoint this delta diffs against
+  int ext_counter = 0;
+  uint32_t program_crc = 0;
+  uint64_t wal_offset = 0;
+  uint64_t atoms = 0;  ///< atom count of the COMPOSED image (diagnostic +
+                       ///  composition cross-check at recovery)
+};
+
+/// \brief Renders a delta checkpoint file (header + checksum + body).
+std::string EncodeDeltaCheckpoint(const DeltaCheckpointMeta& meta,
+                                  std::string_view body);
+
+/// \brief Parses and VALIDATES a delta checkpoint file, like
+/// DecodeCheckpoint (same whole-file checksum discipline).
+Result<DeltaCheckpointMeta> DecodeDeltaCheckpoint(std::string_view file,
+                                                  std::string* body);
+
 /// \brief "ckpt-<epoch, zero-padded>.mmv" — zero padding keeps
 /// lexicographic file order equal to epoch order.
 std::string CheckpointFileName(uint64_t epoch);
+
+/// \brief "dckpt-<epoch, zero-padded>.mmv": a delta frame against the
+/// checkpoint named by its `parent` header field.
+std::string DeltaCheckpointFileName(uint64_t epoch);
 
 /// \brief "wal-<base, zero-padded>.log": the segment holding records with
 /// seq > base (a fresh segment starts at every checkpoint).
@@ -65,6 +107,7 @@ std::string WalSegmentFileName(uint64_t base);
 /// helpers above; error if \p name has a different shape (".tmp" siblings
 /// and foreign files are NOT valid checkpoint/segment names).
 Result<uint64_t> ParseCheckpointFileName(std::string_view name);
+Result<uint64_t> ParseDeltaCheckpointFileName(std::string_view name);
 Result<uint64_t> ParseWalSegmentFileName(std::string_view name);
 
 }  // namespace durability

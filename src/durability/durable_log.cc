@@ -1,6 +1,9 @@
 #include "durability/durable_log.h"
 
 #include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/crc32c.h"
@@ -14,6 +17,11 @@ namespace {
 bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
 }
 
 std::vector<parser::ParsedUpdate> ToParsed(
@@ -43,6 +51,300 @@ std::vector<maint::Update> ToUpdates(
   return updates;
 }
 
+Result<uint64_t> ParseU64(std::string_view s, std::string_view what) {
+  if (s.empty()) {
+    return Status::ParseError("delta checkpoint: empty " + std::string(what));
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("delta checkpoint: bad " + std::string(what) +
+                                " '" + std::string(s) + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Delta checkpoint bodies. A delta frame records, against its PARENT's
+// composed image: the predicates that vanished, the full new contents of
+// every segment that changed (detected by shared_ptr identity — a shared
+// segment is bit-identical by construction), and the new global atom order
+// as a kept-prefix length plus (pred, count) runs. Within one predicate
+// the global order equals segment order, so runs need no offsets.
+
+std::string BuildDeltaBody(const SnapshotImage& parent,
+                           const SnapshotImage& child) {
+  std::ostringstream os;
+  std::vector<Symbol> removed;
+  for (const auto& [pred, seg] : parent.segments) {
+    if (child.segments.find(pred) == child.segments.end()) {
+      removed.push_back(pred);
+    }
+  }
+  std::sort(removed.begin(), removed.end());  // name order: deterministic
+  for (Symbol pred : removed) os << "removed " << pred.name() << "\n";
+
+  std::vector<Symbol> changed;
+  for (const auto& [pred, seg] : child.segments) {
+    auto it = parent.segments.find(pred);
+    // Pointer inequality is conservative: a re-materialized but equal
+    // segment serializes redundantly, never incorrectly.
+    if (it == parent.segments.end() || it->second != seg) {
+      changed.push_back(pred);
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  for (Symbol pred : changed) {
+    const SnapshotImage::Segment& seg = *child.segments.at(pred);
+    os << "seg " << pred.name() << " " << seg.size() << "\n";
+    os << parser::SerializeAtoms(seg);
+  }
+
+  // Order: the chunk-pointer prefix both images share needs no re-listing.
+  uint64_t keep = 0;
+  size_t shared_chunks = 0;
+  while (shared_chunks < child.order.size() &&
+         shared_chunks < parent.order.size() &&
+         child.order[shared_chunks].runs == parent.order[shared_chunks].runs) {
+    keep += child.order[shared_chunks].atoms;
+    ++shared_chunks;
+  }
+  os << "order keep " << keep << "\n";
+  Symbol run_pred;
+  uint64_t run_count = 0;
+  auto flush_run = [&] {
+    if (run_count > 0) {
+      os << "order run " << run_pred.name() << " " << run_count << "\n";
+    }
+  };
+  for (size_t c = shared_chunks; c < child.order.size(); ++c) {
+    for (const SnapshotImage::OrderRun& run : *child.order[c].runs) {
+      if (run_count > 0 && run.pred == run_pred) {
+        run_count += run.count;
+      } else {
+        flush_run();
+        run_pred = run.pred;
+        run_count = run.count;
+      }
+    }
+  }
+  flush_run();
+  return os.str();
+}
+
+// The working state a checkpoint chain composes into: mutable per-pred
+// segments plus the flattened global-order runs.
+struct ComposedState {
+  std::unordered_map<Symbol, std::vector<ViewAtom>> segments;
+  std::vector<SnapshotImage::OrderRun> order;
+};
+
+Result<ComposedState> FromFullBody(const std::string& body,
+                                   Program* program) {
+  MMV_ASSIGN_OR_RETURN(View tmp, parser::DeserializeView(body, program));
+  ComposedState state;
+  std::vector<ViewAtom> atoms = tmp.TakeAtoms();
+  for (ViewAtom& a : atoms) {
+    if (!state.order.empty() && state.order.back().pred == a.pred) {
+      state.order.back().count++;
+    } else {
+      state.order.push_back({a.pred, 1});
+    }
+    state.segments[a.pred].push_back(std::move(a));
+  }
+  return state;
+}
+
+// Line cursor over a delta body; keeps byte offsets so a seg section's raw
+// text can be sliced out for DeserializeView.
+struct LineCursor {
+  std::string_view text;
+  size_t at = 0;
+  bool Next(std::string_view* line) {
+    if (at >= text.size()) return false;
+    size_t eol = text.find('\n', at);
+    if (eol == std::string_view::npos) {
+      *line = text.substr(at);
+      at = text.size();
+    } else {
+      *line = text.substr(at, eol - at);
+      at = eol + 1;
+    }
+    return true;
+  }
+};
+
+// Splits "name count" (count = trailing integer field).
+Result<std::pair<Symbol, uint64_t>> ParsePredCount(std::string_view rest,
+                                                   std::string_view what) {
+  size_t sp = rest.rfind(' ');
+  if (sp == std::string_view::npos || sp == 0) {
+    return Status::ParseError("delta checkpoint: malformed " +
+                              std::string(what) + " line");
+  }
+  MMV_ASSIGN_OR_RETURN(uint64_t count, ParseU64(rest.substr(sp + 1), what));
+  return std::make_pair(Symbol(rest.substr(0, sp)), count);
+}
+
+// Applies one delta frame's body over \p state. Strict: any structural
+// surprise (unknown removed pred, truncated section, order mismatch, atom
+// count disagreeing with the header) is corruption, reported as a
+// ParseError so recovery abandons this chain and falls back.
+Status ApplyDeltaBody(std::string_view body, Program* program,
+                      const DeltaCheckpointMeta& meta, ComposedState* state) {
+  LineCursor cur{body};
+  std::string_view line;
+  bool have_line = cur.Next(&line);
+
+  while (have_line && StartsWith(line, "removed ")) {
+    Symbol pred(line.substr(8));
+    if (state->segments.erase(pred) == 0) {
+      return Status::ParseError(
+          "delta checkpoint removes unknown predicate '" + pred.name() + "'");
+    }
+    have_line = cur.Next(&line);
+  }
+
+  while (have_line && StartsWith(line, "seg ")) {
+    MMV_ASSIGN_OR_RETURN(auto pred_count,
+                         ParsePredCount(line.substr(4), "seg count"));
+    const auto [pred, count] = pred_count;
+    size_t start = cur.at;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!cur.Next(&line)) {
+        return Status::ParseError(
+            "delta checkpoint: seg section for '" + pred.name() +
+            "' truncated");
+      }
+    }
+    MMV_ASSIGN_OR_RETURN(
+        View tmp,
+        parser::DeserializeView(body.substr(start, cur.at - start), program));
+    std::vector<ViewAtom> seg = tmp.TakeAtoms();
+    if (seg.size() != count) {
+      return Status::ParseError("delta checkpoint: seg section for '" +
+                                pred.name() + "' parsed to a different count");
+    }
+    for (const ViewAtom& a : seg) {
+      if (a.pred != pred) {
+        return Status::ParseError(
+            "delta checkpoint: seg section for '" + pred.name() +
+            "' holds an atom of '" + a.pred.name() + "'");
+      }
+    }
+    state->segments[pred] = std::move(seg);
+    have_line = cur.Next(&line);
+  }
+
+  if (!have_line || !StartsWith(line, "order keep ")) {
+    return Status::ParseError(
+        "delta checkpoint: missing 'order keep' line");
+  }
+  MMV_ASSIGN_OR_RETURN(uint64_t keep,
+                       ParseU64(line.substr(11), "order keep"));
+  std::vector<SnapshotImage::OrderRun> new_order;
+  uint64_t remaining = keep;
+  for (const SnapshotImage::OrderRun& run : state->order) {
+    if (remaining == 0) break;
+    uint64_t take = std::min<uint64_t>(run.count, remaining);
+    if (!new_order.empty() && new_order.back().pred == run.pred) {
+      new_order.back().count += take;
+    } else {
+      new_order.push_back({run.pred, take});
+    }
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    return Status::ParseError(
+        "delta checkpoint: 'order keep' exceeds the parent's atom order");
+  }
+  while (cur.Next(&line)) {
+    if (!StartsWith(line, "order run ")) {
+      return Status::ParseError("delta checkpoint: unexpected line '" +
+                                std::string(line) + "'");
+    }
+    MMV_ASSIGN_OR_RETURN(auto pred_count,
+                         ParsePredCount(line.substr(10), "order run"));
+    const auto [pred, count] = pred_count;
+    if (!new_order.empty() && new_order.back().pred == pred) {
+      new_order.back().count += count;
+    } else {
+      new_order.push_back({pred, count});
+    }
+  }
+  state->order = std::move(new_order);
+
+  uint64_t order_total = 0;
+  for (const SnapshotImage::OrderRun& run : state->order) {
+    order_total += run.count;
+  }
+  uint64_t segment_total = 0;
+  for (const auto& [pred, seg] : state->segments) {
+    segment_total += seg.size();
+  }
+  if (order_total != segment_total || order_total != meta.atoms) {
+    return Status::ParseError(
+        "delta checkpoint: composed atom counts disagree (order " +
+        std::to_string(order_total) + ", segments " +
+        std::to_string(segment_total) + ", header " +
+        std::to_string(meta.atoms) + ")");
+  }
+  return Status::OK();
+}
+
+// Materializes the composed state into a View, re-Adding atoms in the
+// recorded global order (the order is load-bearing: continued maintenance
+// is byte-identical only if the rebuilt view enumerates like the original).
+Result<View> BuildView(const ComposedState& state) {
+  View view;
+  std::unordered_map<Symbol, size_t> cursor;
+  for (const SnapshotImage::OrderRun& run : state.order) {
+    auto it = state.segments.find(run.pred);
+    if (it == state.segments.end()) {
+      return Status::ParseError(
+          "delta checkpoint: atom order names unknown predicate '" +
+          run.pred.name() + "'");
+    }
+    size_t& at = cursor[run.pred];
+    if (at + run.count > it->second.size()) {
+      return Status::ParseError(
+          "delta checkpoint: atom order overruns the segment of '" +
+          run.pred.name() + "'");
+    }
+    for (uint64_t i = 0; i < run.count; ++i) {
+      view.Add(it->second[at++]);
+    }
+  }
+  for (const auto& [pred, seg] : state.segments) {
+    auto it = cursor.find(pred);
+    if (it == cursor.end() || it->second != seg.size()) {
+      return Status::ParseError(
+          "delta checkpoint: atom order does not cover the segment of '" +
+          pred.name() + "'");
+    }
+  }
+  return view;
+}
+
+// One checkpoint file (either kind) found on disk.
+struct CkptFile {
+  uint64_t epoch = 0;
+  bool is_delta = false;
+  std::string name;
+};
+
+// What loading one whole chain produced.
+struct LoadedChain {
+  View view;
+  uint64_t head_epoch = 0;
+  uint64_t full_epoch = 0;
+  int ext_counter = 0;
+  int64_t deltas_composed = 0;
+  int64_t delta_bytes = 0;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<DurableLog>> DurableLog::Create(
@@ -53,6 +355,7 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Create(
   MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
   for (const std::string& name : names) {
     if (ParseCheckpointFileName(name).ok() ||
+        ParseDeltaCheckpointFileName(name).ok() ||
         ParseWalSegmentFileName(name).ok()) {
       return Status::AlreadyExists(
           "state directory '" + dir + "' already holds durability file '" +
@@ -63,9 +366,10 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Create(
       fs, dir, Crc32c(program.ToString()), options));
   log->ext_counter_ = ext_counter;
   log->next_seq_ = initial_epoch + 1;
-  // The initial checkpoint is the recovery floor: even a directory that
-  // crashes before its first burst recovers to a well-defined state.
-  MMV_RETURN_NOT_OK(log->Checkpoint(initial));
+  // The initial checkpoint is the recovery floor — always a FULL image:
+  // even a directory that crashes before its first burst recovers to a
+  // well-defined state with no parent to chase.
+  MMV_RETURN_NOT_OK(log->Checkpoint(initial, CheckpointKind::kFull));
   return log;
 }
 
@@ -82,8 +386,10 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
       fs, dir, Crc32c(program->ToString()), options));
 
   MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
-  std::vector<std::pair<uint64_t, std::string>> ckpts;  // epoch, name
-  std::vector<std::pair<uint64_t, std::string>> segs;   // base, name
+  std::vector<CkptFile> ckpts;  // full AND delta frames
+  std::set<uint64_t> full_epochs;
+  std::set<uint64_t> delta_epochs;
+  std::vector<std::pair<uint64_t, std::string>> segs;  // base, name
   for (const std::string& name : names) {
     if (EndsWith(name, ".tmp")) {
       // An in-flight checkpoint image the crash orphaned; it was never
@@ -92,73 +398,155 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
       continue;
     }
     if (Result<uint64_t> e = ParseCheckpointFileName(name); e.ok()) {
-      ckpts.emplace_back(*e, name);
+      ckpts.push_back({*e, /*is_delta=*/false, name});
+      full_epochs.insert(*e);
+    } else if (Result<uint64_t> d = ParseDeltaCheckpointFileName(name);
+               d.ok()) {
+      ckpts.push_back({*d, /*is_delta=*/true, name});
+      delta_epochs.insert(*d);
     } else if (Result<uint64_t> b = ParseWalSegmentFileName(name); b.ok()) {
       segs.emplace_back(*b, name);
     }
     // Foreign files are ignored, not deleted.
   }
-  if (ckpts.empty()) {
-    return Status::NotFound("durability recovery: no checkpoint in '" +
+  if (full_epochs.empty()) {
+    return Status::NotFound("durability recovery: no full checkpoint in '" +
                             dir + "'");
   }
-  std::sort(ckpts.begin(), ckpts.end());
+  // Chain heads, tried newest-first; at one epoch a full image wins over a
+  // delta frame (it needs no parents).
+  std::sort(ckpts.begin(), ckpts.end(),
+            [](const CkptFile& a, const CkptFile& b) {
+              if (a.epoch != b.epoch) return a.epoch > b.epoch;
+              return a.is_delta < b.is_delta;
+            });
   std::sort(segs.begin(), segs.end());
   // The newest epoch ANY checkpoint file claims in its name, valid or
   // not: recovery must reach at least this epoch or fail loudly — falling
-  // back to an older checkpoint is only legal when the WAL bridges the
+  // back to an older chain is only legal when the WAL bridges the
   // distance.
-  const uint64_t newest_claimed = ckpts.back().first;
+  const uint64_t newest_claimed = ckpts.front().epoch;
 
-  // Load the newest checkpoint that validates end to end.
-  CheckpointMeta meta;
-  std::string body;
-  bool loaded = false;
-  for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
-    MMV_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(log->PathFor(it->second)));
-    Result<CheckpointMeta> decoded = DecodeCheckpoint(data, &body);
-    if (!decoded.ok()) {
-      ++info->checkpoints_skipped;
-      continue;
+  // Resolves and composes the chain under \p head. Corruption anywhere in
+  // the chain is a ParseError (the caller falls back to the next head);
+  // a program fingerprint mismatch or an IO failure propagates loudly.
+  auto load_chain = [&](const CkptFile& head) -> Result<LoadedChain> {
+    LoadedChain out;
+    out.head_epoch = head.epoch;
+    // Walk parent links down to a full image, newest last.
+    std::vector<std::pair<DeltaCheckpointMeta, std::string>> deltas;
+    uint64_t cursor_epoch = head.epoch;
+    bool cursor_delta = head.is_delta;
+    CheckpointMeta full_meta;
+    std::string full_body;
+    while (true) {
+      if (!cursor_delta) {
+        MMV_ASSIGN_OR_RETURN(
+            std::string data,
+            fs->ReadFile(log->PathFor(CheckpointFileName(cursor_epoch))));
+        MMV_ASSIGN_OR_RETURN(full_meta, DecodeCheckpoint(data, &full_body));
+        if (full_meta.program_crc != log->program_crc_) {
+          return Status::InvalidArgument(
+              "durability recovery refused: checkpoint was written for a "
+              "different program (clause-set fingerprint mismatch)");
+        }
+        out.full_epoch = cursor_epoch;
+        break;
+      }
+      MMV_ASSIGN_OR_RETURN(
+          std::string data,
+          fs->ReadFile(log->PathFor(DeltaCheckpointFileName(cursor_epoch))));
+      std::string body;
+      MMV_ASSIGN_OR_RETURN(DeltaCheckpointMeta meta,
+                           DecodeDeltaCheckpoint(data, &body));
+      if (meta.program_crc != log->program_crc_) {
+        return Status::InvalidArgument(
+            "durability recovery refused: delta checkpoint was written for "
+            "a different program (clause-set fingerprint mismatch)");
+      }
+      if (meta.epoch != cursor_epoch || meta.parent >= cursor_epoch) {
+        return Status::ParseError(
+            "delta checkpoint " + DeltaCheckpointFileName(cursor_epoch) +
+            " header disagrees with its name or parents forward");
+      }
+      out.delta_bytes += static_cast<int64_t>(data.size());
+      deltas.emplace_back(std::move(meta), std::move(body));
+      cursor_epoch = meta.parent;
+      if (full_epochs.count(cursor_epoch) > 0) {
+        cursor_delta = false;
+      } else if (delta_epochs.count(cursor_epoch) > 0) {
+        cursor_delta = true;
+      } else {
+        return Status::ParseError(
+            "delta checkpoint chain is missing its parent at epoch " +
+            std::to_string(cursor_epoch));
+      }
     }
-    meta = *decoded;
-    loaded = true;
-    break;
+    MMV_ASSIGN_OR_RETURN(ComposedState state,
+                         FromFullBody(full_body, program));
+    out.ext_counter = full_meta.ext_counter;
+    for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+      MMV_RETURN_NOT_OK(ApplyDeltaBody(it->second, program, it->first, &state));
+      out.ext_counter = it->first.ext_counter;
+      ++out.deltas_composed;
+    }
+    MMV_ASSIGN_OR_RETURN(out.view, BuildView(state));
+    return out;
+  };
+
+  LoadedChain chain;
+  bool loaded = false;
+  for (const CkptFile& head : ckpts) {
+    Result<LoadedChain> attempt = load_chain(head);
+    if (attempt.ok()) {
+      chain = std::move(*attempt);
+      loaded = true;
+      break;
+    }
+    if (attempt.status().code() != StatusCode::kParseError) {
+      // IO failure or program mismatch: not corruption, no fallback.
+      return attempt.status();
+    }
+    ++info->checkpoints_skipped;
   }
   if (!loaded) {
     return Status::ParseError(
         "durability recovery failed: none of the " +
-        std::to_string(ckpts.size()) + " checkpoint(s) in '" + dir +
+        std::to_string(ckpts.size()) + " checkpoint chain(s) in '" + dir +
         "' validates");
   }
-  if (meta.program_crc != log->program_crc_) {
-    return Status::InvalidArgument(
-        "durability recovery refused: checkpoint was written for a "
-        "different program (clause-set fingerprint mismatch)");
-  }
 
-  MMV_ASSIGN_OR_RETURN(View view, parser::DeserializeView(body, program));
-  log->ext_counter_ = meta.ext_counter;
-  log->next_seq_ = meta.epoch + 1;
-  log->last_checkpoint_epoch_ = meta.epoch;
-  info->checkpoint_epoch = meta.epoch;
+  View view = std::move(chain.view);
+  log->ext_counter_ = chain.ext_counter;
+  log->next_seq_ = chain.head_epoch + 1;
+  log->last_checkpoint_epoch_ = chain.head_epoch;
+  log->checkpoints_since_full_ =
+      static_cast<uint64_t>(chain.deltas_composed);
+  // The recomposed image seeds the delta parent AND the snapshot store:
+  // one extraction, shared by both consumers, exactly like the live path.
+  log->last_checkpoint_image_ = view.ExtractImage();
+  info->checkpoint_epoch = chain.head_epoch;
+  info->full_checkpoint_epoch = chain.full_epoch;
+  info->delta_checkpoints_composed = chain.deltas_composed;
+  info->checkpoint_delta_bytes = chain.delta_bytes;
   if (snapshots != nullptr) {
     // Re-seat the store at the checkpoint epoch; each replayed burst then
     // publishes the next epoch, finishing exactly where the pre-crash
     // store stood.
-    snapshots->RestoreAt(view, meta.epoch);
+    snapshots->RestoreAtImage(log->last_checkpoint_image_, chain.head_epoch);
   }
 
-  // Replay: segments below the loaded checkpoint hold only records it
+  // Replay: segments below the loaded chain head hold only records it
   // already covers (a segment closes at the checkpoint that starts its
-  // successor), so the scan starts at base == meta.epoch. Only the final
-  // segment may end in a torn record.
+  // successor), so the scan starts at base == the head epoch. Only the
+  // final segment may end in a torn record.
+  const uint64_t head_epoch = chain.head_epoch;
   std::vector<std::pair<uint64_t, std::string>> relevant;
   for (const auto& s : segs) {
-    if (s.first >= meta.epoch) relevant.push_back(s);
+    if (s.first >= head_epoch) relevant.push_back(s);
   }
-  uint64_t expected = meta.epoch + 1;
-  uint64_t open_base = meta.epoch;
+  uint64_t expected = head_epoch + 1;
+  uint64_t open_base = head_epoch;
   uint64_t open_bytes = 0;
   for (size_t i = 0; i < relevant.size(); ++i) {
     const bool is_last = i + 1 == relevant.size();
@@ -174,7 +562,7 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
       info->torn_tail_bytes += scan.torn_bytes;
     }
     for (WalRecord& record : scan.records) {
-      if (record.seq <= meta.epoch) {
+      if (record.seq <= head_epoch) {
         // The checkpoint already contains this burst's effect (it was
         // written AFTER the record, before the old segment closed).
         ++info->skipped_records;
@@ -236,7 +624,8 @@ Status DurableLog::LogBurst(const std::vector<maint::Update>& updates) {
   return Status::OK();
 }
 
-Status DurableLog::CommitBurst(const View& view, maint::BatchStats* stats) {
+Status DurableLog::CommitBurst(const SnapshotImageHandle& image,
+                               maint::BatchStats* stats) {
   if (!pending_) {
     return Status::Internal("durable log has no pending burst to commit");
   }
@@ -264,8 +653,13 @@ Status DurableLog::CommitBurst(const View& view, maint::BatchStats* stats) {
       (options_.checkpoint_every_bytes > 0 &&
        bytes_since_checkpoint_ >= options_.checkpoint_every_bytes);
   if (checkpoint_due) {
-    MMV_RETURN_NOT_OK(Checkpoint(view));
-    if (stats != nullptr) stats->checkpoints_written += 1;
+    int64_t delta_bytes = 0;
+    MMV_RETURN_NOT_OK(
+        WriteCheckpoint(image, CheckpointKind::kAuto, &delta_bytes));
+    if (stats != nullptr) {
+      stats->checkpoints_written += 1;
+      stats->checkpoint_delta_bytes += delta_bytes;
+    }
   }
   return Status::OK();
 }
@@ -281,7 +675,22 @@ void DurableLog::AbortBurst() {
   }
 }
 
-Status DurableLog::Checkpoint(const View& view) {
+Status DurableLog::Checkpoint(const View& view, CheckpointKind kind) {
+  return CheckpointImage(view.ExtractImage(), kind);
+}
+
+Status DurableLog::CheckpointImage(SnapshotImageHandle image,
+                                   CheckpointKind kind) {
+  return WriteCheckpoint(std::move(image), kind, nullptr);
+}
+
+Status DurableLog::WriteCheckpoint(SnapshotImageHandle image,
+                                   CheckpointKind kind,
+                                   int64_t* delta_bytes) {
+  if (delta_bytes != nullptr) *delta_bytes = 0;
+  if (image == nullptr) {
+    return Status::InvalidArgument("checkpoint requested with a null image");
+  }
   if (pending_) {
     return Status::Internal(
         "checkpoint requested mid-batch: the image would not match the "
@@ -292,27 +701,72 @@ Status DurableLog::Checkpoint(const View& view) {
         "durable log poisoned by an earlier IO failure — Recover() first");
   }
   const uint64_t epoch = next_seq_ - 1;
-  CheckpointMeta meta;
-  meta.epoch = epoch;
-  meta.ext_counter = ext_counter_;
-  meta.program_crc = program_crc_;
-  meta.wal_offset = wal_ != nullptr ? wal_->end_offset() : 0;
-  meta.atoms = view.atoms().size();
-  std::string file = EncodeCheckpoint(meta, parser::SerializeView(view));
+  const bool have_parent =
+      last_checkpoint_image_ != nullptr && checkpoints_written_ > 0;
+  // A delta must parent a DIFFERENT, older checkpoint: with no parent on
+  // record, or when the epoch did not advance (a same-epoch rewrite), the
+  // frame must be full whatever the cadence says.
+  bool full = kind == CheckpointKind::kFull || !have_parent ||
+              epoch == last_checkpoint_epoch_;
+  if (!full && kind == CheckpointKind::kAuto) {
+    full = options_.full_checkpoint_interval <= 1 ||
+           checkpoints_since_full_ + 1 >= options_.full_checkpoint_interval;
+  }
 
-  const std::string final_path = PathFor(CheckpointFileName(epoch));
+  std::string file;
+  std::string final_path;
+  if (full) {
+    CheckpointMeta meta;
+    meta.epoch = epoch;
+    meta.ext_counter = ext_counter_;
+    meta.program_crc = program_crc_;
+    meta.wal_offset = wal_ != nullptr ? wal_->end_offset() : 0;
+    meta.atoms = image->atom_count;
+    file = EncodeCheckpoint(meta, parser::SerializeImage(*image));
+    final_path = PathFor(CheckpointFileName(epoch));
+  } else {
+    DeltaCheckpointMeta meta;
+    meta.epoch = epoch;
+    meta.parent = last_checkpoint_epoch_;
+    meta.ext_counter = ext_counter_;
+    meta.program_crc = program_crc_;
+    meta.wal_offset = wal_ != nullptr ? wal_->end_offset() : 0;
+    meta.atoms = image->atom_count;
+    file = EncodeDeltaCheckpoint(meta,
+                                 BuildDeltaBody(*last_checkpoint_image_,
+                                                *image));
+    final_path = PathFor(DeltaCheckpointFileName(epoch));
+    if (delta_bytes != nullptr) {
+      *delta_bytes = static_cast<int64_t>(file.size());
+    }
+  }
+
   const std::string tmp_path = final_path + ".tmp";
   MMV_RETURN_NOT_OK(fs_->WriteFile(tmp_path, file));
   MMV_RETURN_NOT_OK(fs_->Sync(tmp_path));
   // The publication point: a crash before this rename leaves the previous
   // checkpoint + WAL authoritative, a crash after it leaves the new one.
   MMV_RETURN_NOT_OK(fs_->Rename(tmp_path, final_path));
+  if (full) {
+    // A full rewrite at an epoch supersedes any delta frame that epoch
+    // previously got (e.g. cadence delta, then an explicit checkpoint);
+    // Remove is idempotent, so no existence probe is needed.
+    MMV_RETURN_NOT_OK(fs_->Remove(PathFor(DeltaCheckpointFileName(epoch))));
+  }
 
   MMV_RETURN_NOT_OK(OpenSegment(epoch, 0));
+  last_checkpoint_bytes_ = file.size();
   last_checkpoint_epoch_ = epoch;
+  last_checkpoint_image_ = std::move(image);
   records_since_checkpoint_ = 0;
   bytes_since_checkpoint_ = 0;
   ++checkpoints_written_;
+  if (full) {
+    checkpoints_since_full_ = 0;
+  } else {
+    ++checkpoints_since_full_;
+    ++delta_checkpoints_written_;
+  }
   return CollectGarbage();
 }
 
@@ -330,25 +784,38 @@ Status DurableLog::OpenSegment(uint64_t base, uint64_t existing_bytes) {
 
 Status DurableLog::CollectGarbage() {
   MMV_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->List(dir_));
-  std::vector<uint64_t> ckpt_epochs;
+  std::vector<uint64_t> full_epochs;
+  std::vector<std::pair<uint64_t, std::string>> deltas;
   std::vector<std::pair<uint64_t, std::string>> segs;
   for (const std::string& name : names) {
     if (Result<uint64_t> e = ParseCheckpointFileName(name); e.ok()) {
-      ckpt_epochs.push_back(*e);
+      full_epochs.push_back(*e);
+    } else if (Result<uint64_t> d = ParseDeltaCheckpointFileName(name);
+               d.ok()) {
+      deltas.emplace_back(*d, name);
     } else if (Result<uint64_t> b = ParseWalSegmentFileName(name); b.ok()) {
       segs.emplace_back(*b, name);
     }
   }
-  std::sort(ckpt_epochs.begin(), ckpt_epochs.end());
+  std::sort(full_epochs.begin(), full_epochs.end());
   const size_t keep = static_cast<size_t>(
       std::max(1, options_.keep_checkpoints));
-  if (ckpt_epochs.size() <= keep) return Status::OK();
-  // Everything below the OLDEST retained checkpoint is collectable: its
-  // checkpoints are superseded and its segments hold only records the
-  // retained checkpoints already cover.
-  const uint64_t floor = ckpt_epochs[ckpt_epochs.size() - keep];
-  for (size_t i = 0; i + keep < ckpt_epochs.size(); ++i) {
-    MMV_RETURN_NOT_OK(fs_->Remove(PathFor(CheckpointFileName(ckpt_epochs[i]))));
+  if (full_epochs.size() <= keep) return Status::OK();
+  // Retention counts FULL images only: everything below the oldest
+  // retained full is collectable — its checkpoints are superseded and its
+  // segments hold only records the retained images already cover. Delta
+  // frames above the floor always chain down to a full >= the floor (a
+  // delta's parent run bottoms at the newest full below it, and the floor
+  // IS a full), so no retained chain ever dangles.
+  const uint64_t floor = full_epochs[full_epochs.size() - keep];
+  for (size_t i = 0; i + keep < full_epochs.size(); ++i) {
+    MMV_RETURN_NOT_OK(
+        fs_->Remove(PathFor(CheckpointFileName(full_epochs[i]))));
+  }
+  for (const auto& [epoch, name] : deltas) {
+    if (epoch <= floor) {
+      MMV_RETURN_NOT_OK(fs_->Remove(PathFor(name)));
+    }
   }
   for (const auto& [base, name] : segs) {
     if (base < floor) {

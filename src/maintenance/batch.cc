@@ -235,18 +235,29 @@ Status ApplyBatch(const Program& program, View* view,
     if (log != nullptr) log->AbortBurst();
     return applied;
   }
-  // Durable-commit point, deliberately BEFORE epoch publication: once a
-  // reader can pin the post-batch epoch the log must already own the
-  // burst, or a crash would roll the store behind what readers observed.
-  if (log != nullptr) {
-    MMV_RETURN_NOT_OK(log->CommitBurst(*view, stats));
-  }
-  // The epoch publication point: one immutable snapshot per cleanly
-  // applied burst. Errors above returned already — a failed batch
-  // publishes nothing, so concurrent readers keep the pre-batch epoch.
-  if (snapshots != nullptr) {
-    snapshots->Publish(*view);
-    stats->epochs_published++;
+  // ONE image extraction serves both consumers below: the durable log
+  // checkpoints it (and diffs it against the previous checkpoint's image)
+  // and the snapshot store publishes it to readers. Extraction is
+  // O(delta) — untouched per-pred segments are re-pointed at the previous
+  // epoch's image, and only the preds this burst dirtied are copied.
+  if (log != nullptr || snapshots != nullptr) {
+    View::ImageExtractStats image_stats;
+    SnapshotImageHandle image = view->ExtractImage(&image_stats);
+    stats->snapshot_nodes_shared += image_stats.segments_shared;
+    stats->snapshot_nodes_copied += image_stats.segments_copied;
+    // Durable-commit point, deliberately BEFORE epoch publication: once a
+    // reader can pin the post-batch epoch the log must already own the
+    // burst, or a crash would roll the store behind what readers observed.
+    if (log != nullptr) {
+      MMV_RETURN_NOT_OK(log->CommitBurst(image, stats));
+    }
+    // The epoch publication point: one immutable snapshot per cleanly
+    // applied burst. Errors above returned already — a failed batch
+    // publishes nothing, so concurrent readers keep the pre-batch epoch.
+    if (snapshots != nullptr) {
+      snapshots->PublishImage(std::move(image));
+      stats->epochs_published++;
+    }
   }
   return Status::OK();
 }
@@ -269,10 +280,13 @@ BatchStats& BatchStats::operator+=(const BatchStats& other) {
   plan_cache_hits += other.plan_cache_hits;
   solve_epoch_flushes += other.solve_epoch_flushes;
   epochs_published += other.epochs_published;
+  snapshot_nodes_shared += other.snapshot_nodes_shared;
+  snapshot_nodes_copied += other.snapshot_nodes_copied;
   wal_records += other.wal_records;
   wal_bytes += other.wal_bytes;
   wal_syncs += other.wal_syncs;
   checkpoints_written += other.checkpoints_written;
+  checkpoint_delta_bytes += other.checkpoint_delta_bytes;
   recovery_replayed_bursts += other.recovery_replayed_bursts;
   partitions_run += other.partitions_run;
   partition_skipped_small += other.partition_skipped_small;

@@ -100,9 +100,15 @@ class BurstLog {
  public:
   virtual ~BurstLog() = default;
   virtual Status LogBurst(const std::vector<Update>& updates) = 0;
+  /// Commits the pending record. \p image is the post-batch immutable
+  /// image (the SAME extraction the snapshot store publishes, so the
+  /// checkpoint writer never deep-reads the live view, and consecutive
+  /// images diff into delta checkpoints by segment pointer identity).
   /// Adds this batch's wal_records/wal_bytes/wal_syncs/
-  /// checkpoints_written contributions to \p stats (never null).
-  virtual Status CommitBurst(const View& view, BatchStats* stats) = 0;
+  /// checkpoints_written/checkpoint_delta_bytes contributions to \p stats
+  /// (never null).
+  virtual Status CommitBurst(const SnapshotImageHandle& image,
+                             BatchStats* stats) = 0;
   virtual void AbortBurst() = 0;
 };
 
@@ -134,6 +140,11 @@ struct BatchStats {
   int64_t epochs_published = 0;     ///< view epochs published to the
                                     ///  snapshot store (1 per successful
                                     ///  batch when a store is attached)
+  int64_t snapshot_nodes_shared = 0;  ///< per-pred posting segments the
+                                      ///  published image re-pointed at
+                                      ///  the previous epoch (CoW wins)
+  int64_t snapshot_nodes_copied = 0;  ///< segments the batch's dirty set
+                                      ///  forced the image to materialize
   // Durability layer (filled through the BurstLog hook; all zero when no
   // log is attached).
   int64_t wal_records = 0;          ///< WAL records committed (1 per clean
@@ -141,6 +152,8 @@ struct BatchStats {
   int64_t wal_bytes = 0;            ///< framed bytes those records added
   int64_t wal_syncs = 0;            ///< explicit syncs the policy forced
   int64_t checkpoints_written = 0;  ///< canonical snapshots written
+  int64_t checkpoint_delta_bytes = 0;  ///< bytes of DELTA checkpoint files
+                                       ///  written (zero for full images)
   int64_t recovery_replayed_bursts = 0;  ///< bursts replayed out of the
                                          ///  WAL (recovery-side only; see
                                          ///  durability::RecoveryInfo)

@@ -8,15 +8,36 @@
 namespace mmv {
 namespace parser {
 
+namespace {
+
+void AppendAtomLine(std::ostringstream& os, const ViewAtom& a) {
+  os << PrintAtom(a.pred, a.args, a.constraint, /*names=*/nullptr);
+  if (a.constraint.is_true()) {
+    os << " <- true";  // keep the "<-" anchor for the reader
+  }
+  os << " @ " << a.support.ToString() << " # " << a.depth << "\n";
+}
+
+}  // namespace
+
 std::string SerializeView(const View& view) {
   std::ostringstream os;
-  for (const ViewAtom& a : view.atoms()) {
-    os << PrintAtom(a.pred, a.args, a.constraint, /*names=*/nullptr);
-    if (a.constraint.is_true()) {
-      os << " <- true";  // keep the "<-" anchor for the reader
-    }
-    os << " @ " << a.support.ToString() << " # " << a.depth << "\n";
-  }
+  for (const ViewAtom& a : view.atoms()) AppendAtomLine(os, a);
+  return os.str();
+}
+
+std::string SerializeImage(const SnapshotImage& image) {
+  std::ostringstream os;
+  image.ForEachAtom([&os](const ViewAtom& a) {
+    AppendAtomLine(os, a);
+    return true;
+  });
+  return os.str();
+}
+
+std::string SerializeAtoms(const std::vector<ViewAtom>& atoms) {
+  std::ostringstream os;
+  for (const ViewAtom& a : atoms) AppendAtomLine(os, a);
   return os.str();
 }
 

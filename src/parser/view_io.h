@@ -35,6 +35,16 @@ namespace parser {
 /// \brief Serializes \p view into the line format above.
 std::string SerializeView(const View& view);
 
+/// \brief Serializes an immutable snapshot image in its global atom order
+/// — byte-identical to SerializeView of the view it was extracted from
+/// (the checkpoint writer consumes the image so it never deep-reads the
+/// live view).
+std::string SerializeImage(const SnapshotImage& image);
+
+/// \brief Serializes one run of atoms in the same line format (delta
+/// checkpoints write per-pred segments with this).
+std::string SerializeAtoms(const std::vector<ViewAtom>& atoms);
+
 /// \brief Parses a serialized view. Fresh variable ids are drawn from
 /// \p program's factory so the atoms can be joined against the program.
 Result<View> DeserializeView(std::string_view text, Program* program);

@@ -274,7 +274,32 @@ Result<InstanceSet> EnumerateView(const View& view, DcaEvaluator* evaluator,
 Result<InstanceSet> EnumerateView(const SnapshotHandle& snapshot,
                                   DcaEvaluator* evaluator,
                                   const EnumerateOptions& options) {
-  return EnumerateView(snapshot->view, evaluator, options);
+  // Walks the image's global atom order — the same sequence the live
+  // view's atoms() held at publication, so a snapshot read enumerates
+  // (and budget-truncates) exactly like a live read of that epoch.
+  InstanceSet out;
+  Status status = Status::OK();
+  snapshot->image->ForEachAtom([&](const ViewAtom& atom) {
+    // Remaining-budget threading, as in the live overload above.
+    EnumerateOptions atom_options = options;
+    atom_options.max_instances = options.max_instances - out.instances.size();
+    Result<InstanceSet> one = EnumerateAtom(atom, evaluator, atom_options);
+    if (!one.ok()) {
+      status = one.status();
+      return false;
+    }
+    out.instances.insert(one->instances.begin(), one->instances.end());
+    out.complete = out.complete && one->complete;
+    out.approximate = out.approximate || one->approximate;
+    if (out.instances.size() >= options.max_instances) {
+      out.complete = false;
+      return false;
+    }
+    return true;
+  });
+  MMV_RETURN_NOT_OK(status);
+  assert(out.instances.size() <= options.max_instances);
+  return out;
 }
 
 }  // namespace query

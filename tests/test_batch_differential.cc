@@ -157,7 +157,7 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
   EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << out.trace;
   EXPECT_EQ(out.batch_stats.epochs_published, 1) << out.trace;
   EXPECT_EQ(pre_pin->epoch, 1u);
-  EXPECT_EQ(Instances(pre_pin->view, w.domains.get()), initial_instances)
+  EXPECT_EQ(Instances(pre_pin, w.domains.get()), initial_instances)
       << "pre-batch snapshot changed under maintenance\n"
       << out.trace;
 
@@ -175,7 +175,7 @@ DifferentialOutcome RunTrial(uint64_t seed, DupSemantics semantics,
   // The published post-batch epoch equals the sequential-oracle result.
   SnapshotHandle post_pin = snapshots.Pin();
   EXPECT_EQ(post_pin->epoch, 2u);
-  EXPECT_EQ(Instances(post_pin->view, w.domains.get()), seq_instances)
+  EXPECT_EQ(Instances(post_pin, w.domains.get()), seq_instances)
       << "published epoch diverged from the sequential oracle\n"
       << out.trace;
   if (FoldOracleApplies(p, burst)) {

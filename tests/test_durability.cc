@@ -17,6 +17,7 @@
 #include "durability/fs.h"
 #include "durability/wal.h"
 #include "maintenance/batch.h"
+#include "parser/view_io.h"
 #include "test_util.h"
 
 namespace mmv {
@@ -315,6 +316,69 @@ TEST(CheckpointCodecTest, FileNamesRoundTripAndRejectForeignNames) {
   EXPECT_FALSE(durability::ParseWalSegmentFileName("notes.txt").ok());
 }
 
+durability::DeltaCheckpointMeta SampleDeltaMeta() {
+  durability::DeltaCheckpointMeta meta;
+  meta.epoch = 43;
+  meta.parent = 42;
+  meta.ext_counter = -7;
+  meta.program_crc = 0xDEADBEEFu;
+  meta.wal_offset = 12345;
+  meta.atoms = 9;
+  return meta;
+}
+
+TEST(DeltaCheckpointCodecTest, RoundTrip) {
+  std::string body =
+      "seg a 1\na(X0) <- X0 = 1 @ <1> # 0\norder keep 0\norder run a 1\n";
+  std::string file = durability::EncodeDeltaCheckpoint(SampleDeltaMeta(), body);
+  std::string out;
+  durability::DeltaCheckpointMeta meta =
+      Unwrap(durability::DecodeDeltaCheckpoint(file, &out));
+  EXPECT_EQ(meta.epoch, 43u);
+  EXPECT_EQ(meta.parent, 42u);
+  EXPECT_EQ(meta.ext_counter, -7);
+  EXPECT_EQ(meta.program_crc, 0xDEADBEEFu);
+  EXPECT_EQ(meta.wal_offset, 12345u);
+  EXPECT_EQ(meta.atoms, 9u);
+  EXPECT_EQ(out, body);
+}
+
+TEST(DeltaCheckpointCodecTest, AnySingleBitFlipIsDetected) {
+  std::string file =
+      durability::EncodeDeltaCheckpoint(SampleDeltaMeta(), "removed a\n");
+  std::string body;
+  for (size_t i = 0; i < file.size(); ++i) {
+    std::string flipped = file;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x08);
+    EXPECT_FALSE(durability::DecodeDeltaCheckpoint(flipped, &body).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(DeltaCheckpointCodecTest, KindsDoNotCrossDecode) {
+  // A delta file is not a full checkpoint and vice versa: the magic lines
+  // differ, so recovery can never compose the wrong kind.
+  std::string body;
+  std::string full = durability::EncodeCheckpoint(SampleMeta(), "x\n");
+  std::string delta =
+      durability::EncodeDeltaCheckpoint(SampleDeltaMeta(), "x\n");
+  EXPECT_FALSE(durability::DecodeDeltaCheckpoint(full, &body).ok());
+  EXPECT_FALSE(durability::DecodeCheckpoint(delta, &body).ok());
+}
+
+TEST(DeltaCheckpointCodecTest, FileNamesRoundTripAndStayDisjoint) {
+  EXPECT_EQ(Unwrap(durability::ParseDeltaCheckpointFileName(
+                durability::DeltaCheckpointFileName(37))),
+            37u);
+  // "dckpt-" names never parse as "ckpt-" names and vice versa.
+  EXPECT_FALSE(durability::ParseCheckpointFileName(
+                   durability::DeltaCheckpointFileName(37))
+                   .ok());
+  EXPECT_FALSE(durability::ParseDeltaCheckpointFileName(
+                   durability::CheckpointFileName(37))
+                   .ok());
+}
+
 // ---- DurableLog lifecycle -------------------------------------------------
 
 // One small mediator world for the lifecycle tests: a base predicate
@@ -415,6 +479,7 @@ TEST(DurableLogTest, CheckpointCadenceRollsSegmentsAndCollectsGarbage) {
   DurabilityOptions opts;
   opts.checkpoint_every_records = 1;  // checkpoint after every burst
   opts.keep_checkpoints = 2;
+  opts.full_checkpoint_interval = 1;  // all-full: exact file set asserted
   w.Start(opts);
   maint::BatchStats stats;
   for (int i = 2; i <= 6; ++i) {
@@ -444,10 +509,155 @@ TEST(DurableLogTest, CheckpointCadenceRollsSegmentsAndCollectsGarbage) {
             CanonicalState(w.view));
 }
 
+TEST(DurableLogTest, DeltaCadenceWritesFullEveryNthCheckpoint) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;  // checkpoint after every burst
+  opts.full_checkpoint_interval = 4;
+  w.Start(opts);
+  // Create wrote the full image at epoch 1; the next three cadence
+  // checkpoints are deltas, the fourth (epoch 5) is full again.
+  for (int i = 2; i <= 6; ++i) {
+    maint::BatchStats stats;
+    ASSERT_TRUE(w.Apply("a(X) <- X = " + std::to_string(i) + ".",
+                        /*is_delete=*/false, &stats)
+                    .ok());
+    EXPECT_EQ(stats.checkpoints_written, 1);
+    const bool wrote_full = i == 5;
+    EXPECT_EQ(stats.checkpoint_delta_bytes > 0, !wrote_full)
+        << "epoch " << i;
+  }
+  EXPECT_EQ(w.log->checkpoints_written(), 6);
+  EXPECT_EQ(w.log->delta_checkpoints_written(), 4);  // epochs 2, 3, 4, 6
+  std::vector<std::string> names = Unwrap(w.fs.List("state"));
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       durability::CheckpointFileName(1),
+                       durability::CheckpointFileName(5),
+                       durability::DeltaCheckpointFileName(2),
+                       durability::DeltaCheckpointFileName(3),
+                       durability::DeltaCheckpointFileName(4),
+                       durability::DeltaCheckpointFileName(6),
+                       durability::WalSegmentFileName(1),
+                       durability::WalSegmentFileName(2),
+                       durability::WalSegmentFileName(3),
+                       durability::WalSegmentFileName(4),
+                       durability::WalSegmentFileName(5),
+                       durability::WalSegmentFileName(6)}));
+
+  RecoveryInfo info;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, nullptr,
+      &info));
+  EXPECT_EQ(info.checkpoint_epoch, 6u);       // the delta head at epoch 6
+  EXPECT_EQ(info.full_checkpoint_epoch, 5u);  // composed over the full
+  EXPECT_EQ(info.delta_checkpoints_composed, 1);
+  EXPECT_GT(info.checkpoint_delta_bytes, 0);
+  EXPECT_EQ(info.recovered_epoch, 6u);
+  EXPECT_EQ(info.replayed_bursts, 0);
+  EXPECT_EQ(CanonicalState(recovered->TakeRecoveredView()),
+            CanonicalState(w.view));
+}
+
+TEST(DurableLogTest, RecoveryComposesAWholeDeltaChain) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;
+  opts.full_checkpoint_interval = 4;
+  w.Start(opts);
+  // Stop at epoch 4: the newest chain is d4 -> d3 -> d2 -> ckpt1, the
+  // longest this cadence produces — recovery composes all three deltas
+  // over the full image with nothing left for WAL replay. Mixed shapes:
+  // an insert, a delete of an initial atom, another insert.
+  ASSERT_TRUE(w.Apply("a(X) <- X = 2.", /*is_delete=*/false).ok());
+  ASSERT_TRUE(w.Apply("a(X) <- X = 1.", /*is_delete=*/true).ok());
+  ASSERT_TRUE(w.Apply("a(X) <- X = 3.", /*is_delete=*/false).ok());
+  RecoveryInfo info;
+  SnapshotStore rec_store;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, &rec_store,
+      &info));
+  EXPECT_EQ(info.checkpoint_epoch, 4u);
+  EXPECT_EQ(info.full_checkpoint_epoch, 1u);
+  EXPECT_EQ(info.delta_checkpoints_composed, 3);
+  EXPECT_EQ(info.replayed_bursts, 0);
+  EXPECT_EQ(rec_store.epoch(), 4u);
+  View rec_view = recovered->TakeRecoveredView();
+  EXPECT_EQ(CanonicalState(rec_view), CanonicalState(w.view));
+  // Byte-identity, not just state equality: the composed order must equal
+  // the live view's enumeration order exactly.
+  EXPECT_EQ(parser::SerializeView(rec_view), parser::SerializeView(w.view));
+}
+
+TEST(DurableLogTest, RetentionFloorsAtTheOldestRetainedFullImage) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;
+  opts.full_checkpoint_interval = 4;
+  opts.keep_checkpoints = 2;
+  w.Start(opts);
+  // Run to epoch 9: fulls at 1, 5, 9. The GC at epoch 9 floors at full 5,
+  // dropping ckpt-1, the deltas at 2-4 (their chains bottomed at the
+  // collected full) and the segments below 5 — while d6-d8, whose chains
+  // bottom at the RETAINED full 5, survive.
+  for (int i = 2; i <= 9; ++i) {
+    ASSERT_TRUE(w.Apply("a(X) <- X = " + std::to_string(i) + ".",
+                        /*is_delete=*/false)
+                    .ok());
+  }
+  std::vector<std::string> names = Unwrap(w.fs.List("state"));
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       durability::CheckpointFileName(5),
+                       durability::CheckpointFileName(9),
+                       durability::DeltaCheckpointFileName(6),
+                       durability::DeltaCheckpointFileName(7),
+                       durability::DeltaCheckpointFileName(8),
+                       durability::WalSegmentFileName(5),
+                       durability::WalSegmentFileName(6),
+                       durability::WalSegmentFileName(7),
+                       durability::WalSegmentFileName(8),
+                       durability::WalSegmentFileName(9)}));
+  RecoveryInfo info;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, nullptr,
+      &info));
+  EXPECT_EQ(info.recovered_epoch, 9u);
+  EXPECT_EQ(CanonicalState(recovered->TakeRecoveredView()),
+            CanonicalState(w.view));
+}
+
+TEST(DurableLogTest, ExplicitFullCheckpointSupersedesSameEpochDelta) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;
+  opts.full_checkpoint_interval = 4;
+  w.Start(opts);
+  ASSERT_TRUE(w.Apply("a(X) <- X = 2.", /*is_delete=*/false).ok());
+  // The cadence wrote d2. An explicit full checkpoint at the SAME epoch
+  // must replace it — leaving a full+delta pair at one epoch would make
+  // the delta a stale shadow of the full.
+  ASSERT_TRUE(Unwrap(
+      w.fs.Exists("state/" + durability::DeltaCheckpointFileName(2))));
+  ASSERT_TRUE(
+      w.log->Checkpoint(w.view, DurableLog::CheckpointKind::kFull).ok());
+  EXPECT_FALSE(Unwrap(
+      w.fs.Exists("state/" + durability::DeltaCheckpointFileName(2))));
+  EXPECT_TRUE(
+      Unwrap(w.fs.Exists("state/" + durability::CheckpointFileName(2))));
+  RecoveryInfo info;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, nullptr,
+      &info));
+  EXPECT_EQ(info.checkpoint_epoch, 2u);
+  EXPECT_EQ(info.delta_checkpoints_composed, 0);
+  EXPECT_EQ(CanonicalState(recovered->TakeRecoveredView()),
+            CanonicalState(w.view));
+}
+
 TEST(DurableLogTest, FallsBackToOlderCheckpointWhenNewestIsCorrupt) {
   LogWorld w;
   DurabilityOptions opts;
   opts.checkpoint_every_records = 2;
+  opts.full_checkpoint_interval = 1;  // the test corrupts ckpt-5 by name
   w.Start(opts);
   for (int i = 2; i <= 5; ++i) {
     ASSERT_TRUE(w.Apply("a(X) <- X = " + std::to_string(i) + ".",
@@ -476,6 +686,7 @@ TEST(DurableLogTest, RefusesToRecoverBelowTheNewestClaimedEpoch) {
   LogWorld w;
   DurabilityOptions opts;
   opts.checkpoint_every_records = 2;
+  opts.full_checkpoint_interval = 1;  // the test corrupts ckpt-5 by name
   w.Start(opts);
   for (int i = 2; i <= 5; ++i) {
     ASSERT_TRUE(w.Apply("a(X) <- X = " + std::to_string(i) + ".",

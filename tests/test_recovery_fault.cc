@@ -64,6 +64,7 @@ int64_t g_crashed_runs = 0;      // a burst failed mid-workload
 int64_t g_torn_tails = 0;        // recovery truncated a torn WAL tail
 int64_t g_checkpoint_crashes = 0;  // R == 1 + ok + 1 (crash after commit)
 int64_t g_fallbacks = 0;         // recovery skipped an invalid checkpoint
+int64_t g_delta_composes = 0;    // recovery composed a full+delta chain
 
 // One randomized workload: program, its initial materialization and a
 // sequence of update bursts (same burst-shape idiom as the batch
@@ -220,6 +221,7 @@ void RunCrashTrial(Scenario* sc, const Golden& g,
   if (failed && r == 2 + committed_ok) ++g_checkpoint_crashes;
   if (info.torn_tail_bytes > 0) ++g_torn_tails;
   if (info.checkpoints_skipped > 0) ++g_fallbacks;
+  if (info.delta_checkpoints_composed > 0) ++g_delta_composes;
 
   View recovered = rec->TakeRecoveredView();
   EXPECT_EQ(CanonicalState(recovered), g.state[r])
@@ -250,6 +252,10 @@ void RunRandomTrial(uint64_t seed, DupSemantics semantics,
   Rng rng(seed * 0x9E3779B9u + 71);  // fault-parameter stream
   DurabilityOptions opts;
   opts.checkpoint_every_records = static_cast<uint64_t>(rng.Int(0, 3));
+  // 1 = every checkpoint full (the pre-delta regime); up to 4 stacks
+  // three delta frames on each full image, so crash points land inside
+  // mixed full+delta chains too.
+  opts.full_checkpoint_interval = static_cast<uint64_t>(rng.Int(1, 4));
   Golden g = RunGolden(&sc, opts);
   // Crash anywhere from "right after Create" to "never" (crash point ==
   // total_writes means the workload finishes untouched).
@@ -384,6 +390,7 @@ TEST(RecoveryBitFlip, NewestCheckpointFlipFallsBackWithoutLoss) {
   Scenario sc = MakeScenario(7, DupSemantics::kDuplicate, true);
   DurabilityOptions opts;
   opts.checkpoint_every_records = 2;
+  opts.full_checkpoint_interval = 1;  // every cadence fires a full image
   MemFs mem;
   Golden g = BuildState(&sc, &mem, opts);
   const uint64_t full = sc.bursts.size() + 1;
@@ -416,6 +423,54 @@ TEST(RecoveryBitFlip, NewestCheckpointFlipFallsBackWithoutLoss) {
   }
 }
 
+// Flipping any byte of ANY delta checkpoint must not lose anything
+// either: every chain head that composes through the corrupt frame is
+// abandoned, recovery lands on an older intact head (ultimately the full
+// image at the chain's bottom) and the WAL bridges the rest. Exercises
+// the all-delta newest chain the cadence below produces: initial full at
+// epoch 1, then delta frames only.
+TEST(RecoveryBitFlip, DeltaChainFlipFallsBackWithoutLoss) {
+  Scenario sc = MakeScenario(7, DupSemantics::kDuplicate, true);
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 2;
+  opts.full_checkpoint_interval = 4;  // cadence writes deltas only here
+  MemFs mem;
+  Golden g = BuildState(&sc, &mem, opts);
+  const uint64_t full = sc.bursts.size() + 1;
+
+  std::vector<uint64_t> delta_epochs;
+  for (const std::string& name : Unwrap(mem.List("state"))) {
+    if (Result<uint64_t> e = durability::ParseDeltaCheckpointFileName(name);
+        e.ok()) {
+      delta_epochs.push_back(*e);
+    }
+  }
+  ASSERT_FALSE(delta_epochs.empty())
+      << "workload never wrote a delta checkpoint";
+
+  for (uint64_t epoch : delta_epochs) {
+    const std::string dckpt =
+        "state/" + durability::DeltaCheckpointFileName(epoch);
+    const std::string orig = Unwrap(mem.ReadFile(dckpt));
+    for (size_t off = 0; off < orig.size(); off += 5) {
+      SCOPED_TRACE("flip at offset " + std::to_string(off) + " of " +
+                   dckpt);
+      ASSERT_TRUE(mem.Corrupt(dckpt, off, 0x04).ok());
+      SnapshotStore rec_store;
+      RecoveryInfo info;
+      std::unique_ptr<DurableLog> rec = Unwrap(DurableLog::Recover(
+          &mem, "state", &sc.program, sc.world.domains.get(), sc.fp,
+          &rec_store, &info, opts));
+      EXPECT_GE(info.checkpoints_skipped, 1);
+      EXPECT_LT(info.checkpoint_epoch, epoch);
+      EXPECT_EQ(info.recovered_epoch, full);
+      EXPECT_EQ(CanonicalState(rec->TakeRecoveredView()), g.state[full]);
+      EXPECT_EQ(rec_store.epoch(), full);
+      ASSERT_TRUE(mem.WriteFile(dckpt, orig).ok());
+    }
+  }
+}
+
 // Declared last: by the time this runs, the sweep and the randomized
 // matrix have finished, and every fault regime must have fired at least
 // once — otherwise the suite is quietly weaker than it claims.
@@ -425,6 +480,8 @@ TEST(RecoveryFaultAggregate, EveryFaultRegimeOccurred) {
   EXPECT_GT(g_torn_tails, 0) << "no trial recovered across a torn tail";
   EXPECT_GT(g_checkpoint_crashes, 0)
       << "no crash landed inside a checkpoint after the WAL commit";
+  EXPECT_GT(g_delta_composes, 0)
+      << "no trial recovered through a mixed full+delta checkpoint chain";
 }
 
 }  // namespace

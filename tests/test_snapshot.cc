@@ -15,7 +15,10 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "durability/durable_log.h"
+#include "durability/fs.h"
 #include "maintenance/batch.h"
+#include "parser/view_io.h"
 #include "query/query.h"
 #include "test_util.h"
 #include "workload/generators.h"
@@ -36,7 +39,8 @@ TEST(SnapshotStoreTest, StartsAtEmptyEpochZero) {
   SnapshotHandle h = store.Pin();
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->epoch, 0u);
-  EXPECT_TRUE(h->view.empty());
+  ASSERT_NE(h->image, nullptr);
+  EXPECT_TRUE(h->image->empty());
 }
 
 TEST(SnapshotStoreTest, PublishBumpsEpochAndIsolatesOlderPins) {
@@ -48,19 +52,19 @@ TEST(SnapshotStoreTest, PublishBumpsEpochAndIsolatesOlderPins) {
   EXPECT_EQ(store.Publish(live), 1u);
   SnapshotHandle pinned = store.Pin();
   EXPECT_EQ(pinned->epoch, 1u);
-  size_t pinned_size = pinned->view.size();
+  size_t pinned_size = pinned->image->size();
 
   // Mutate the live view and publish again: the old pin must not move.
   live.RemoveIf([](const ViewAtom&) { return true; });
   EXPECT_EQ(store.Publish(live), 2u);
   EXPECT_EQ(store.epoch(), 2u);
   EXPECT_EQ(pinned->epoch, 1u);
-  EXPECT_EQ(pinned->view.size(), pinned_size);
-  EXPECT_EQ(store.Pin()->view.size(), 0u);
+  EXPECT_EQ(pinned->image->size(), pinned_size);
+  EXPECT_EQ(store.Pin()->image->size(), 0u);
 
-  // A snapshot is a full deep copy: its indexes answer queries on their
-  // own, with no reference back to the live view.
-  EXPECT_EQ(pinned->view.AtomsFor("a").size(), pinned_size);
+  // A snapshot is an immutable image: its per-pred segments answer reads
+  // on their own, with no reference back to the live view.
+  EXPECT_EQ(pinned->image->AtomsFor("a").size(), pinned_size);
 }
 
 TEST(SnapshotStoreTest, ApplyBatchPublishesOneEpochPerCleanBurst) {
@@ -80,7 +84,7 @@ TEST(SnapshotStoreTest, ApplyBatchPublishesOneEpochPerCleanBurst) {
                   .ok());
   EXPECT_EQ(stats.epochs_published, 1);  // one epoch per batch, not per pass
   EXPECT_EQ(store.epoch(), 2u);
-  EXPECT_EQ(Instances(store.Pin()->view, w.domains.get()),
+  EXPECT_EQ(Instances(store.Pin(), w.domains.get()),
             Instances(live, w.domains.get()));
 
   // Without a store attached nothing is published.
@@ -137,6 +141,99 @@ TEST(SnapshotQueryTest, SnapshotHandleOverloadsMatchLiveReads) {
                                 w.domains.get())));
   EXPECT_FALSE(Unwrap(query::Ask(h, "e", {Value(9), Value(9)},
                                  w.domains.get())));
+}
+
+// The image serialization the checkpoint writer uses must be byte-for-byte
+// the view serialization — both on a fresh extraction and on the
+// incremental share-most-segments path a batch leaves behind.
+TEST(SnapshotImageTest, SerializeImageMatchesSerializeViewByteForByte) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeMultiChain(/*chains=*/3, /*depth=*/3,
+                                       /*width=*/8);
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+  EXPECT_EQ(parser::SerializeImage(*live.ExtractImage()),
+            parser::SerializeView(live));
+
+  std::vector<maint::Update> burst;
+  burst.push_back(maint::Update::Delete(ParseUpdate("c0_p0(X) <- X = 0.", &p)));
+  burst.push_back(maint::Update::Insert(ParseUpdate("c1_p0(X) <- X = 99.", &p)));
+  ASSERT_TRUE(
+      maint::ApplyBatch(p, &live, burst, w.domains.get(), {}, nullptr).ok());
+  EXPECT_EQ(parser::SerializeImage(*live.ExtractImage()),
+            parser::SerializeView(live));
+}
+
+// The structural-sharing contract, witnessed by pointer identity: a slow
+// reader pins epoch E while later batches touch only chain 0 and the
+// durable log checkpoints + garbage-collects underneath. Every read at E
+// stays byte-identical, and the segments of the UNTOUCHED chains are the
+// very same objects in every later epoch's image — publication copied
+// only the delta.
+TEST(SnapshotSharing, SlowReaderSharesUntouchedSegmentsAcrossEpochs) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeMultiChain(/*chains=*/3, /*depth=*/3,
+                                       /*width=*/8);
+  View live = testutil::MaterializeOrDie(p, w.domains.get());
+
+  SnapshotStore store;
+  store.Publish(live);  // epoch 1
+  durability::MemFs fs;
+  durability::DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;  // checkpoint + GC every burst
+  opts.keep_checkpoints = 2;
+  std::unique_ptr<durability::DurableLog> log =
+      Unwrap(durability::DurableLog::Create(&fs, "state", p, live,
+                                            store.epoch(), 0, opts));
+
+  SnapshotHandle slow = store.Pin();
+  ASSERT_EQ(slow->epoch, 1u);
+  const std::string frozen = parser::SerializeImage(*slow->image);
+
+  // Predicates the bursts never touch: every derived level of chains 1-2.
+  std::vector<Symbol> untouched;
+  for (int c = 1; c <= 2; ++c) {
+    for (int l = 0; l < 3; ++l) {
+      untouched.push_back(
+          Symbol("c" + std::to_string(c) + "_p" + std::to_string(l)));
+    }
+  }
+
+  SnapshotHandle prev = slow;
+  for (int k = 0; k < 6; ++k) {
+    std::vector<maint::Update> burst;
+    const bool deleting = k % 2 == 0;
+    for (int i = 0; i < 4; ++i) {
+      maint::UpdateAtom atom =
+          ParseUpdate("c0_p0(X) <- X = " + std::to_string(i) + ".", &p);
+      burst.push_back(deleting ? maint::Update::Delete(std::move(atom))
+                               : maint::Update::Insert(std::move(atom)));
+    }
+    maint::BatchStats stats;
+    ASSERT_TRUE(maint::ApplyBatch(p, &live, burst, w.domains.get(), {},
+                                  &stats, log->ext_counter(), &store,
+                                  log.get())
+                    .ok());
+    EXPECT_GT(stats.snapshot_nodes_shared, 0);
+    SnapshotHandle now = store.Pin();
+    EXPECT_EQ(now->epoch, 2u + k);
+    for (Symbol pred : untouched) {
+      // Same shared_ptr, not just equal contents: the segment was never
+      // copied — the slow reader and the newest epoch read one object.
+      EXPECT_EQ(now->image->SegmentFor(pred), slow->image->SegmentFor(pred))
+          << "epoch " << now->epoch << " copied untouched segment "
+          << pred.name();
+      EXPECT_NE(now->image->SegmentFor(pred), nullptr);
+    }
+    // The touched predicate was rewritten: later epochs must NOT alias
+    // the slow reader's segment.
+    EXPECT_NE(now->image->SegmentFor("c0_p0"),
+              slow->image->SegmentFor("c0_p0"));
+    // The slow pin is untouched by publication, checkpointing and GC.
+    EXPECT_EQ(parser::SerializeImage(*slow->image), frozen);
+    prev = now;
+  }
+  EXPECT_GT(log->checkpoints_written(), 1);
+  EXPECT_EQ(Instances(prev, w.domains.get()), Instances(live, w.domains.get()));
 }
 
 // The tentpole differential: a reader thread continuously pins the latest
@@ -257,7 +354,7 @@ TEST(SnapshotConcurrency, ReaderPinsStableEpochsDuringBatches) {
   // The post-batch epoch equals the sequential-oracle result.
   SnapshotHandle final_pin = store.Pin();
   EXPECT_EQ(final_pin->epoch, 1 + bursts.size());
-  EXPECT_EQ(Instances(final_pin->view, w.domains.get()), expected.back());
+  EXPECT_EQ(Instances(final_pin, w.domains.get()), expected.back());
   EXPECT_EQ(Instances(live, w.domains.get()), expected.back());
 }
 

@@ -72,6 +72,16 @@ inline std::set<std::string> Instances(const View& view,
   return out;
 }
 
+/// \brief Same, over a pinned snapshot (reads the immutable image).
+inline std::set<std::string> Instances(const SnapshotHandle& snapshot,
+                                       DcaEvaluator* eval) {
+  query::InstanceSet set = Unwrap(query::EnumerateView(snapshot, eval));
+  EXPECT_TRUE(set.complete) << "instance enumeration was incomplete";
+  std::set<std::string> out;
+  for (const query::Instance& i : set.instances) out.insert(i.ToString());
+  return out;
+}
+
 /// \brief The declarative oracle for an update burst: folds the burst into
 /// the paper's Section 3 program transforms (deletion guards every head of
 /// the requested predicate with not(psi); insertion appends the request as
