@@ -202,6 +202,17 @@ struct SolveStats {
   int64_t choice_branches = 0;
   int64_t literals_processed = 0;
   int64_t cache_hits = 0;  ///< Solve calls answered by the SolveCache memo
+  int64_t sat_prechecks = 0;  ///< TestSatisfiability / RejectJoin screens run
+  int64_t sat_rejects = 0;    ///< screens that refuted deterministically
+                              ///  (no memo consulted for the verdict)
+  int64_t reject_cache_hits = 0;  ///< screens refuted by a RejectCache
+                                  ///  record (memo-dependent, like
+                                  ///  cache_hits). All three are STRATEGY
+                                  ///  counters: like cache_hits they stay
+                                  ///  out of cross-mode byte-identity
+                                  ///  comparisons — only the work product
+                                  ///  (views, supports, unsat_pruned...)
+                                  ///  is mode-invariant.
 
   SolveStats& operator+=(const SolveStats& other) {
     solve_calls += other.solve_calls;
@@ -209,6 +220,9 @@ struct SolveStats {
     choice_branches += other.choice_branches;
     literals_processed += other.literals_processed;
     cache_hits += other.cache_hits;
+    sat_prechecks += other.sat_prechecks;
+    sat_rejects += other.sat_rejects;
+    reject_cache_hits += other.reject_cache_hits;
     return *this;
   }
 };
@@ -225,6 +239,7 @@ struct VarDomainInfo {
 };
 
 class SolveCache;
+class RejectCache;
 
 /// \brief Tuning knobs for the solver.
 struct SolverOptions {
@@ -242,6 +257,22 @@ struct SolverOptions {
   /// evaluator state and solver options stay fixed for the cache lifetime;
   /// every Solver sharing one cache must use identical options.
   SolveCache* cache = nullptr;
+  /// Satisfiability fast path: run the linear TestSatisfiability screen
+  /// before the full decision procedure (and let the planned executor
+  /// screen whole join candidates via RejectJoin before assembling their
+  /// constraints). Sound for rejection only — the screen refutes a
+  /// constraint only when the full Solve would return kUnsat — so every
+  /// outcome, view and work-product counter is identical with the flag
+  /// off; off ($MMV_SOLVER_FASTPATH=off) keeps the slow path as the
+  /// differential oracle.
+  bool fastpath = true;
+  /// Optional pairwise rejection memo (constraint/reject_cache.h). Not
+  /// owned; same state-scoping contract as `cache`. Ground DCA
+  /// memberships decided inside full Solves are recorded here, and
+  /// TestSatisfiability consults the records AFTER its deterministic
+  /// screens. Null disables recording and lookup (parallel passes run
+  /// null — the cache is not thread-safe).
+  RejectCache* reject_cache = nullptr;
 };
 
 /// \brief Satisfiability engine for constraints.
@@ -254,8 +285,47 @@ class Solver {
       : evaluator_(evaluator), options_(options) {}
 
   /// \brief Decides satisfiability of \p c. When options.cache is set, a
-  /// canonical-form memo answers repeated shapes without re-solving.
+  /// canonical-form memo answers repeated shapes without re-solving. With
+  /// options.fastpath (default), TestSatisfiability screens the constraint
+  /// first; a screen rejection returns kUnsat without canonicalizing,
+  /// memo-probing or running the decision procedure.
   SolveOutcome Solve(const Constraint& c);
+
+  /// \brief Linear may-satisfiability screen, sound for REJECTION only:
+  /// kUnsat is returned only when the full Solve would also return kUnsat
+  /// (bottom/top literals, ground comparisons, trivially contradictory
+  /// conjuncts, empty interval screens, and — after every deterministic
+  /// screen — RejectCache membership refutations). Anything it cannot
+  /// refute is kSatDeferred ("may be satisfiable": no verdict), except the
+  /// trivially-true constraint, which is kSat. No union-find, no
+  /// allocation beyond amortized member scratch, negated blocks ignored
+  /// (the positive part alone refuting suffices). Requires
+  /// options.max_choice_branches >= 1 to reject — a budget-starved full
+  /// Solve reports kSatDeferred for everything, and the screen must never
+  /// be stricter than its oracle.
+  SolveOutcome TestSatisfiability(const Constraint& c);
+
+  /// \brief One body position of a join candidate, pre-rename: the chosen
+  /// instance's arguments and constraint, and the clause body atom's
+  /// argument pattern they will be equated with.
+  struct JoinComponent {
+    const TermVec* inst_args = nullptr;
+    const Constraint* inst_constraint = nullptr;
+    const TermVec* pattern = nullptr;
+  };
+
+  /// \brief Screens a whole join candidate BEFORE clause rename and
+  /// constraint assembly: the assembled constraint would be
+  /// clause_constraint ^ (each instance constraint, standardized apart) ^
+  /// (inst_args[k] = pattern[k] for every position) — RejectJoin runs the
+  /// TestSatisfiability screens over exactly that conjunction, keeping
+  /// each component's variables in a private scope to model the fresh
+  /// renaming. Returns true only when the assembled constraint is
+  /// provably unsatisfiable (the executor then prunes without renaming,
+  /// simplifying or solving); false is no verdict. Components with an
+  /// arity mismatch yield no verdict — the slow path owns that error.
+  bool RejectJoin(const Constraint& clause_constraint,
+                  const std::vector<JoinComponent>& body);
 
   /// \brief Propagates the positive primitives of \p c and reports the
   /// per-class domains (for enumeration). Fails when the positive part is
@@ -275,10 +345,30 @@ class Solver {
       std::vector<Primitive>* prims, int64_t* budget,
       std::unordered_map<std::string, DcaResult>* cache);
 
+  // ---- TestSatisfiability / RejectJoin internals ----
+  // Variables are keyed by (scope << 32) | uint32(var): scope 0 is the
+  // clause / the screened constraint, scope i+1 is join component i —
+  // modelling the fresh renaming that standardizes components apart.
+  bool ScreenEq(const Constraint& c, uint32_t scope);
+  bool ScreenEqPair(uint32_t scope_l, const Term& l, uint32_t scope_r,
+                    const Term& r);
+  bool ScreenRest(const Constraint& c, uint32_t scope);
+  bool ScreenDca(const Constraint& c, uint32_t scope);
+  const Value* ScreenResolve(uint32_t scope, const Term& t) const;
+  void ScreenReset();
+
   DcaEvaluator* evaluator_;
   SolverOptions options_;
   Status last_status_;
   SolveStats stats_;
+
+  // Screen scratch (amortized allocation-free across calls). Bindings map
+  // packed (scope, var) keys to values owned by the screened terms, which
+  // outlive the screen call.
+  std::unordered_map<uint64_t, const Value*> screen_bound_;
+  std::unordered_map<uint64_t, Interval> screen_intervals_;
+  std::vector<Value> screen_args_;  // ground DCA call args
+  std::string screen_key_;          // rendered DCA call key
 };
 
 }  // namespace mmv

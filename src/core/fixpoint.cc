@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "constraint/canonical.h"
+#include "constraint/reject_cache.h"
 #include "constraint/simplify.h"
 #include "core/thread_pool.h"
 #include "plan/partition.h"
@@ -283,6 +284,28 @@ class ClauseRunner {
           std::to_string(c.number));
     }
     stats_->derivations_attempted++;
+    // Pre-rename join screen (T_P only — W_P keeps unsolvable atoms): a
+    // provably-unsatisfiable candidate is pruned before the clause rename,
+    // per-instance standardization and constraint assembly below ever
+    // allocate. Sound for rejection only, so the pruned set — and
+    // unsat_pruned, which the slow path increments for the same candidates
+    // via simplify/Solve — is identical with the fast path off. Candidates
+    // with an arity mismatch get no verdict (RejectJoin screens that
+    // itself), keeping the error path below intact.
+    if (options_.op == OperatorKind::kTp && options_.solver.fastpath &&
+        !chosen.empty()) {
+      join_components_.clear();
+      join_components_.reserve(chosen.size());
+      for (size_t i = 0; i < chosen.size(); ++i) {
+        const ViewAtom& inst = view_.atoms()[chosen[i]];
+        join_components_.push_back(
+            {&inst.args, &inst.constraint, &c.body[i].args});
+      }
+      if (solver_->RejectJoin(c.constraint, join_components_)) {
+        stats_->unsat_pruned++;
+        return Status::OK();
+      }
+    }
     Clause renamed = c.Rename(factory_);
     Constraint acc = renamed.constraint;
     std::vector<Support> children;
@@ -646,6 +669,8 @@ class ClauseRunner {
                                      // feedback for the cache
   bool feedback_due_ = false;
   VarSet var_set_;  // scratch for Derive
+  std::vector<Solver::JoinComponent> join_components_;  // scratch for the
+                                                        // pre-rename screen
 };
 
 // One clause pass's staged output under parallel execution.
@@ -770,7 +795,8 @@ class Engine {
         evaluator_(evaluator),
         options_(options),
         stats_(stats),
-        solver_(evaluator, SolverOptionsFor(options, &local_cache_)),
+        solver_(evaluator, SolverOptionsFor(options, &local_cache_,
+                                            &local_reject_cache_)),
         factory_(program.factory()),
         // Early ground rejection is behavior-preserving only when the
         // engine provably drops statically contradictory joins: simplify
@@ -854,10 +880,20 @@ class Engine {
 
  private:
   static SolverOptions SolverOptionsFor(const FixpointOptions& o,
-                                        SolveCache* local) {
+                                        SolveCache* local,
+                                        RejectCache* local_reject) {
     SolverOptions s = o.solver;
     if (o.join_mode == JoinMode::kIndexed && s.cache == nullptr) {
       s.cache = o.solve_cache != nullptr ? o.solve_cache : local;
+    }
+    // The rejection memo rides the same wiring: caller-shared when
+    // provided, run-local otherwise, and only where the fast path can
+    // consult it. Off-mode runs get neither recording nor lookups, so the
+    // oracle replay never touches memo state.
+    if (o.join_mode == JoinMode::kIndexed && s.fastpath &&
+        s.reject_cache == nullptr) {
+      s.reject_cache =
+          o.reject_cache != nullptr ? o.reject_cache : local_reject;
     }
     return s;
   }
@@ -1088,6 +1124,9 @@ class Engine {
       // here; SolveCache is not synchronized.
       SolverOptions solver_options = options_.solver;
       solver_options.cache = s.cache;
+      // Same rule for the rejection memo: RejectCache is not synchronized,
+      // so parallel slices run without one (no lookups, no recording).
+      solver_options.reject_cache = nullptr;
       Solver solver(worker_evaluator, solver_options);
       VarFactory factory;
       factory.ReserveAbove(kStagingVarBase);
@@ -1231,6 +1270,7 @@ class Engine {
   FixpointOptions options_;
   FixpointStats* stats_;
   SolveCache local_cache_;  // used when kIndexed and no caller-shared cache
+  RejectCache local_reject_cache_;  // ditto, for the pairwise rejection memo
   Solver solver_;
   VarFactory factory_;
   const bool indexed_;
@@ -1344,6 +1384,25 @@ Result<int> ThreadsFromEnv() {
   Result<int> parsed = ParseThreads(threads);
   if (!parsed.ok()) {
     return Status::InvalidArgument("$MMV_THREADS: " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<bool> ParseSolverFastpath(std::string_view text) {
+  if (text == "on") return true;
+  if (text == "off") return false;
+  return Status::InvalidArgument("unknown solver fastpath mode '" +
+                                 std::string(text) +
+                                 "' (expected 'on' or 'off')");
+}
+
+Result<bool> SolverFastpathFromEnv() {
+  const char* mode = std::getenv("MMV_SOLVER_FASTPATH");
+  if (mode == nullptr || *mode == '\0') return true;
+  Result<bool> parsed = ParseSolverFastpath(mode);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("$MMV_SOLVER_FASTPATH: " +
                                    parsed.status().message());
   }
   return parsed;

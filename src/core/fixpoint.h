@@ -140,7 +140,18 @@ struct FixpointOptions {
   /// keep it scoped to one external-database state (see solve_cache.h).
   /// When null, the engine memoizes within the single run.
   SolveCache* solve_cache = nullptr;
-  /// Solver configuration for T_P solvability checks.
+  /// Optional pairwise rejection memo shared across engine runs (kIndexed
+  /// only), the fast-path sibling of solve_cache: ground DCA memberships
+  /// decided inside full Solves are recorded and later screens refute
+  /// matching literals without solving. Same state-scoping contract as
+  /// solve_cache (maint::ApplyBatch epoch-syncs both side by side). When
+  /// null, the engine memoizes within the single run.
+  RejectCache* reject_cache = nullptr;
+  /// Solver configuration for T_P solvability checks. solver.fastpath
+  /// (default on; $MMV_SOLVER_FASTPATH=off in the benches/tests) gates the
+  /// satisfiability pre-check AND the executor's pre-rename join screen —
+  /// both sound for rejection only, so views, support multisets and
+  /// work-product counters are byte-identical either way.
   SolverOptions solver;
 };
 
@@ -249,6 +260,16 @@ Result<int> ParseThreads(std::string_view text);
 /// sequential engine); any non-numeric or non-positive value is an
 /// InvalidArgument error.
 Result<int> ThreadsFromEnv();
+
+/// \brief Parses a solver fast-path mode: "on" or "off". Off keeps the
+/// full decision procedure as the differential oracle.
+Result<bool> ParseSolverFastpath(std::string_view text);
+
+/// \brief Solver fast-path mode from $MMV_SOLVER_FASTPATH. Unset/empty
+/// means on (the default); any other unknown value is an InvalidArgument
+/// error — like the mode parsers, a typo must fail loudly instead of
+/// silently benchmarking the wrong pipeline.
+Result<bool> SolverFastpathFromEnv();
 
 }  // namespace mmv
 

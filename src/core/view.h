@@ -41,6 +41,43 @@ class View {
  public:
   View() = default;
 
+  /// Copies SHARE copy-on-write image state instead of duplicating it.
+  /// The source's image cache is refreshed first (O(delta) — exactly the
+  /// extraction its next ExtractImage would have performed) and the copy
+  /// starts CLEAN against that shared image. An implicitly copied dirty
+  /// set would make source and copy re-materialize the SAME dirty
+  /// segments independently, so their future extractions could never
+  /// pointer-share those predicates again — every downstream consumer
+  /// (snapshot store, delta checkpoints) would silently hold forked
+  /// segment copies.
+  View(const View& other)
+      : atoms_(other.atoms_),
+        by_pred_(other.by_pred_),
+        by_support_(other.by_support_),
+        child_index_(other.child_index_),
+        by_arg_value_(other.by_arg_value_),
+        by_arg_var_(other.by_arg_var_),
+        max_var_(other.max_var_),
+        last_image_(other.ExtractImage()) {}
+  View& operator=(const View& other) {
+    if (this == &other) return *this;
+    atoms_ = other.atoms_;
+    by_pred_ = other.by_pred_;
+    by_support_ = other.by_support_;
+    child_index_ = other.child_index_;
+    by_arg_value_ = other.by_arg_value_;
+    by_arg_var_ = other.by_arg_var_;
+    max_var_ = other.max_var_;
+    last_image_ = other.ExtractImage();
+    image_dirty_preds_.clear();
+    image_order_stale_ = false;
+    return *this;
+  }
+  // Declaring the copy operations suppresses the implicit moves; restore
+  // them (moves transfer the cache verbatim, which stays exact).
+  View(View&&) = default;
+  View& operator=(View&&) = default;
+
   /// \brief Appends an atom, updating all indexes.
   void Add(ViewAtom atom);
 
@@ -231,9 +268,9 @@ class View {
   // names predicates whose segment in last_image_ may no longer match this
   // view; order_stale_ records that atoms were removed, invalidating the
   // shared global-order prefix. mutable because ExtractImage is logically
-  // const (it caches, never changes view semantics). Copying a View copies
-  // this cache too, which stays valid: the copy's atoms match the image
-  // exactly as much as the original's did.
+  // const (it caches, never changes view semantics). The copy operations
+  // above refresh-and-share this cache rather than duplicating dirty
+  // bookkeeping (see their comment); moves transfer it verbatim.
   mutable SnapshotImageHandle last_image_;
   mutable std::unordered_set<Symbol> image_dirty_preds_;
   mutable bool image_order_stale_ = false;

@@ -74,6 +74,23 @@ Result<uint64_t> ParseU64(std::string_view s, std::string_view what) {
 // as a kept-prefix length plus (pred, count) runs. Within one predicate
 // the global order equals segment order, so runs need no offsets.
 
+// Content fingerprint of a segment's canonical serialization, cached on
+// the segment (see SnapshotImage::Segment). FNV-1a; 0 is reserved for
+// "not computed", so a genuine 0 hash is nudged to 1.
+uint64_t SegmentFingerprint(const SnapshotImage::Segment& seg) {
+  uint64_t cached = seg.fingerprint.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  std::string bytes = parser::SerializeAtoms(seg);
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  if (h == 0) h = 1;
+  seg.fingerprint.store(h, std::memory_order_relaxed);
+  return h;
+}
+
 std::string BuildDeltaBody(const SnapshotImage& parent,
                            const SnapshotImage& child) {
   std::ostringstream os;
@@ -89,11 +106,21 @@ std::string BuildDeltaBody(const SnapshotImage& parent,
   std::vector<Symbol> changed;
   for (const auto& [pred, seg] : child.segments) {
     auto it = parent.segments.find(pred);
-    // Pointer inequality is conservative: a re-materialized but equal
-    // segment serializes redundantly, never incorrectly.
-    if (it == parent.segments.end() || it->second != seg) {
+    if (it == parent.segments.end()) {
       changed.push_back(pred);
+      continue;
     }
+    // Shared pointer: bit-identical by construction. Distinct pointers: a
+    // fully-canceling burst re-materializes the segment with unchanged
+    // content, so compare fingerprints and — on a match, since the hash
+    // alone could collide — bytes, before paying for a frame member.
+    // Composition then keeps the parent's equal-content segment.
+    if (it->second == seg) continue;
+    if (SegmentFingerprint(*it->second) == SegmentFingerprint(*seg) &&
+        parser::SerializeAtoms(*it->second) == parser::SerializeAtoms(*seg)) {
+      continue;
+    }
+    changed.push_back(pred);
   }
   std::sort(changed.begin(), changed.end());
   for (Symbol pred : changed) {
@@ -297,12 +324,15 @@ Status ApplyDeltaBody(std::string_view body, Program* program,
 // Materializes the composed state into a View, re-Adding atoms in the
 // recorded global order (the order is load-bearing: continued maintenance
 // is byte-identical only if the rebuilt view enumerates like the original).
-Result<View> BuildView(const ComposedState& state) {
+// Consumes \p state: atoms are MOVED into the view per-pred as the order
+// cursor passes them, so the peak is one view plus segment shells — not
+// the composed state and a full copy side by side.
+Result<View> BuildView(ComposedState* state) {
   View view;
   std::unordered_map<Symbol, size_t> cursor;
-  for (const SnapshotImage::OrderRun& run : state.order) {
-    auto it = state.segments.find(run.pred);
-    if (it == state.segments.end()) {
+  for (const SnapshotImage::OrderRun& run : state->order) {
+    auto it = state->segments.find(run.pred);
+    if (it == state->segments.end()) {
       return Status::ParseError(
           "delta checkpoint: atom order names unknown predicate '" +
           run.pred.name() + "'");
@@ -314,10 +344,10 @@ Result<View> BuildView(const ComposedState& state) {
           run.pred.name() + "'");
     }
     for (uint64_t i = 0; i < run.count; ++i) {
-      view.Add(it->second[at++]);
+      view.Add(std::move(it->second[at++]));
     }
   }
-  for (const auto& [pred, seg] : state.segments) {
+  for (const auto& [pred, seg] : state->segments) {
     auto it = cursor.find(pred);
     if (it == cursor.end() || it->second != seg.size()) {
       return Status::ParseError(
@@ -433,26 +463,15 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
   auto load_chain = [&](const CkptFile& head) -> Result<LoadedChain> {
     LoadedChain out;
     out.head_epoch = head.epoch;
-    // Walk parent links down to a full image, newest last.
-    std::vector<std::pair<DeltaCheckpointMeta, std::string>> deltas;
+    // Walk parent links down to a full image, newest last. Only the chain
+    // SHAPE (epochs) is retained: holding every frame's decoded body here
+    // would keep the whole chain in memory at once, so the compose loop
+    // below re-reads each file in parent-first order instead and the peak
+    // stays one composed view plus a single frame.
+    std::vector<uint64_t> delta_epochs_newest_first;
     uint64_t cursor_epoch = head.epoch;
     bool cursor_delta = head.is_delta;
-    CheckpointMeta full_meta;
-    std::string full_body;
-    while (true) {
-      if (!cursor_delta) {
-        MMV_ASSIGN_OR_RETURN(
-            std::string data,
-            fs->ReadFile(log->PathFor(CheckpointFileName(cursor_epoch))));
-        MMV_ASSIGN_OR_RETURN(full_meta, DecodeCheckpoint(data, &full_body));
-        if (full_meta.program_crc != log->program_crc_) {
-          return Status::InvalidArgument(
-              "durability recovery refused: checkpoint was written for a "
-              "different program (clause-set fingerprint mismatch)");
-        }
-        out.full_epoch = cursor_epoch;
-        break;
-      }
+    while (cursor_delta) {
       MMV_ASSIGN_OR_RETURN(
           std::string data,
           fs->ReadFile(log->PathFor(DeltaCheckpointFileName(cursor_epoch))));
@@ -470,7 +489,7 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
             " header disagrees with its name or parents forward");
       }
       out.delta_bytes += static_cast<int64_t>(data.size());
-      deltas.emplace_back(std::move(meta), std::move(body));
+      delta_epochs_newest_first.push_back(cursor_epoch);
       cursor_epoch = meta.parent;
       if (full_epochs.count(cursor_epoch) > 0) {
         cursor_delta = false;
@@ -482,15 +501,46 @@ Result<std::unique_ptr<DurableLog>> DurableLog::Recover(
             std::to_string(cursor_epoch));
       }
     }
-    MMV_ASSIGN_OR_RETURN(ComposedState state,
-                         FromFullBody(full_body, program));
-    out.ext_counter = full_meta.ext_counter;
-    for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
-      MMV_RETURN_NOT_OK(ApplyDeltaBody(it->second, program, it->first, &state));
-      out.ext_counter = it->first.ext_counter;
+
+    ComposedState state;
+    {
+      // Scoped so the full body's bytes are released before any delta
+      // frame is read back.
+      MMV_ASSIGN_OR_RETURN(
+          std::string data,
+          fs->ReadFile(log->PathFor(CheckpointFileName(cursor_epoch))));
+      std::string full_body;
+      CheckpointMeta full_meta;
+      MMV_ASSIGN_OR_RETURN(full_meta, DecodeCheckpoint(data, &full_body));
+      if (full_meta.program_crc != log->program_crc_) {
+        return Status::InvalidArgument(
+            "durability recovery refused: checkpoint was written for a "
+            "different program (clause-set fingerprint mismatch)");
+      }
+      out.full_epoch = cursor_epoch;
+      data.clear();
+      data.shrink_to_fit();
+      MMV_ASSIGN_OR_RETURN(state, FromFullBody(full_body, program));
+      out.ext_counter = full_meta.ext_counter;
+    }
+    for (auto it = delta_epochs_newest_first.rbegin();
+         it != delta_epochs_newest_first.rend(); ++it) {
+      MMV_ASSIGN_OR_RETURN(
+          std::string data,
+          fs->ReadFile(log->PathFor(DeltaCheckpointFileName(*it))));
+      std::string body;
+      // The walk above already validated this frame's header and CRC; the
+      // re-decode revalidates for free (the file could in principle change
+      // between the reads).
+      MMV_ASSIGN_OR_RETURN(DeltaCheckpointMeta meta,
+                           DecodeDeltaCheckpoint(data, &body));
+      data.clear();
+      data.shrink_to_fit();
+      MMV_RETURN_NOT_OK(ApplyDeltaBody(body, program, meta, &state));
+      out.ext_counter = meta.ext_counter;
       ++out.deltas_composed;
     }
-    MMV_ASSIGN_OR_RETURN(out.view, BuildView(state));
+    MMV_ASSIGN_OR_RETURN(out.view, BuildView(&state));
     return out;
   };
 

@@ -136,6 +136,15 @@ struct BatchStats {
   int64_t plan_cache_hits = 0;      ///< plans served without compiling
   int64_t solve_epoch_flushes = 0;  ///< caller solver memo flushed because
                                     ///  the external database's epoch moved
+  int64_t reject_epoch_flushes = 0;  ///< ditto for the pairwise rejection
+                                     ///  memo (same validity contract)
+  // Solver fast path, summed over the batch's delete and insert passes.
+  // STRATEGY counters: zero with MMV_SOLVER_FASTPATH=off and excluded from
+  // every byte-identity comparison (like plan_cache_hits) — the
+  // work-product counters above are what the on/off differential pins.
+  int64_t sat_prechecks = 0;       ///< satisfiability pre-screens run
+  int64_t sat_rejects = 0;         ///< screens that refuted deterministically
+  int64_t reject_cache_hits = 0;   ///< refutations served by the memo
   // Snapshot layer.
   int64_t epochs_published = 0;     ///< view epochs published to the
                                     ///  snapshot store (1 per successful

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "constraint/reject_cache.h"
 #include "plan/plan_cache.h"
 
 namespace mmv {
@@ -63,6 +64,7 @@ Status InsertBatch(const Program& program, View* view,
   // database is fixed for the duration of the batch, which is exactly the
   // cache's validity contract.
   SolveCache batch_cache;
+  RejectCache batch_reject_cache;
   FixpointOptions fix_options = options;
   SolverOptions solver_options = options.solver;
   if (options.join_mode == JoinMode::kIndexed) {
@@ -71,6 +73,17 @@ Status InsertBatch(const Program& program, View* view,
     }
     if (solver_options.cache == nullptr) {
       solver_options.cache = fix_options.solve_cache;
+    }
+    // The rejection memo shares the batch-wide lifetime and validity
+    // contract of the solve cache; the fast path never consults it when
+    // disabled, so the off-mode oracle runs memo-free.
+    if (options.solver.fastpath) {
+      if (fix_options.reject_cache == nullptr) {
+        fix_options.reject_cache = &batch_reject_cache;
+      }
+      if (solver_options.reject_cache == nullptr) {
+        solver_options.reject_cache = fix_options.reject_cache;
+      }
     }
   }
   // One plan cache for the whole batch: every flushed continuation below

@@ -588,6 +588,80 @@ TEST(DurableLogTest, RecoveryComposesAWholeDeltaChain) {
   EXPECT_EQ(parser::SerializeView(rec_view), parser::SerializeView(w.view));
 }
 
+// Regression for the delta frame's changed-predicate diff: a burst whose
+// net effect is NOTHING (inserts canceled by deletes in the same batch)
+// re-materializes the touched segments — pointer inequality alone would
+// serialize every one of them into the delta frame. The content
+// fingerprint proves them unchanged, so the frame carries only order
+// bookkeeping: no seg sections, no removed lines.
+TEST(DurableLogTest, FullyCancelingBurstEmitsNearEmptyDeltaFrame) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;
+  opts.full_checkpoint_interval = 100;  // cadence checkpoints are deltas
+  w.Start(opts);
+  std::vector<maint::Update> burst;
+  for (const char* t : {"a(X) <- X = 10.", "a(X) <- X = 11."}) {
+    burst.push_back(maint::Update::Insert(ParseUpdate(t, &w.program)));
+  }
+  for (const char* t : {"a(X) <- X = 10.", "a(X) <- X = 11."}) {
+    burst.push_back(maint::Update::Delete(ParseUpdate(t, &w.program)));
+  }
+  maint::BatchStats stats;
+  Status s = maint::ApplyBatch(w.program, &w.view, burst,
+                               w.world.domains.get(), w.fp, &stats,
+                               w.log->ext_counter(), &w.snapshots,
+                               w.log.get());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(stats.checkpoints_written, 1);
+  std::string file = Unwrap(
+      w.fs.ReadFile("state/" + durability::DeltaCheckpointFileName(2)));
+  std::string body;
+  Unwrap(durability::DecodeDeltaCheckpoint(file, &body));
+  EXPECT_EQ(body.find("seg "), std::string::npos)
+      << "unchanged-content segment serialized into the delta frame:\n"
+      << body;
+  EXPECT_EQ(body.find("removed "), std::string::npos) << body;
+  // The near-empty frame still recovers the exact view.
+  RecoveryInfo info;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, nullptr,
+      &info));
+  EXPECT_EQ(info.delta_checkpoints_composed, 1);
+  EXPECT_EQ(parser::SerializeView(recovered->TakeRecoveredView()),
+            parser::SerializeView(w.view));
+}
+
+// The longest chain the streaming composer sees in these suites: four
+// deltas over one full image, replayed parent-first with each frame's
+// bytes released before the next (recovery peak stays O(view), not
+// O(view + all frames)). Mixed shapes again, ending on a delete so the
+// final frame rewrites the order.
+TEST(DurableLogTest, RecoveryComposesAFourDeltaChain) {
+  LogWorld w;
+  DurabilityOptions opts;
+  opts.checkpoint_every_records = 1;
+  opts.full_checkpoint_interval = 5;  // fulls at 1 and 6; deltas at 2-5
+  w.Start(opts);
+  ASSERT_TRUE(w.Apply("a(X) <- X = 2.", /*is_delete=*/false).ok());
+  ASSERT_TRUE(w.Apply("a(X) <- X = 1.", /*is_delete=*/true).ok());
+  ASSERT_TRUE(w.Apply("a(X) <- X = 3.", /*is_delete=*/false).ok());
+  ASSERT_TRUE(w.Apply("a(X) <- X = 2.", /*is_delete=*/true).ok());
+  RecoveryInfo info;
+  SnapshotStore rec_store;
+  std::unique_ptr<DurableLog> recovered = Unwrap(DurableLog::Recover(
+      &w.fs, "state", &w.program, w.world.domains.get(), w.fp, &rec_store,
+      &info));
+  EXPECT_EQ(info.checkpoint_epoch, 5u);
+  EXPECT_EQ(info.full_checkpoint_epoch, 1u);
+  EXPECT_EQ(info.delta_checkpoints_composed, 4);
+  EXPECT_EQ(info.replayed_bursts, 0);
+  EXPECT_EQ(rec_store.epoch(), 5u);
+  View rec_view = recovered->TakeRecoveredView();
+  EXPECT_EQ(CanonicalState(rec_view), CanonicalState(w.view));
+  EXPECT_EQ(parser::SerializeView(rec_view), parser::SerializeView(w.view));
+}
+
 TEST(DurableLogTest, RetentionFloorsAtTheOldestRetainedFullImage) {
   LogWorld w;
   DurabilityOptions opts;

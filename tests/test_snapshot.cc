@@ -169,6 +169,56 @@ TEST(SnapshotImageTest, SerializeImageMatchesSerializeViewByteForByte) {
 // stays byte-identical, and the segments of the UNTOUCHED chains are the
 // very same objects in every later epoch's image — publication copied
 // only the delta.
+// View copies share copy-on-write image state instead of duplicating the
+// dirty bookkeeping: copying a DIRTY view first refreshes the source's
+// image cache, and both sides then extract the SAME shared segments —
+// pointer identity, not content equality. (The regression this pins: an
+// implicitly copied dirty set made source and copy re-materialize the same
+// dirty segments independently, forking every downstream consumer.)
+TEST(SnapshotSharing, CopiedViewSharesImageStateWithSource) {
+  TestWorld w = TestWorld::Make();
+  Program p = workload::MakeMultiChain(/*chains=*/2, /*depth=*/2,
+                                       /*width=*/4);
+  View source = testutil::MaterializeOrDie(p, w.domains.get());
+  source.ExtractImage();  // warm the cache
+
+  // Dirty one predicate, then copy while the dirty set is non-empty.
+  size_t idx = source.AtomsFor("c0_p0").front();
+  source.MutableAtom(idx);  // conservatively dirties c0_p0
+
+  View copy = source;
+  SnapshotImageHandle from_source = source.ExtractImage();
+  SnapshotImageHandle from_copy = copy.ExtractImage();
+  ASSERT_EQ(from_source->segments.size(), from_copy->segments.size());
+  for (const auto& [pred, seg] : from_source->segments) {
+    // Same shared_ptr: the copy re-derived nothing, clean or dirty.
+    EXPECT_EQ(seg, from_copy->SegmentFor(pred))
+        << "copied view forked segment " << pred.name();
+  }
+  EXPECT_EQ(parser::SerializeImage(*from_source),
+            parser::SerializeImage(*from_copy));
+
+  // Copy ASSIGNMENT shares the same way.
+  View assigned;
+  assigned = source;
+  SnapshotImageHandle from_assigned = assigned.ExtractImage();
+  for (const auto& [pred, seg] : from_source->segments) {
+    EXPECT_EQ(seg, from_assigned->SegmentFor(pred));
+  }
+
+  // Independence after the copy: mutating the source re-materializes only
+  // ITS segment; the copy keeps sharing the rest and never sees the edit.
+  source.MutableAtom(idx);
+  SnapshotImageHandle source_after = source.ExtractImage();
+  SnapshotImageHandle copy_after = copy.ExtractImage();
+  EXPECT_EQ(copy_after->SegmentFor("c0_p0"), from_copy->SegmentFor("c0_p0"));
+  for (const auto& [pred, seg] : copy_after->segments) {
+    if (!(pred == Symbol("c0_p0"))) {
+      EXPECT_EQ(seg, source_after->SegmentFor(pred));
+    }
+  }
+}
+
 TEST(SnapshotSharing, SlowReaderSharesUntouchedSegmentsAcrossEpochs) {
   TestWorld w = TestWorld::Make();
   Program p = workload::MakeMultiChain(/*chains=*/3, /*depth=*/3,
